@@ -1,0 +1,109 @@
+"""EXP-F2 — Figure 2: Communix server request throughput.
+
+Paper setup: "we invoke the request processing routines from 1,000-100,000
+simultaneous threads", each issuing one ``ADD(sig), GET(0)`` sequence with a
+random signature; the server validates every ADD (encrypted id, quota,
+adjacency) and GET(0) walks the whole database.  Reported: requests/second
+versus the number of simultaneous sequences.  Paper shape: scales to ~30k
+sequences, peaking at ~9,000 req/s.
+
+Scaling substitution (DESIGN.md): CPython cannot host 100k OS threads, so
+the sweep runs 1:100 — 10..1,000 threads.  The shape to reproduce is the
+rise to a knee followed by degradation, not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.signature import CallStack, DeadlockSignature, Frame, ThreadSignature
+from repro.crypto.userid import UserIdAuthority
+from repro.server.server import CommunixServer
+from repro.util.clock import ManualClock
+
+#: 1:100 scale of the paper's 1k..100k sweep.
+SWEEP = (10, 50, 100, 200, 300, 400, 500, 750, 1000)
+
+_series: dict[int, float] = {}
+
+
+def random_signature(rng: random.Random) -> DeadlockSignature:
+    """A random two-thread signature (what the paper's load generator sends)."""
+
+    def stack(tag: int) -> CallStack:
+        return CallStack(
+            Frame(
+                class_name=f"load.C{rng.randrange(10_000)}",
+                method=f"m{rng.randrange(100)}",
+                line=rng.randrange(1, 5_000),
+                code_hash=f"{rng.getrandbits(64):016x}",
+            )
+            for _ in range(6)
+        )
+
+    threads = (
+        ThreadSignature(outer=stack(0), inner=stack(1)),
+        ThreadSignature(outer=stack(2), inner=stack(3)),
+    )
+    return DeadlockSignature(threads=threads, origin="remote")
+
+
+def run_point(n_threads: int) -> float:
+    """One sweep point: n threads x (ADD, GET(0)); returns requests/second."""
+    server = CommunixServer(
+        authority=UserIdAuthority(rng=random.Random(42)),
+        clock=ManualClock(start=1_000_000.0),
+    )
+    rng = random.Random(n_threads)
+    # Prepared outside the timed region, as the paper's load generator is:
+    # one user id per client and one random signature each.
+    tokens = [server.issue_user_token() for _ in range(n_threads)]
+    blobs = [random_signature(rng).to_bytes() for _ in range(n_threads)]
+    start_gate = threading.Event()
+    done = threading.Barrier(n_threads + 1)
+
+    def client(index: int) -> None:
+        start_gate.wait()
+        server.process_add(blobs[index], tokens[index])
+        server.process_get(0)
+        done.wait()
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    import time
+
+    started = time.perf_counter()
+    start_gate.set()
+    done.wait()
+    elapsed = time.perf_counter() - started
+    for t in threads:
+        t.join()
+    requests = 2 * n_threads
+    return requests / elapsed
+
+
+@pytest.mark.parametrize("n_threads", SWEEP)
+def test_fig2_server_throughput(benchmark, n_threads, results_dir):
+    rps = benchmark.pedantic(run_point, args=(n_threads,), rounds=1, iterations=1)
+    _series[n_threads] = rps
+    benchmark.extra_info["requests_per_second"] = rps
+    assert rps > 0
+    if n_threads == SWEEP[-1]:
+        lines = [
+            "Figure 2 — Communix server throughput (scaled 1:100)",
+            "threads  simultaneous_sequences(paper-scale)  requests_per_second",
+        ]
+        for n in SWEEP:
+            if n in _series:
+                lines.append(f"{n:7d}  {n * 100:10d}  {_series[n]:12.0f}")
+        peak = max(_series.values())
+        lines.append(f"peak requests/second: {peak:.0f} (paper: ~9,000 on 8-core Xeon)")
+        write_artifact(results_dir, "fig2_server_throughput.txt", lines)

@@ -1,0 +1,107 @@
+"""EXP-F3 — Figure 3: end-to-end signature distribution over the network.
+
+Paper setup: the server on one machine, 10-200 client threads on another,
+each sending 10 ``ADD(sig), GET(0)`` sequences over TCP.  Reported: replies
+per second received *per client thread*.  Paper shape: scales to ~30 client
+threads, 20-110 replies/s per thread — up to two orders of magnitude below
+Figure 2, because moving the ever-growing GET(0) payload through the network
+becomes the bottleneck (~630 MB in the last round at N=200).
+
+Scaling substitution: loopback TCP, 5..100 threads x 5 sequences (the
+quadratic GET(0) data volume is what matters, and it is preserved).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from benchmarks.bench_fig2_server_throughput import random_signature
+from benchmarks.conftest import write_artifact
+from repro.client.endpoints import TcpEndpoint
+from repro.crypto.userid import UserIdAuthority
+from repro.server.protocol import count_get_response
+from repro.server.server import CommunixServer, ServerConfig
+from repro.server.transport import ServerTransport
+from repro.util.clock import ManualClock
+
+SWEEP = (5, 10, 20, 30, 40, 60, 80, 100)
+SEQUENCES_PER_THREAD = 5
+
+_series: dict[int, float] = {}
+
+
+def run_point(n_threads: int) -> float:
+    """Returns mean replies/second observed per client thread."""
+    server = CommunixServer(
+        authority=UserIdAuthority(rng=random.Random(7)),
+        clock=ManualClock(start=1_000_000.0),
+        # The paper's load is random signatures; adjacency rarely triggers,
+        # but quota must admit every ADD (10/day == 2x our 5 sequences).
+        config=ServerConfig(),
+    )
+    transport = ServerTransport(server)
+    host, port = transport.start()
+    rng = random.Random(1000 + n_threads)
+    blobs = [
+        [random_signature(rng).to_bytes() for _ in range(SEQUENCES_PER_THREAD)]
+        for _ in range(n_threads)
+    ]
+    rates: list[float] = []
+    rates_lock = threading.Lock()
+    start_gate = threading.Event()
+
+    def client(index: int) -> None:
+        endpoint = TcpEndpoint(host, port, io_timeout=120.0)
+        try:
+            token = endpoint.issue_token()
+            start_gate.wait()
+            started = time.perf_counter()
+            for blob in blobs[index]:
+                endpoint.add(blob, token)
+                # GET(0): the worst case the paper measures — the client is
+                # always sent the whole database.  Count without parsing.
+                count_get_response(endpoint.get_raw(0))
+            elapsed = time.perf_counter() - started
+            with rates_lock:
+                rates.append(2 * SEQUENCES_PER_THREAD / elapsed)
+        finally:
+            endpoint.close()
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    start_gate.set()
+    for t in threads:
+        t.join(timeout=300.0)
+    transport.stop()
+    return sum(rates) / len(rates) if rates else 0.0
+
+
+@pytest.mark.parametrize("n_threads", SWEEP)
+def test_fig3_distribution(benchmark, n_threads, results_dir):
+    per_thread = benchmark.pedantic(
+        run_point, args=(n_threads,), rounds=1, iterations=1
+    )
+    _series[n_threads] = per_thread
+    benchmark.extra_info["replies_per_second_per_thread"] = per_thread
+    assert per_thread > 0
+    if n_threads == SWEEP[-1]:
+        lines = [
+            "Figure 3 — end-to-end distribution (loopback TCP, 5 sequences/thread)",
+            "client_threads  replies_per_second_per_thread",
+        ]
+        for n in SWEEP:
+            if n in _series:
+                lines.append(f"{n:14d}  {_series[n]:10.1f}")
+        lines.append(
+            "paper: 20-110 replies/s per thread, knee at ~30 threads; "
+            "1-2 orders of magnitude below Figure 2"
+        )
+        write_artifact(results_dir, "fig3_distribution.txt", lines)

@@ -1,0 +1,155 @@
+"""EXP-F4 — Figure 4: client-side validation + generalization at startup.
+
+Paper setup: JBoss, Vuze, and Limewire start and immediately shut down, in
+four configurations — Vanilla, Dimmunix (history load only), Communix agent
+with 10..10,000 new signatures in the local repository, and the agent with
+no new signatures.  Paper shape: the agent adds 2-3 s (11-16% startup
+slowdown) at 1,000 signatures; the no-new-signatures agent is
+indistinguishable from Dimmunix.
+
+Our applications are the Table I generator presets (scale 0.25 by default —
+startup is class loading + hashing, which scales linearly, and the *added*
+agent cost is what the figure is about).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.appmodel import PRESETS, SignatureFactory, generate_application
+from repro.appmodel.loader import Application
+from repro.core.agent import CommunixAgent
+from repro.core.history import DeadlockHistory
+from repro.core.repository import LocalRepository
+
+APPS = ("jboss", "vuze", "limewire")
+SIG_COUNTS = (10, 100, 1000, 10_000)
+APP_SCALE = 1.0
+
+_rows: list[tuple[str, str, int, float]] = []
+_templates: dict[str, tuple] = {}
+
+
+def template(app_name: str):
+    """Generated app + nested sites + a large signature batch, built once."""
+    if app_name not in _templates:
+        app = generate_application(PRESETS[app_name], scale=APP_SCALE)
+        nested = set(app.nested_sync_sites())
+        factory = SignatureFactory(app, seed=123)
+        batch = factory.make_batch(max(SIG_COUNTS), valid_fraction=0.6)
+        local_history = [factory.make_valid(depth=9) for _ in range(20)]
+        _templates[app_name] = (app, nested, batch, local_history)
+    return _templates[app_name]
+
+
+def fresh_instance(app_name: str) -> Application:
+    """A new Application over the same classes, with cold hash caches —
+    startup cost must be measured from scratch every time."""
+    app, nested, _, _ = template(app_name)
+    instance = Application(app.name, loc=app.loc)
+    for class_name in app.class_names():
+        instance.load_class(app.get_class(class_name))
+    instance.generation = 0
+    # The nested-site set is the persisted first-run cache (§III-C3); the
+    # nesting analysis itself is Table I's experiment, not Figure 4's.
+    instance.preload_nested_sites(nested)
+    return instance
+
+
+def startup_shutdown_vanilla(app_name: str) -> float:
+    instance = fresh_instance(app_name)
+    started = time.perf_counter()
+    instance.start()
+    instance.shutdown()
+    return time.perf_counter() - started
+
+
+def startup_shutdown_dimmunix(app_name: str) -> float:
+    _, _, _, local_sigs = template(app_name)
+    instance = fresh_instance(app_name)
+    started = time.perf_counter()
+    instance.start()
+    history = DeadlockHistory()
+    history.merge_from(local_sigs)  # load the persistent history
+    instance.shutdown()
+    return time.perf_counter() - started
+
+
+def startup_shutdown_agent(app_name: str, new_sigs: int) -> float:
+    _, _, batch, local_sigs = template(app_name)
+    instance = fresh_instance(app_name)
+    repo = LocalRepository()
+    if new_sigs:
+        repo.append_from_server(batch[:new_sigs])
+    started = time.perf_counter()
+    instance.start()
+    history = DeadlockHistory()
+    history.merge_from(local_sigs)
+    agent = CommunixAgent(instance, history, repo)
+    agent.on_application_start()
+    instance.shutdown()
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_fig4_vanilla(benchmark, app_name):
+    elapsed = benchmark.pedantic(
+        startup_shutdown_vanilla, args=(app_name,), rounds=3, iterations=1
+    )
+    _rows.append((app_name, "vanilla", 0, elapsed))
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_fig4_dimmunix(benchmark, app_name):
+    elapsed = benchmark.pedantic(
+        startup_shutdown_dimmunix, args=(app_name,), rounds=3, iterations=1
+    )
+    _rows.append((app_name, "dimmunix", 0, elapsed))
+
+
+@pytest.mark.parametrize("app_name", APPS)
+def test_fig4_agent_no_new_sigs(benchmark, app_name):
+    elapsed = benchmark.pedantic(
+        startup_shutdown_agent, args=(app_name, 0), rounds=3, iterations=1
+    )
+    _rows.append((app_name, "agent-no-new-sigs", 0, elapsed))
+
+
+@pytest.mark.parametrize("app_name", APPS)
+@pytest.mark.parametrize("new_sigs", SIG_COUNTS)
+def test_fig4_agent(benchmark, app_name, new_sigs, results_dir):
+    elapsed = benchmark.pedantic(
+        startup_shutdown_agent, args=(app_name, new_sigs), rounds=1, iterations=1
+    )
+    _rows.append((app_name, "communix-agent", new_sigs, elapsed))
+    if app_name == APPS[-1] and new_sigs == SIG_COUNTS[-1]:
+        lines = [
+            f"Figure 4 — startup+shutdown vs new signatures (app scale {APP_SCALE})",
+            "app        configuration        new_sigs  seconds",
+        ]
+        for app, config, sigs, seconds in _rows:
+            lines.append(f"{app:<10s} {config:<20s} {sigs:8d}  {seconds:8.3f}")
+        # Per-app agent delta at 1,000 signatures (the paper's 2-3 s point).
+        # NOTE: the paper's 11-16% startup slowdown is relative to 15-45 s
+        # JVM application boots; our substrate's vanilla startup (class
+        # hashing) is milliseconds, so the ratio is not comparable.  The
+        # reproduced shape is the flat-then-linear agent cost in the number
+        # of new signatures, and agent-no-new-sigs ~ Dimmunix ~ vanilla.
+        for app in APPS:
+            base = [s for a, c, n, s in _rows if a == app and c == "vanilla"]
+            at_1k = [
+                s for a, c, n, s in _rows
+                if a == app and c == "communix-agent" and n == 1000
+            ]
+            if base and at_1k:
+                delta = at_1k[0] - base[0]
+                rate = 1000 / delta if delta > 0 else float("inf")
+                lines.append(
+                    f"{app}: agent delta at 1,000 sigs = {delta:.3f}s "
+                    f"({rate:,.0f} sigs/s; paper: 2-3s for 1,000, i.e. "
+                    "~400/s on 2008-era JVM+Soot)"
+                )
+        write_artifact(results_dir, "fig4_agent_startup.txt", lines)

@@ -1,0 +1,36 @@
+"""Benchmark harness shared machinery.
+
+Every benchmark regenerates one table or figure from the paper's §IV.  Each
+writes a paper-style text artifact into ``benchmarks/results/`` (so the
+series survive the run) *and* registers with pytest-benchmark for timing
+stats.  Absolute numbers are not expected to match the paper (pure-Python
+substrate, scaled thread counts); EXPERIMENTS.md records the shape checks.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # allow running without installation
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_artifact(results_dir: Path, name: str, lines: list[str]) -> Path:
+    """Write a paper-style table/series artifact and echo it to stdout."""
+    path = results_dir / name
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    sys.stdout.write("\n" + text)
+    return path

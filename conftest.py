@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (this offline environment lacks the ``wheel`` package, so
+``pip install -e .`` cannot complete; ``python setup.py develop`` works and
+this fallback covers a bare checkout).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

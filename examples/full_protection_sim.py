@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""§IV-C: how fast does a user community become deadlock-free?
+
+Run:  python examples/full_protection_sim.py
+
+The paper's estimate: with Nd deadlock manifestations taking on average t
+days each to encounter, one user running Dimmunix alone needs roughly t*Nd
+days of exposure; a community of Nu users sharing signatures through
+Communix needs roughly t*Nd/Nu (plus the once-a-day distribution latency).
+This example sweeps community sizes over the discrete-event model.
+"""
+
+from repro.sim.protection import (
+    ProtectionParams,
+    analytic_estimate,
+    mean_protection_times,
+)
+
+
+def main() -> None:
+    n_manifestations = 10
+    print(f"application with {n_manifestations} deadlock manifestations, "
+          "t = 1 day per encounter, daily signature distribution\n")
+    header = (f"{'users':>7s} {'Dimmunix alone':>15s} {'Communix':>10s} "
+              f"{'paper t*Nd':>11s} {'paper t*Nd/Nu':>14s}")
+    print(header)
+    print("-" * len(header))
+    for n_users in (1, 3, 10, 30, 100, 300, 1000):
+        params = ProtectionParams(
+            n_users=n_users,
+            n_manifestations=n_manifestations,
+            mean_days_per_manifestation=1.0,
+            distribution_latency_days=1.0,
+            seed=42,
+        )
+        sim_dim, sim_com = mean_protection_times(params, runs=12)
+        ana_dim, ana_com = analytic_estimate(params)
+        print(f"{n_users:7d} {sim_dim:12.1f} d  {sim_com:7.1f} d "
+              f"{ana_dim:9.1f} d {ana_com:11.3f} d")
+    print(
+        "\nThe simulated Dimmunix-alone column sits above t*Nd by the\n"
+        "coupon-collector factor H(Nd) the paper's rough estimate ignores;\n"
+        "the Communix column shows the 1/Nu collapse until the one-day\n"
+        "distribution latency dominates — 'the larger Nu, the higher the\n"
+        "gain that Communix brings.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

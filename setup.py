@@ -1,0 +1,22 @@
+"""Setup shim.
+
+This environment is offline and lacks the ``wheel`` package, so PEP 517
+editable builds (which require ``bdist_wheel``) fail.  Keeping a ``setup.py``
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works with the stock setuptools available here.  All metadata lives in
+``pyproject.toml``; this file only mirrors what the legacy path needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Communix: a collaborative deadlock immunity framework "
+        "(DSN 2011 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,41 @@
+"""Java-like application model: bytecode, CFGs, and the nesting analysis.
+
+The paper's client-side validation needs two things from the JVM ecosystem
+that Python does not provide: per-class *bytecode hashes* (to match incoming
+signatures against the running application, §III-C3) and a Soot-based static
+analysis that decides whether a ``synchronized`` block is *nested*
+(§III-C1/C3).  This subpackage is the substitute substrate: a compact
+Java-like instruction set (``MONITORENTER``/``MONITOREXIT``/``INVOKE``/
+branches), class files with deterministic, hashable bytecode encodings, an
+instruction-level CFG, a call graph, the nesting analysis exactly as the
+paper describes it, and a synthetic application generator whose presets match
+the statistics of the paper's Table I (JBoss, Limewire, Vuze).
+"""
+
+from repro.appmodel.bytecode import Instruction, Opcode
+from repro.appmodel.classfile import ClassFile, Method, MethodBuilder, MethodRef
+from repro.appmodel.cfg import ControlFlowGraph
+from repro.appmodel.callgraph import CallGraph
+from repro.appmodel.loader import Application
+from repro.appmodel.nesting import NestingAnalysis, NestingReport, SyncSite
+from repro.appmodel.generator import AppSpec, PRESETS, generate_application
+from repro.appmodel.sigfactory import SignatureFactory
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "ClassFile",
+    "Method",
+    "MethodBuilder",
+    "MethodRef",
+    "ControlFlowGraph",
+    "CallGraph",
+    "Application",
+    "NestingAnalysis",
+    "NestingReport",
+    "SyncSite",
+    "AppSpec",
+    "PRESETS",
+    "generate_application",
+    "SignatureFactory",
+]

@@ -1,0 +1,70 @@
+"""The instruction set of the synthetic application model.
+
+A deliberately small subset of JVM bytecode — just the opcodes the nesting
+analysis of §III-C3 cares about (monitor operations, calls, returns) plus
+enough control flow (``GOTO``, ``IF``) to make CFG construction non-trivial.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    NOP = "nop"
+    MONITORENTER = "monitorenter"
+    MONITOREXIT = "monitorexit"
+    INVOKE = "invoke"  # operand: MethodRef string "Class.method"
+    RETURN = "return"
+    GOTO = "goto"  # operand: target instruction index
+    IF = "if"  # operand: branch-taken target index; fall-through otherwise
+    THROW = "throw"
+
+
+#: Invoke targets treated as explicit lock/unlock operations (Table I's
+#: "Explicit sync ops" column).  Communix does not handle these (§III-C1).
+EXPLICIT_LOCK_TARGETS = frozenset(
+    {
+        "java.util.concurrent.locks.ReentrantLock.lock",
+        "java.util.concurrent.locks.ReentrantLock.unlock",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One bytecode instruction.
+
+    ``line`` is the source line the instruction was compiled from; signature
+    frames reference (class, method, line) locations, so the MONITORENTER
+    lines are what outer-top frames point at.
+    """
+
+    opcode: Opcode
+    operand: object = None
+    line: int = 0
+
+    def encode(self) -> str:
+        if self.operand is None:
+            return f"{self.opcode.value}@{self.line}"
+        return f"{self.opcode.value}({self.operand})@{self.line}"
+
+    @property
+    def is_explicit_lock_op(self) -> bool:
+        return self.opcode is Opcode.INVOKE and self.operand in EXPLICIT_LOCK_TARGETS
+
+    def successors(self, index: int, count: int) -> tuple[int, ...]:
+        """Indices of the instructions control may flow to next."""
+        if self.opcode in (Opcode.RETURN, Opcode.THROW):
+            return ()
+        if self.opcode is Opcode.GOTO:
+            return (int(self.operand),)
+        if self.opcode is Opcode.IF:
+            fallthrough = index + 1
+            targets = [int(self.operand)]
+            if fallthrough < count:
+                targets.append(fallthrough)
+            return tuple(targets)
+        nxt = index + 1
+        return (nxt,) if nxt < count else ()

@@ -1,0 +1,80 @@
+"""Call graph over the application model.
+
+Used by the nesting analysis: an ``INVOKE`` makes a synchronized block nested
+iff any method that may be called, directly or indirectly, "is either
+synchronized or contains a synchronized block" (§III-C3).
+"""
+
+from __future__ import annotations
+
+from repro.appmodel.classfile import Method, MethodRef
+
+
+class CallGraph:
+    """Static call graph with memoized may-reach-synchronization queries.
+
+    ``methods`` maps refs to :class:`Method` objects.  Unknown refs (calls
+    into code outside the model, e.g. the JDK) are conservatively treated as
+    *not* reaching synchronization but are reported via
+    :attr:`unresolved_refs` so that callers can account for them.
+    """
+
+    def __init__(self, methods: dict[MethodRef, Method]):
+        self._methods = methods
+        self._edges: dict[MethodRef, tuple[MethodRef, ...]] = {}
+        self._sync_reach: dict[MethodRef, bool] = {}
+        self.unresolved_refs: set[MethodRef] = set()
+        for ref, method in methods.items():
+            targets = []
+            for target in method.invoked_refs():
+                if target in methods:
+                    targets.append(target)
+                else:
+                    self.unresolved_refs.add(target)
+            self._edges[ref] = tuple(targets)
+
+    def callees(self, ref: MethodRef) -> tuple[MethodRef, ...]:
+        return self._edges.get(ref, ())
+
+    def is_directly_synchronized(self, ref: MethodRef) -> bool:
+        method = self._methods.get(ref)
+        if method is None:
+            return False
+        return method.synchronized_method or method.contains_monitor_enter()
+
+    def may_reach_sync(self, ref: MethodRef) -> bool:
+        """True iff ``ref`` or anything transitively callable from it is
+        synchronized or contains a synchronized block.
+
+        Iterative DFS with an explicit stack; cycles in the call graph (e.g.
+        mutual recursion) are handled by marking in-progress nodes false
+        first and fixing up via the memo only when fully resolved.
+        """
+        memo = self._sync_reach
+        if ref in memo:
+            return memo[ref]
+        visited: set[MethodRef] = set()
+        stack = [ref]
+        found = False
+        while stack:
+            cur = stack.pop()
+            if cur in visited:
+                continue
+            visited.add(cur)
+            if cur in memo:
+                if memo[cur]:
+                    found = True
+                    break
+                continue
+            if self.is_directly_synchronized(cur):
+                found = True
+                break
+            stack.extend(self._edges.get(cur, ()))
+        # Memoize: on success only the root is safely known; on failure the
+        # entire visited set is known to not reach synchronization.
+        if found:
+            memo[ref] = True
+        else:
+            for node in visited:
+                memo[node] = False
+        return found

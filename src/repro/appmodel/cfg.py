@@ -1,0 +1,87 @@
+"""Instruction-level control-flow graphs.
+
+The nesting analysis only needs successor edges between instructions, so the
+CFG is represented at instruction granularity (a basic-block view is exposed
+for tests and tooling, built on top of the same edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appmodel.bytecode import Opcode
+from repro.appmodel.classfile import Method
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line sequence of instructions."""
+
+    start: int
+    end: int  # inclusive index of the last instruction
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+
+class ControlFlowGraph:
+    """CFG of one method.
+
+    ``successors(i)`` yields the instruction indices control can reach
+    directly from instruction ``i``.  Constructing the CFG of a method whose
+    ``has_cfg`` flag is false raises ``ValueError`` — callers are expected to
+    check first, which is how the analysis models Soot's coverage gaps.
+    """
+
+    def __init__(self, method: Method):
+        if not method.has_cfg:
+            raise ValueError(f"no CFG available for {method.ref}")
+        self.method = method
+        count = len(method.instructions)
+        self._succ: list[tuple[int, ...]] = [
+            ins.successors(i, count) for i, ins in enumerate(method.instructions)
+        ]
+
+    def successors(self, index: int) -> tuple[int, ...]:
+        return self._succ[index]
+
+    def instruction(self, index: int):
+        return self.method.instructions[index]
+
+    def __len__(self) -> int:
+        return len(self.method.instructions)
+
+    # ---------------------------------------------------------------- blocks
+    def basic_blocks(self) -> list[BasicBlock]:
+        """Partition the instructions into basic blocks."""
+        count = len(self.method.instructions)
+        if count == 0:
+            return []
+        leaders = {0}
+        for i, ins in enumerate(self.method.instructions):
+            if ins.opcode in (Opcode.GOTO, Opcode.IF):
+                leaders.add(int(ins.operand))
+                if i + 1 < count:
+                    leaders.add(i + 1)
+            elif ins.opcode in (Opcode.RETURN, Opcode.THROW):
+                if i + 1 < count:
+                    leaders.add(i + 1)
+        ordered = sorted(leaders)
+        blocks = []
+        for idx, start in enumerate(ordered):
+            end = (ordered[idx + 1] - 1) if idx + 1 < len(ordered) else count - 1
+            blocks.append(BasicBlock(start, end))
+        return blocks
+
+    def reachable_from(self, index: int) -> set[int]:
+        """All instruction indices reachable from ``index`` (exclusive of
+        unreached code); used by tests and the generator's self-checks."""
+        seen: set[int] = set()
+        stack = [index]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self._succ[cur])
+        return seen

@@ -1,0 +1,219 @@
+"""Methods and class files of the synthetic application model.
+
+A :class:`ClassFile` owns a set of :class:`Method` objects and produces a
+deterministic *bytecode encoding* whose hash plays the role of the JVM class
+bytecode hash that the Communix plugin attaches to signature frames
+(§III-B/III-C).  Changing any instruction, line number, or the padding blob
+(which stands in for the rest of a real class's compiled size) changes the
+hash — exactly the versioning behaviour client-side validation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.appmodel.bytecode import Instruction, Opcode
+from repro.util.encoding import stable_hash
+
+#: A method reference is the string "ClassName.methodName".
+MethodRef = str
+
+
+def make_ref(class_name: str, method_name: str) -> MethodRef:
+    return f"{class_name}.{method_name}"
+
+
+def split_ref(ref: MethodRef) -> tuple[str, str]:
+    class_name, _, method_name = ref.rpartition(".")
+    return class_name, method_name
+
+
+@dataclass
+class Method:
+    """One method body.
+
+    ``synchronized_method`` marks a Java ``synchronized`` method; call
+    :meth:`desugared` to obtain the equivalent monitor-block form (the paper
+    notes AspectJ performs exactly this transformation, §III-C3).
+
+    ``has_cfg`` models Soot's partial coverage: when ``False`` the analysis
+    framework "could not retrieve the CFG of the method" (Table I) and every
+    synchronized block inside it goes unanalyzed.
+    """
+
+    class_name: str
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+    synchronized_method: bool = False
+    has_cfg: bool = True
+    first_line: int = 1
+
+    @property
+    def ref(self) -> MethodRef:
+        return make_ref(self.class_name, self.name)
+
+    def encode(self) -> str:
+        flags = "S" if self.synchronized_method else "-"
+        body = ";".join(i.encode() for i in self.instructions)
+        return f"{self.name}[{flags}]{{{body}}}"
+
+    def monitor_enter_indices(self) -> list[int]:
+        return [
+            i
+            for i, ins in enumerate(self.instructions)
+            if ins.opcode is Opcode.MONITORENTER
+        ]
+
+    def contains_monitor_enter(self) -> bool:
+        return any(ins.opcode is Opcode.MONITORENTER for ins in self.instructions)
+
+    def invoked_refs(self) -> list[MethodRef]:
+        return [
+            str(ins.operand)
+            for ins in self.instructions
+            if ins.opcode is Opcode.INVOKE and ins.operand is not None
+        ]
+
+    def desugared(self) -> "Method":
+        """Return the monitor-block form of a synchronized method.
+
+        ``synchronized void m() { body }`` becomes::
+
+            MONITORENTER; body'; MONITOREXIT; RETURN
+
+        with every ``RETURN`` in the body replaced by a jump to the shared
+        exit sequence, mirroring javac's structured output.
+        """
+        if not self.synchronized_method:
+            return self
+        body: list[Instruction] = [
+            Instruction(Opcode.MONITORENTER, line=self.first_line)
+        ]
+        offset = 1
+        exit_index = None
+        # First pass: copy instructions, remembering where RETURNs are.
+        returns: list[int] = []
+        for ins in self.instructions:
+            if ins.opcode is Opcode.RETURN:
+                returns.append(len(body))
+                body.append(ins)  # patched below
+            elif ins.opcode in (Opcode.GOTO, Opcode.IF):
+                body.append(
+                    Instruction(ins.opcode, int(ins.operand) + offset, ins.line)
+                )
+            else:
+                body.append(ins)
+        exit_index = len(body)
+        last_line = self.instructions[-1].line if self.instructions else self.first_line
+        body.append(Instruction(Opcode.MONITOREXIT, line=last_line))
+        body.append(Instruction(Opcode.RETURN, line=last_line))
+        for r in returns:
+            body[r] = Instruction(Opcode.GOTO, exit_index, body[r].line)
+        if not returns:
+            # Body fell through; it already flows into the exit sequence.
+            pass
+        return Method(
+            class_name=self.class_name,
+            name=self.name,
+            instructions=body,
+            synchronized_method=False,
+            has_cfg=self.has_cfg,
+            first_line=self.first_line,
+        )
+
+
+@dataclass
+class ClassFile:
+    """A class: named methods plus a padding blob standing in for the rest
+    of the compiled class (constant pool, fields, ...).
+
+    ``source_loc`` is the class's share of the application's lines of code;
+    the padding scales with it so that hashing cost tracks application size
+    the way hashing real class files would.
+    """
+
+    name: str
+    methods: dict[str, Method] = field(default_factory=dict)
+    source_loc: int = 0
+    padding: bytes = b""
+
+    def add_method(self, method: Method) -> None:
+        if method.class_name != self.name:
+            raise ValueError(
+                f"method {method.ref} does not belong to class {self.name}"
+            )
+        self.methods[method.name] = method
+
+    def bytecode(self) -> bytes:
+        encoded = "|".join(
+            self.methods[name].encode() for name in sorted(self.methods)
+        )
+        return f"class {self.name}:{encoded}".encode("utf-8") + self.padding
+
+    def bytecode_hash(self) -> str:
+        return stable_hash(self.bytecode())
+
+
+class MethodBuilder:
+    """Small fluent helper for constructing method bodies in tests and the
+    generator without hand-numbering instruction indices."""
+
+    def __init__(self, class_name: str, name: str, first_line: int = 1,
+                 synchronized_method: bool = False, has_cfg: bool = True):
+        self._method = Method(
+            class_name=class_name,
+            name=name,
+            synchronized_method=synchronized_method,
+            has_cfg=has_cfg,
+            first_line=first_line,
+        )
+        self._line = first_line
+
+    @property
+    def next_index(self) -> int:
+        return len(self._method.instructions)
+
+    def emit(self, opcode: Opcode, operand: object = None, line: int | None = None) -> int:
+        index = len(self._method.instructions)
+        if line is None:
+            line = self._line
+            self._line += 1
+        self._method.instructions.append(Instruction(opcode, operand, line))
+        return index
+
+    def nop(self) -> int:
+        return self.emit(Opcode.NOP)
+
+    def monitor_enter(self) -> int:
+        return self.emit(Opcode.MONITORENTER)
+
+    def monitor_exit(self) -> int:
+        return self.emit(Opcode.MONITOREXIT)
+
+    def invoke(self, ref: MethodRef) -> int:
+        return self.emit(Opcode.INVOKE, ref)
+
+    def ret(self) -> int:
+        return self.emit(Opcode.RETURN)
+
+    def goto(self, target: int) -> int:
+        return self.emit(Opcode.GOTO, target)
+
+    def branch(self, target: int) -> int:
+        return self.emit(Opcode.IF, target)
+
+    def patch_target(self, index: int, target: int) -> None:
+        """Retarget a previously emitted GOTO/IF (forward-branch fixup)."""
+        old = self._method.instructions[index]
+        if old.opcode not in (Opcode.GOTO, Opcode.IF):
+            raise ValueError(f"instruction {index} is not a branch")
+        self._method.instructions[index] = Instruction(old.opcode, target, old.line)
+
+    def build(self) -> Method:
+        if not self._method.instructions or self._method.instructions[-1].opcode not in (
+            Opcode.RETURN,
+            Opcode.THROW,
+            Opcode.GOTO,
+        ):
+            self.ret()
+        return self._method

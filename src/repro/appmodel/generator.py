@@ -1,0 +1,260 @@
+"""Synthetic application generator with Table I presets.
+
+The paper evaluates client-side machinery on JBoss, Limewire and Vuze —
+proprietary-scale Java applications we cannot run.  Per the substitution
+rule, this generator builds application models with the *same statistics*
+Table I reports: lines of code, number of synchronized blocks/methods,
+number of explicit ``ReentrantLock`` operations, and the analyzable/nested
+split (modelling Soot's partial CFG coverage).  The nesting analysis then
+*measures* those statistics rather than being told them, so Table I can be
+regenerated end-to-end.
+
+Construction accounting
+-----------------------
+* a **block-nested** construct emits an outer ``MONITORENTER`` whose first
+  reachable monitor op is an inner ``MONITORENTER`` -> 2 analyzed sites,
+  1 of them nested;
+* an **invoke-nested** construct emits an outer block that ``INVOKE``\\ s a
+  synchronized helper method -> 2 analyzed sites (the outer block, nested,
+  plus the helper's desugared block, non-nested);
+* a **standalone** construct emits a single non-nested block (optionally with
+  a conditional branch so CFGs are not all straight-line);
+* an **opaque** construct emits a block inside a method with ``has_cfg=False``
+  -> 1 unanalyzed site.
+
+Therefore a preset with ``nested`` nested sites and ``analyzed`` analyzed
+sites uses ``nested`` nested constructs plus ``analyzed - 2*nested``
+standalone ones (all presets satisfy ``analyzed >= 2*nested``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.appmodel.classfile import ClassFile, MethodBuilder, make_ref
+from repro.appmodel.bytecode import Opcode
+from repro.appmodel.loader import Application
+
+#: Average compiled bytes per source line, used to size class padding so
+#: that hashing cost scales with application size like real class files.
+BYTES_PER_LOC = 24
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Target statistics for one generated application (one Table I row)."""
+
+    name: str
+    loc: int
+    sync_sites: int
+    explicit_ops: int
+    analyzed_sites: int
+    nested_sites: int
+    classes: int
+    seed: int = 0
+    #: Fraction of nested constructs realized through the call graph rather
+    #: than syntactic block nesting.
+    invoke_nested_fraction: float = 0.3
+
+    def scaled(self, scale: float) -> "AppSpec":
+        """Scale the app down (for tests) while keeping ratios intact."""
+        if scale == 1.0:
+            return self
+        nested = max(1, round(self.nested_sites * scale))
+        analyzed = max(2 * nested, round(self.analyzed_sites * scale))
+        sync = max(analyzed, round(self.sync_sites * scale))
+        return replace(
+            self,
+            loc=max(200, round(self.loc * scale)),
+            sync_sites=sync,
+            explicit_ops=max(1, round(self.explicit_ops * scale)),
+            analyzed_sites=analyzed,
+            nested_sites=nested,
+            classes=max(4, round(self.classes * scale)),
+        )
+
+
+#: Table I rows.  Class counts approximate one class per ~320 LOC, which is
+#: in the ballpark of the real applications' published class counts.
+PRESETS: dict[str, AppSpec] = {
+    "jboss": AppSpec(
+        name="jboss", loc=636_895, sync_sites=1_898, explicit_ops=104,
+        analyzed_sites=844, nested_sites=249, classes=1_990, seed=11,
+    ),
+    "limewire": AppSpec(
+        name="limewire", loc=595_623, sync_sites=1_435, explicit_ops=189,
+        analyzed_sites=781, nested_sites=277, classes=1_860, seed=13,
+    ),
+    "vuze": AppSpec(
+        name="vuze", loc=476_702, sync_sites=3_653, explicit_ops=14,
+        analyzed_sites=432, nested_sites=120, classes=1_490, seed=17,
+    ),
+}
+
+
+class _AppBuilder:
+    def __init__(self, spec: AppSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.classes: list[ClassFile] = [
+            ClassFile(name=f"{spec.name}.C{i:04d}") for i in range(spec.classes)
+        ]
+        self._counter = 0
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter:05d}"
+
+    def _pick_class(self) -> ClassFile:
+        return self.rng.choice(self.classes)
+
+    # ------------------------------------------------------------ constructs
+    def add_block_nested(self) -> None:
+        cls = self._pick_class()
+        mb = MethodBuilder(cls.name, self._fresh_name("nestedBlk"),
+                           first_line=self.rng.randrange(1, 4000))
+        mb.nop()
+        mb.monitor_enter()  # outer (nested) site
+        mb.monitor_enter()  # inner (non-nested) site
+        mb.nop()
+        mb.monitor_exit()
+        mb.monitor_exit()
+        cls.add_method(mb.build())
+
+    def add_invoke_nested(self) -> None:
+        helper_cls = self._pick_class()
+        helper = MethodBuilder(
+            helper_cls.name, self._fresh_name("syncHelper"),
+            first_line=self.rng.randrange(1, 4000), synchronized_method=True,
+        )
+        helper.nop()
+        helper_method = helper.build()
+        helper_cls.add_method(helper_method)
+
+        cls = self._pick_class()
+        mb = MethodBuilder(cls.name, self._fresh_name("nestedInv"),
+                           first_line=self.rng.randrange(1, 4000))
+        mb.monitor_enter()  # outer (nested via call graph) site
+        mb.invoke(helper_method.ref)
+        mb.monitor_exit()
+        cls.add_method(mb.build())
+
+    def add_standalone(self, branchy: bool) -> None:
+        cls = self._pick_class()
+        mb = MethodBuilder(cls.name, self._fresh_name("plainSync"),
+                           first_line=self.rng.randrange(1, 4000))
+        mb.monitor_enter()
+        if branchy:
+            # enter; IF -> (taken: NOP, exit) / (fall: NOP, NOP, goto exit)
+            branch_index = mb.next_index
+            mb.emit(Opcode.IF, 0)  # patched below
+            mb.nop()
+            mb.nop()
+            goto_index = mb.next_index
+            mb.emit(Opcode.GOTO, 0)  # patched below
+            taken = mb.next_index
+            mb.nop()
+            exit_index = mb.monitor_exit()
+            mb.patch_target(branch_index, taken)
+            mb.patch_target(goto_index, exit_index)
+            cls.add_method(mb.build())
+        else:
+            mb.nop()
+            mb.monitor_exit()
+            cls.add_method(mb.build())
+
+    def add_opaque(self) -> None:
+        cls = self._pick_class()
+        mb = MethodBuilder(cls.name, self._fresh_name("opaqueSync"),
+                           first_line=self.rng.randrange(1, 4000), has_cfg=False)
+        mb.monitor_enter()
+        mb.nop()
+        mb.monitor_exit()
+        cls.add_method(mb.build())
+
+    def add_explicit_ops(self, count: int) -> None:
+        per_method = 4
+        while count > 0:
+            cls = self._pick_class()
+            mb = MethodBuilder(cls.name, self._fresh_name("explicit"),
+                               first_line=self.rng.randrange(1, 4000))
+            for i in range(min(per_method, count)):
+                target = (
+                    "java.util.concurrent.locks.ReentrantLock.lock"
+                    if i % 2 == 0
+                    else "java.util.concurrent.locks.ReentrantLock.unlock"
+                )
+                mb.invoke(target)
+            cls.add_method(mb.build())
+            count -= per_method
+
+    def add_filler_methods(self) -> None:
+        """Plain methods with calls between them: call-graph realism plus
+        material for signature call-stack construction."""
+        n_filler = max(8, self.spec.classes // 2)
+        refs = []
+        for _ in range(n_filler):
+            cls = self._pick_class()
+            mb = MethodBuilder(cls.name, self._fresh_name("work"),
+                               first_line=self.rng.randrange(1, 4000))
+            mb.nop()
+            if refs and self.rng.random() < 0.6:
+                mb.invoke(self.rng.choice(refs))
+            method = mb.build()
+            cls.add_method(method)
+            refs.append(method.ref)
+
+    def finalize(self) -> Application:
+        # Distribute LOC over classes and size padding accordingly.
+        remaining = self.spec.loc
+        per_class = max(1, self.spec.loc // max(1, len(self.classes)))
+        for cls in self.classes:
+            share = min(per_class, remaining)
+            remaining -= share
+            cls.source_loc = share
+            encoded = len(cls.bytecode())
+            target = share * BYTES_PER_LOC
+            if target > encoded:
+                cls.padding = self.rng.randbytes(min(target - encoded, 1 << 16))
+        if remaining > 0 and self.classes:
+            self.classes[-1].source_loc += remaining
+        app = Application(self.spec.name, loc=self.spec.loc)
+        for cls in self.classes:
+            app.load_class(cls)
+        app.generation = 0  # generation counts post-startup loads
+        return app
+
+
+def generate_application(spec: AppSpec, scale: float = 1.0) -> Application:
+    """Generate an application model matching ``spec`` (optionally scaled).
+
+    The generated app satisfies, exactly:
+
+    * ``analyzed_sites`` synchronized blocks in CFG-available methods, of
+      which ``nested_sites`` are nested;
+    * ``sync_sites - analyzed_sites`` blocks in CFG-less methods;
+    * ``explicit_ops`` explicit lock/unlock invocations (rounded up to the
+      generator's per-method packing).
+    """
+    spec = spec.scaled(scale)
+    if spec.analyzed_sites < 2 * spec.nested_sites:
+        raise ValueError(
+            f"{spec.name}: analyzed_sites ({spec.analyzed_sites}) must be >= "
+            f"2 * nested_sites ({spec.nested_sites}) under this generator"
+        )
+    builder = _AppBuilder(spec)
+    n_invoke_nested = round(spec.nested_sites * spec.invoke_nested_fraction)
+    n_block_nested = spec.nested_sites - n_invoke_nested
+    for _ in range(n_block_nested):
+        builder.add_block_nested()
+    for _ in range(n_invoke_nested):
+        builder.add_invoke_nested()
+    n_standalone = spec.analyzed_sites - 2 * spec.nested_sites
+    for i in range(n_standalone):
+        builder.add_standalone(branchy=(i % 5 == 0))
+    for _ in range(spec.sync_sites - spec.analyzed_sites):
+        builder.add_opaque()
+    builder.add_explicit_ops(spec.explicit_ops)
+    builder.add_filler_methods()
+    return builder.finalize()

@@ -1,0 +1,181 @@
+"""The application abstraction: a set of loaded classes plus the caches the
+Communix agent keeps around them.
+
+An :class:`Application` stands for one running Java program.  It provides:
+
+* **bytecode hashes** per class, computed lazily on first access and cached
+  ("for efficiency, the Communix agent computes the hash of a class first
+  time the class is loaded, then it reuses the computed hash value",
+  §III-C3);
+* **startup/shutdown simulation** (:meth:`start`, :meth:`shutdown`), which
+  touches every class the way class loading does — this is the baseline cost
+  in the Fig. 4 experiment;
+* **incremental class loading** (:meth:`load_class`), which bumps a
+  generation counter so the agent knows to re-run the nesting check for
+  signatures that previously failed it (§III-C3 last paragraph);
+* the **nesting analysis** entry point with a persisted-site-set cache
+  ("the agent precomputes the locations of all the nested synchronized
+  blocks/methods when the application runs for the first time").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.appmodel.classfile import ClassFile, Method, MethodRef
+from repro.appmodel.nesting import NestingAnalysis, NestingReport, SyncSite
+
+
+@dataclass
+class AppStatistics:
+    """The Table I columns for one application."""
+
+    name: str
+    loc: int
+    sync_sites: int
+    explicit_sync_ops: int
+    analyzed_sites: int
+    nested_sites: int
+    nesting_seconds: float
+
+
+class Application:
+    """A running application instance as seen by Dimmunix + the agent."""
+
+    def __init__(self, name: str, classes: dict[str, ClassFile] | None = None,
+                 loc: int = 0):
+        self.name = name
+        self._classes: dict[str, ClassFile] = {}
+        self._hash_cache: dict[str, str] = {}
+        self._nested_sites: set[SyncSite] | None = None
+        self._last_report: NestingReport | None = None
+        self.generation = 0  # bumped on every class load after the first run
+        self.declared_loc = loc
+        self._lock = threading.Lock()
+        self.started = False
+        for cls in (classes or {}).values():
+            self.load_class(cls)
+
+    # ------------------------------------------------------------- classes
+    def load_class(self, classfile: ClassFile) -> None:
+        with self._lock:
+            self._classes[classfile.name] = classfile
+            self._hash_cache.pop(classfile.name, None)
+            self.generation += 1
+            # New classes can only uncover new nested blocks; invalidate the
+            # cached site set so the next analysis sees them.
+            self._nested_sites = None
+
+    def class_names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def get_class(self, name: str) -> ClassFile | None:
+        return self._classes.get(name)
+
+    def methods(self) -> dict[MethodRef, Method]:
+        out: dict[MethodRef, Method] = {}
+        for cls in self._classes.values():
+            for method in cls.methods.values():
+                out[method.ref] = method
+        return out
+
+    @property
+    def loc(self) -> int:
+        if self.declared_loc:
+            return self.declared_loc
+        return sum(c.source_loc for c in self._classes.values())
+
+    # -------------------------------------------------------------- hashes
+    def bytecode_hash(self, class_name: str) -> str | None:
+        """Hash of a class's bytecode; ``None`` for unknown classes."""
+        cached = self._hash_cache.get(class_name)
+        if cached is not None:
+            return cached
+        with self._lock:
+            cached = self._hash_cache.get(class_name)
+            if cached is not None:
+                return cached
+            cls = self._classes.get(class_name)
+            if cls is None:
+                return None
+            digest = cls.bytecode_hash()
+            self._hash_cache[class_name] = digest
+            return digest
+
+    def hash_index(self) -> dict[str, str]:
+        """class name -> bytecode hash for every loaded class."""
+        return {name: self.bytecode_hash(name) for name in self._classes}
+
+    def frame_hash(self, frame) -> str | None:
+        """The hash this application has for the code containing ``frame``
+        (the :class:`repro.core.validation.AppView` protocol)."""
+        return self.bytecode_hash(frame.class_name)
+
+    # ------------------------------------------------------------- startup
+    def start(self) -> None:
+        """Simulate application startup: load (hash) every class.
+
+        Hashing every class on startup is the honest stand-in for the JVM
+        verifying/loading class files; it is the work against which the
+        agent's added startup cost is measured in Fig. 4.
+        """
+        for name in self._classes:
+            self.bytecode_hash(name)
+        self.started = True
+
+    def shutdown(self) -> None:
+        self.started = False
+
+    # ------------------------------------------------------------- nesting
+    def nested_sync_sites(self, force: bool = False) -> set[SyncSite]:
+        """The precomputed nested-site set, running the analysis if needed."""
+        if self._nested_sites is None or force:
+            report = NestingAnalysis(self.methods()).analyze_all()
+            self._nested_sites = set(report.nested_sites)
+            self._last_report = report
+        return self._nested_sites
+
+    def preload_nested_sites(self, sites: set[SyncSite]) -> None:
+        """Install a previously computed nested-site set.
+
+        The paper's agent "precomputes the locations of all the nested
+        synchronized blocks/methods when the application runs for the first
+        time" and reuses them on later runs; this is that persisted cache.
+        """
+        self._nested_sites = set(sites)
+
+    @property
+    def last_nesting_report(self) -> NestingReport | None:
+        return self._last_report
+
+    # ---------------------------------------------------------- statistics
+    def count_sync_sites(self) -> int:
+        total = 0
+        for method in self.methods().values():
+            desugared = method.desugared()
+            total += len(desugared.monitor_enter_indices())
+        return total
+
+    def count_explicit_sync_ops(self) -> int:
+        return sum(
+            1
+            for method in self.methods().values()
+            for ins in method.instructions
+            if ins.is_explicit_lock_op
+        )
+
+    def statistics(self) -> AppStatistics:
+        """Compute the Table I row for this application."""
+        self.nested_sync_sites(force=True)
+        report = self._last_report
+        assert report is not None
+        return AppStatistics(
+            name=self.name,
+            loc=self.loc,
+            sync_sites=report.total_sites,
+            explicit_sync_ops=self.count_explicit_sync_ops(),
+            analyzed_sites=report.analyzed_sites,
+            nested_sites=report.nested_count,
+            nesting_seconds=report.elapsed_seconds,
+        )

@@ -1,0 +1,196 @@
+"""Generate deadlock signatures against an application model.
+
+Used by the Fig. 4 benchmark ("analyze 1,000 new deadlock signatures"), the
+server benchmarks (random signatures), and the attack scenarios (§IV-B).
+Each factory method controls exactly which validation stage the produced
+signature passes or fails:
+
+* :meth:`make_valid` — correct hashes, nested outer tops, depth >= 5: passes
+  everything;
+* :meth:`make_bad_hash` — top-frame hash mismatch: fails the hash check;
+* :meth:`make_trimmable` — correct top hashes but a corrupt frame lower in
+  the stack: passes with the stack *trimmed* to the matching suffix;
+* :meth:`make_non_nested` — outer top at a non-nested synchronized block:
+  fails the nesting check;
+* :meth:`make_shallow` — outer depth < 5: fails the depth check;
+* :meth:`make_foreign` — references classes of some other application
+  entirely: fails the hash check at the top frame.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.appmodel.loader import Application
+from repro.appmodel.nesting import SyncSite
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    Frame,
+    ORIGIN_REMOTE,
+    ThreadSignature,
+)
+
+
+class SignatureFactory:
+    def __init__(self, app: Application, seed: int = 0):
+        self.app = app
+        self.rng = random.Random(seed)
+        self._hashes = app.hash_index()
+        self._nested = sorted(app.nested_sync_sites())
+        report = app.last_nesting_report
+        self._non_nested = sorted(report.non_nested_sites) if report else []
+        self._methods = sorted(app.methods())
+        if not self._nested:
+            raise ValueError(f"application {app.name} has no nested sync sites")
+
+    # ------------------------------------------------------------- helpers
+    def _frame_at(self, site: SyncSite) -> Frame:
+        class_name, method, line = site
+        return Frame(class_name, method, line, self._hashes[class_name])
+
+    def _filler_frame(self) -> Frame:
+        ref = self.rng.choice(self._methods)
+        class_name, _, method = ref.rpartition(".")
+        line = self.rng.randrange(1, 5000)
+        return Frame(class_name, method, line, self._hashes.get(class_name, ""))
+
+    def _stack_to(self, top: Frame, depth: int) -> CallStack:
+        frames = [self._filler_frame() for _ in range(max(0, depth - 1))]
+        frames.append(top)
+        return CallStack(frames)
+
+    def _pick_sites(self, count: int, pool: list[SyncSite]) -> list[SyncSite]:
+        if len(pool) >= count:
+            return self.rng.sample(pool, count)
+        return [self.rng.choice(pool) for _ in range(count)]
+
+    # ------------------------------------------------------------ factories
+    def make_valid(self, depth: int = 8, n_threads: int = 2) -> DeadlockSignature:
+        outer_sites = self._pick_sites(n_threads, self._nested)
+        inner_pool = self._non_nested or self._nested
+        inner_sites = self._pick_sites(n_threads, inner_pool)
+        threads = tuple(
+            ThreadSignature(
+                outer=self._stack_to(self._frame_at(o), depth),
+                inner=self._stack_to(self._frame_at(i), depth),
+            )
+            for o, i in zip(outer_sites, inner_sites)
+        )
+        return DeadlockSignature(threads=threads, origin=ORIGIN_REMOTE)
+
+    def make_bad_hash(self, depth: int = 8) -> DeadlockSignature:
+        sig = self.make_valid(depth=depth)
+        threads = []
+        for t in sig.threads:
+            top = t.outer.top.with_hash("deadbeef00000000")
+            outer = CallStack(tuple(t.outer[:-1]) + (top,))
+            threads.append(ThreadSignature(outer=outer, inner=t.inner))
+        return DeadlockSignature(threads=tuple(threads), origin=ORIGIN_REMOTE)
+
+    def make_trimmable(self, depth: int = 10, corrupt_below: int = 3) -> DeadlockSignature:
+        """Correct suffix of length ``corrupt_below`` on each outer stack;
+        the frame below that suffix carries a stale hash (old app version)."""
+        sig = self.make_valid(depth=depth)
+        threads = []
+        for t in sig.threads:
+            frames = list(t.outer)
+            idx = len(frames) - 1 - corrupt_below
+            if idx >= 0:
+                frames[idx] = frames[idx].with_hash("0badc0de00000000")
+            threads.append(ThreadSignature(outer=CallStack(frames), inner=t.inner))
+        return DeadlockSignature(threads=tuple(threads), origin=ORIGIN_REMOTE)
+
+    def make_non_nested(self, depth: int = 8) -> DeadlockSignature:
+        if not self._non_nested:
+            raise ValueError("application has no non-nested sites")
+        outer_sites = self._pick_sites(2, self._non_nested)
+        threads = tuple(
+            ThreadSignature(
+                outer=self._stack_to(self._frame_at(site), depth),
+                inner=self._stack_to(self._filler_frame(), depth),
+            )
+            for site in outer_sites
+        )
+        return DeadlockSignature(threads=threads, origin=ORIGIN_REMOTE)
+
+    def make_shallow(self, depth: int = 1) -> DeadlockSignature:
+        if depth >= 5:
+            raise ValueError("shallow signatures must have outer depth < 5")
+        return self.make_valid(depth=depth)
+
+    def make_foreign(self, depth: int = 8) -> DeadlockSignature:
+        threads = []
+        for i in range(2):
+            frames = [
+                Frame("foreign.app.Klass", f"m{j}", 10 + j, f"{i:02x}{j:02x}" + "ab" * 6)
+                for j in range(depth)
+            ]
+            threads.append(
+                ThreadSignature(outer=CallStack(frames), inner=CallStack(frames[-3:]))
+            )
+        return DeadlockSignature(threads=tuple(threads), origin=ORIGIN_REMOTE)
+
+    def make_batch(self, count: int, valid_fraction: float = 0.6) -> list[DeadlockSignature]:
+        """A mixed pool, like a local repository full of new signatures."""
+        batch: list[DeadlockSignature] = []
+        for _ in range(count):
+            roll = self.rng.random()
+            if roll < valid_fraction:
+                batch.append(self.make_valid(depth=self.rng.randrange(5, 14)))
+            elif roll < valid_fraction + 0.15:
+                batch.append(self.make_bad_hash())
+            elif roll < valid_fraction + 0.25 and self._non_nested:
+                batch.append(self.make_non_nested())
+            elif roll < valid_fraction + 0.35:
+                batch.append(self.make_shallow(depth=self.rng.randrange(1, 5)))
+            else:
+                batch.append(self.make_foreign())
+        return batch
+
+    def make_adjacent_pair(self, depth: int = 8) -> tuple[DeadlockSignature, DeadlockSignature]:
+        """Two signatures sharing some but not all top frames (§III-C2)."""
+        shared, extra_a, extra_b, inner_a, inner_b = self._pick_sites(5, self._nested)
+        inner_pool = self._non_nested or self._nested
+        inner_shared = self._pick_sites(1, inner_pool)[0]
+
+        def build(extra: SyncSite, inner: SyncSite) -> DeadlockSignature:
+            threads = (
+                ThreadSignature(
+                    outer=self._stack_to(self._frame_at(shared), depth),
+                    inner=self._stack_to(self._frame_at(inner_shared), depth),
+                ),
+                ThreadSignature(
+                    outer=self._stack_to(self._frame_at(extra), depth),
+                    inner=self._stack_to(self._frame_at(inner), depth),
+                ),
+            )
+            return DeadlockSignature(threads=threads, origin=ORIGIN_REMOTE)
+
+        return build(extra_a, inner_a), build(extra_b, inner_b)
+
+    def make_mergeable_pair(self, depth_a: int = 10, depth_b: int = 8,
+                            common: int = 6) -> tuple[DeadlockSignature, DeadlockSignature]:
+        """Two manifestations of the *same* bug: identical top frames, stacks
+        agreeing on the top ``common`` frames and diverging below."""
+        outer_sites = self._pick_sites(2, self._nested)
+        inner_pool = self._non_nested or self._nested
+        inner_sites = self._pick_sites(2, inner_pool)
+        shared_suffixes = [
+            [self._filler_frame() for _ in range(common - 1)] + [self._frame_at(site)]
+            for site in outer_sites
+        ]
+        shared_inners = [
+            self._stack_to(self._frame_at(site), depth_b) for site in inner_sites
+        ]
+
+        def build(depth: int) -> DeadlockSignature:
+            threads = []
+            for suffix, inner in zip(shared_suffixes, shared_inners):
+                prefix = [self._filler_frame() for _ in range(max(0, depth - common))]
+                threads.append(
+                    ThreadSignature(outer=CallStack(prefix + suffix), inner=inner)
+                )
+            return DeadlockSignature(threads=tuple(threads), origin=ORIGIN_REMOTE)
+
+        return build(depth_a), build(depth_b)

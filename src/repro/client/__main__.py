@@ -1,0 +1,82 @@
+"""Run a Communix client daemon from the command line.
+
+Usage::
+
+    python -m repro.client --server HOST:PORT [--repository PATH]
+        [--period-seconds 86400] [--once]
+
+The daemon downloads new signatures from the server into the machine-local
+repository (incrementally — only what is missing), once per period; the
+paper's deployment period is one day.  ``--once`` performs a single poll and
+exits, which is handy in scripts and cron jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+
+from repro.client.client import CommunixClient, DEFAULT_PERIOD
+from repro.client.endpoints import TcpEndpoint
+from repro.core.repository import LocalRepository
+from repro.util.logging import enable_console_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.client",
+        description="Communix signature-download daemon",
+    )
+    parser.add_argument("--server", required=True, metavar="HOST:PORT")
+    parser.add_argument(
+        "--repository", default="communix-repository.json",
+        help="local repository file (created if missing)",
+    )
+    parser.add_argument(
+        "--period-seconds", type=float, default=DEFAULT_PERIOD,
+        help="seconds between polls (paper: 86400, once a day)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="poll a single time and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    enable_console_logging()
+    host, _, port_text = args.server.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"--server must be HOST:PORT, got {args.server!r}")
+    endpoint = TcpEndpoint(host, int(port_text))
+    repository = LocalRepository(path=args.repository)
+    client = CommunixClient(
+        endpoint=endpoint, repository=repository, period=args.period_seconds
+    )
+    if args.once:
+        report = client.poll_once()
+        print(
+            f"downloaded {report.received} signatures "
+            f"(stored {report.stored}, malformed {report.malformed}); "
+            f"repository now holds {len(repository)}"
+        )
+        endpoint.close()
+        return 1 if report.failed else 0
+    client.start()
+    print(f"communix-client polling {args.server} every "
+          f"{args.period_seconds:.0f}s into {args.repository}")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        client.stop()
+        endpoint.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

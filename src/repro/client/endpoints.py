@@ -1,0 +1,134 @@
+"""Server endpoints: how client-side components reach the Communix server.
+
+Both endpoints expose the same three calls (the :class:`ServerEndpoint`
+protocol): ``add(blob, token)``, ``get(from_index)`` and ``issue_token()``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Protocol
+
+from repro.server.protocol import (
+    decode_get_response,
+    encode_add_request,
+    encode_request,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import CommunixServer
+from repro.util.encoding import from_canonical_json
+from repro.util.errors import ProtocolError
+
+
+class ServerEndpoint(Protocol):
+    def add(self, blob: bytes, token: str) -> bool: ...
+
+    def get(self, from_index: int) -> tuple[int, list[bytes]]: ...
+
+    def issue_token(self) -> str: ...
+
+
+class InProcessEndpoint:
+    """Directly invokes a server's request-processing routines (no network).
+
+    This is exactly the configuration the paper's Fig. 2 benchmarks: "we
+    invoke the request processing routines from [N] simultaneous threads".
+    """
+
+    def __init__(self, server: CommunixServer):
+        self._server = server
+
+    def add(self, blob: bytes, token: str) -> bool:
+        return self._server.process_add(blob, token).accepted
+
+    def get(self, from_index: int) -> tuple[int, list[bytes]]:
+        return self._server.process_get(from_index)
+
+    def issue_token(self) -> str:
+        return self._server.issue_user_token()
+
+
+class TcpEndpoint:
+    """A persistent client connection to a :class:`ServerTransport`.
+
+    Thread-safe by serializing requests on the single connection; separate
+    client threads should each own their endpoint (as the Fig. 3 benchmark
+    threads do) to get connection-level parallelism.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0,
+                 io_timeout: float = 30.0):
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------- connection
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+            sock.settimeout(self._io_timeout)
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+
+    def _roundtrip(self, request: bytes) -> bytes:
+        with self._lock:
+            try:
+                sock = self._connection()
+                write_frame(sock, request)
+                response = read_frame(sock)
+            except OSError as exc:
+                self._drop_connection()
+                raise ProtocolError(f"server connection failed: {exc}") from exc
+            if response is None:
+                self._drop_connection()
+                raise ProtocolError("server closed the connection")
+            return response
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # ------------------------------------------------------------ requests
+    def add(self, blob: bytes, token: str) -> bool:
+        response = self._roundtrip(encode_add_request(blob, token))
+        decoded = from_canonical_json(response)
+        return bool(decoded.get("ok"))
+
+    def get(self, from_index: int) -> tuple[int, list[bytes]]:
+        response = self._roundtrip(
+            encode_request({"op": "GET", "from_index": from_index})
+        )
+        return decode_get_response(response)
+
+    def get_raw(self, from_index: int) -> bytes:
+        """The raw GET response — lets callers count signatures without
+        materializing them (what the downloader does for accounting)."""
+        return self._roundtrip(
+            encode_request({"op": "GET", "from_index": from_index})
+        )
+
+    def issue_token(self) -> str:
+        response = self._roundtrip(encode_request({"op": "ISSUE_ID"}))
+        decoded = from_canonical_json(response)
+        if not decoded.get("ok"):
+            raise ProtocolError("server refused to issue a token")
+        return str(decoded["token"])

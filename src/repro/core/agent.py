@@ -1,0 +1,152 @@
+"""The Communix agent (paper §III-A/C/D).
+
+The agent runs in the application's address space, together with Dimmunix.
+Each time the application starts it inspects the *new* signatures in the
+local repository (each signature is analyzed only once per application):
+
+1. client-side validation (hash check with suffix trimming, depth >= 5,
+   nested-synchronized-block check) — :mod:`repro.core.validation`;
+2. generalization of accepted signatures into the application's deadlock
+   history (merge with same-bug entries, else add) —
+   :mod:`repro.core.generalization`.
+
+Signatures that passed the hash check but failed the nesting check are
+remembered; when the application has loaded new classes since the last run,
+only the nesting check is repeated for them ("adding new classes to the CFG
+can only uncover new nested synchronized blocks/methods", §III-C3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.generalization import Generalizer
+from repro.core.history import DeadlockHistory
+from repro.core.repository import LocalRepository
+from repro.core.signature import DeadlockSignature
+from repro.core.validation import ClientSideValidator, RejectReason
+from repro.util.logging import get_logger
+
+log = get_logger("core.agent")
+
+
+@dataclass
+class AgentReport:
+    """Outcome of one startup inspection pass."""
+
+    inspected: int = 0
+    accepted: int = 0
+    added: int = 0
+    merged: int = 0
+    absorbed: int = 0
+    duplicates: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    recheck_accepted: int = 0
+    elapsed_seconds: float = 0.0
+
+    def note_rejection(self, reason: RejectReason) -> None:
+        key = reason.value
+        self.rejected[key] = self.rejected.get(key, 0) + 1
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+
+class CommunixAgent:
+    def __init__(self, app, history: DeadlockHistory,
+                 repository: LocalRepository,
+                 validator: ClientSideValidator | None = None,
+                 generalizer: Generalizer | None = None):
+        self._app = app
+        self._history = history
+        self._repository = repository
+        self._validator = validator or ClientSideValidator(app)
+        self._generalizer = generalizer or Generalizer(history)
+        #: application generation at the time of the last nesting check, so
+        #: we only re-check pending signatures when new classes were loaded.
+        self._last_generation: int | None = None
+
+    @property
+    def app_key(self) -> str:
+        return self._app.name
+
+    def set_app(self, app, validator: ClientSideValidator | None = None) -> None:
+        """Rebind the agent to a (late-attached) application."""
+        self._app = app
+        if validator is not None:
+            self._validator = validator
+        self._last_generation = None
+
+    # --------------------------------------------------------------- runs
+    def on_application_start(self) -> AgentReport:
+        """The agent's startup pass: validate + generalize new signatures."""
+        started = time.perf_counter()
+        report = AgentReport()
+        pending_after: list[int] = []
+
+        generation = getattr(self._app, "generation", 0)
+        if self._last_generation is not None and generation != self._last_generation:
+            self._recheck_pending(report, pending_after)
+        else:
+            pending_after.extend(self._repository.pending_nesting(self.app_key))
+        self._last_generation = generation
+
+        batch = self._repository.new_signatures_for(self.app_key)
+        highest = self._repository.get_cursor(self.app_key)
+        for index, signature in batch:
+            highest = max(highest, index + 1)
+            report.inspected += 1
+            self._process(index, signature, report, pending_after)
+        self._repository.advance_cursor(self.app_key, highest)
+        self._repository.set_pending_nesting(self.app_key, pending_after)
+        report.elapsed_seconds = time.perf_counter() - started
+        log.info(
+            "agent[%s]: inspected=%d accepted=%d rejected=%d (%.3fs)",
+            self.app_key, report.inspected, report.accepted,
+            report.rejected_total, report.elapsed_seconds,
+        )
+        return report
+
+    # ------------------------------------------------------------ internals
+    def _process(self, index: int, signature: DeadlockSignature,
+                 report: AgentReport, pending_after: list[int]) -> None:
+        result = self._validator.validate(signature)
+        if not result.accepted:
+            report.note_rejection(result.reason)
+            if result.reason is RejectReason.NOT_NESTED:
+                # Passed the hash check, failed nesting: candidates for
+                # re-checking when new classes load.
+                pending_after.append(index)
+            return
+        report.accepted += 1
+        self._incorporate(result.signature, report)
+
+    def _incorporate(self, signature: DeadlockSignature, report: AgentReport) -> None:
+        outcome = self._generalizer.incorporate(signature).outcome
+        if outcome == "added":
+            report.added += 1
+        elif outcome == "merged":
+            report.merged += 1
+        elif outcome == "absorbed":
+            report.absorbed += 1
+        else:
+            report.duplicates += 1
+
+    def _recheck_pending(self, report: AgentReport,
+                         pending_after: list[int]) -> None:
+        """New classes were loaded: repeat the nesting check (only) for
+        signatures that previously passed hashes but failed nesting."""
+        self._app.nested_sync_sites(force=True)
+        for index in self._repository.pending_nesting(self.app_key):
+            signature = self._repository.signature_at(index)
+            result = self._validator.validate(signature)
+            if result.accepted:
+                report.recheck_accepted += 1
+                report.accepted += 1
+                self._incorporate(result.signature, report)
+            elif result.reason is RejectReason.NOT_NESTED:
+                pending_after.append(index)
+            # Hash failures on re-check mean the application itself changed;
+            # the signature is dropped from pending either way.

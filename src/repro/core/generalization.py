@@ -1,0 +1,99 @@
+"""Signature generalization (paper §III-D).
+
+Generalization merges different signatures of the *same deadlock bug* — same
+outer and inner lock statements — into one signature whose call stacks are
+the longest common suffixes of the originals.  Fewer, shorter signatures
+mean a compact history and fewer false negatives (a long suffix only matches
+the one manifestation it came from), at the cost of more conservative
+avoidance; the depth->=5 floor for remote signatures bounds that cost against
+malicious generalization (§III-C1).
+
+Merge rule: S and S' merge iff they have identical top frames, and either
+(1) both were produced locally, or (2) one is remote and every outer stack
+of the result keeps depth >= 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.history import DeadlockHistory
+from repro.core.signature import (
+    DeadlockSignature,
+    ORIGIN_LOCAL,
+    ORIGIN_REMOTE,
+    ThreadSignature,
+)
+from repro.core.validation import MIN_OUTER_DEPTH
+
+
+def merge_signatures(a: DeadlockSignature, b: DeadlockSignature,
+                     min_remote_depth: int = MIN_OUTER_DEPTH) -> DeadlockSignature | None:
+    """Merge two signatures of the same bug, or return ``None``.
+
+    ``None`` means the pair is not mergeable: different bugs, or the merge
+    would take a remote signature's outer stacks below the depth floor.
+    """
+    if a.bug_key != b.bug_key:
+        return None
+    threads_a = sorted(a.threads, key=lambda t: t.bug_key)
+    threads_b = sorted(b.threads, key=lambda t: t.bug_key)
+    merged_threads: list[ThreadSignature] = []
+    for ta, tb in zip(threads_a, threads_b):
+        if ta.bug_key != tb.bug_key:
+            return None  # duplicate bug-key multiplicities misaligned
+        outer = ta.outer.common_suffix(tb.outer)
+        inner = ta.inner.common_suffix(tb.inner)
+        if not outer or not inner:
+            return None
+        merged_threads.append(ThreadSignature(outer=outer, inner=inner))
+    any_remote = ORIGIN_REMOTE in (a.origin, b.origin)
+    if any_remote and any(t.outer.depth < min_remote_depth for t in merged_threads):
+        return None
+    origin = ORIGIN_REMOTE if any_remote else ORIGIN_LOCAL
+    return DeadlockSignature(threads=tuple(merged_threads), origin=origin)
+
+
+@dataclass
+class IncorporateResult:
+    """What happened to one incoming signature."""
+
+    outcome: str  # "merged" | "added" | "absorbed" | "duplicate"
+    resulting: DeadlockSignature | None = None
+    merged_away: list[str] = field(default_factory=list)  # sig_ids replaced
+
+
+class Generalizer:
+    """Folds validated signatures into a deadlock history (§III-D).
+
+    "When a Java application starts, the Communix agent checks if new
+    signatures that passed the validation could be merged with existing
+    signatures from the deadlock history [...].  The signatures that cannot
+    be merged are added to the history."
+    """
+
+    def __init__(self, history: DeadlockHistory,
+                 min_remote_depth: int = MIN_OUTER_DEPTH):
+        self._history = history
+        self._min_remote_depth = min_remote_depth
+
+    def incorporate(self, signature: DeadlockSignature) -> IncorporateResult:
+        existing = self._history.get(signature.sig_id)
+        if existing is not None:
+            return IncorporateResult(outcome="duplicate", resulting=existing)
+        for candidate in self._history.same_bug(signature):
+            merged = merge_signatures(candidate, signature, self._min_remote_depth)
+            if merged is None:
+                continue
+            if merged.sig_id == candidate.sig_id:
+                # The incoming signature is a special case of what we
+                # already have; nothing to store.
+                return IncorporateResult(outcome="absorbed", resulting=candidate)
+            self._history.replace(candidate, merged)
+            return IncorporateResult(
+                outcome="merged",
+                resulting=merged,
+                merged_away=[candidate.sig_id],
+            )
+        self._history.add(signature)
+        return IncorporateResult(outcome="added", resulting=signature)

@@ -1,0 +1,141 @@
+"""Client-side signature validation (paper §III-C3).
+
+For each new signature the Communix agent checks, in order:
+
+1. **Hash check** — every call stack (outer *and* inner) must carry a top
+   frame whose bytecode hash matches the running application; below the top,
+   the stack is trimmed to its longest suffix of matching hashes ("if hk is
+   the first hash value that does not match A, the frames 1..k are removed").
+   Inner stacks are checked even though avoidance never matches them: a
+   mismatch there means the code between the outer and inner lock statements
+   changed — likely a fixed deadlock — so the signature is rejected.
+2. **Depth check** — remote signatures must have outer call stacks of depth
+   >= 5 (§III-C1: this bounds the thread-serialization damage a malicious
+   signature can cause; Table II quantifies it).
+3. **Nesting check** — every outer call stack must end in a *nested*
+   synchronized block: its top frame's location must belong to the
+   precomputed nested-site set of the application.  This caps the number of
+   acceptable fake signatures at the number of nested sites in the program.
+
+The validator is application-agnostic: it sees the application through the
+small :class:`AppView` protocol (bytecode hashes + nested sites), which both
+the synthetic app model and live-Python adapters implement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.signature import CallStack, DeadlockSignature, ThreadSignature
+
+#: Minimum outer call-stack depth for remote signatures (§III-C1).
+MIN_OUTER_DEPTH = 5
+
+
+class AppView(Protocol):
+    """The slice of an application the validator needs.
+
+    ``frame_hash`` returns the hash the running application has for the code
+    containing a given frame (the class bytecode hash in the Java model, the
+    code-object hash for live Python), or ``None`` for unknown code.
+    """
+
+    def frame_hash(self, frame) -> str | None: ...
+
+    def nested_sync_sites(self, force: bool = False) -> set[tuple[str, str, int]]: ...
+
+
+class RejectReason(enum.Enum):
+    HASH_MISMATCH = "hash_mismatch"
+    TOO_SHALLOW = "too_shallow"
+    NOT_NESTED = "not_nested"
+    MALFORMED = "malformed"
+
+
+@dataclass
+class ValidationResult:
+    accepted: bool
+    signature: DeadlockSignature | None = None
+    reason: RejectReason | None = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.accepted
+
+
+def trim_stack(stack: CallStack, app: AppView) -> CallStack | None:
+    """Apply the §III-C3 hash check to one stack.
+
+    Returns ``None`` if the *top* frame's hash does not match the running
+    application; otherwise the longest suffix whose hashes all match.
+    """
+    if not stack:
+        return None
+    top = stack.top
+    app_hash = app.frame_hash(top)
+    if app_hash is None or app_hash != top.code_hash:
+        return None
+    # Scan downward from just below the top; cut at the first mismatch.
+    for i in range(len(stack) - 2, -1, -1):
+        frame = stack[i]
+        app_hash = app.frame_hash(frame)
+        if app_hash is None or app_hash != frame.code_hash:
+            return CallStack(stack[i + 1:])
+    return stack
+
+
+class ClientSideValidator:
+    def __init__(self, app: AppView, min_outer_depth: int = MIN_OUTER_DEPTH,
+                 require_nesting: bool = True):
+        self._app = app
+        self._min_outer_depth = min_outer_depth
+        self._require_nesting = require_nesting
+
+    def validate(self, signature: DeadlockSignature) -> ValidationResult:
+        """Run all three checks; on success the returned signature has its
+        stacks trimmed to the hash-matching suffixes."""
+        trimmed_threads: list[ThreadSignature] = []
+        for thread in signature.threads:
+            outer = trim_stack(thread.outer, self._app)
+            if outer is None:
+                return ValidationResult(
+                    accepted=False,
+                    reason=RejectReason.HASH_MISMATCH,
+                    detail=f"outer top {thread.outer.top} does not match application",
+                )
+            inner = trim_stack(thread.inner, self._app)
+            if inner is None:
+                return ValidationResult(
+                    accepted=False,
+                    reason=RejectReason.HASH_MISMATCH,
+                    detail=f"inner top {thread.inner.top} does not match application",
+                )
+            trimmed_threads.append(ThreadSignature(outer=outer, inner=inner))
+
+        if any(t.outer.depth < self._min_outer_depth for t in trimmed_threads):
+            shallow = min(t.outer.depth for t in trimmed_threads)
+            return ValidationResult(
+                accepted=False,
+                reason=RejectReason.TOO_SHALLOW,
+                detail=f"outer depth {shallow} < {self._min_outer_depth}",
+            )
+
+        if self._require_nesting:
+            nested = self._app.nested_sync_sites()
+            for thread in trimmed_threads:
+                if thread.outer.top.location not in nested:
+                    return ValidationResult(
+                        accepted=False,
+                        reason=RejectReason.NOT_NESTED,
+                        detail=(
+                            f"outer top {thread.outer.top} is not a nested "
+                            "synchronized block"
+                        ),
+                    )
+
+        validated = DeadlockSignature(
+            threads=tuple(trimmed_threads), origin=signature.origin
+        )
+        return ValidationResult(accepted=True, signature=validated)

@@ -1,0 +1,34 @@
+"""Cryptographic substrate for Communix.
+
+The Communix server binds every incoming signature to the user who sent it
+via an *encrypted user ID* produced with "AES encryption, with a predefined
+128-bit key" (paper §III-C2).  No crypto library is available in this offline
+environment, so :mod:`repro.crypto.aes` implements AES-128 from the FIPS-197
+specification, :mod:`repro.crypto.modes` adds ECB/CBC with PKCS#7 padding,
+and :mod:`repro.crypto.userid` implements the token format the server issues
+and verifies.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ecb_decrypt,
+    ecb_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.userid import DEFAULT_SERVER_KEY, UserIdAuthority, UserIdToken
+
+__all__ = [
+    "AES128",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "ecb_decrypt",
+    "ecb_encrypt",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "DEFAULT_SERVER_KEY",
+    "UserIdAuthority",
+    "UserIdToken",
+]

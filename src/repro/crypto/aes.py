@@ -1,0 +1,187 @@
+"""AES-128 block cipher, implemented from FIPS-197.
+
+This is a straightforward, readable implementation (table-based S-box,
+byte-oriented state).  It is used only to encrypt/decrypt the short user-ID
+tokens of the Communix server, so clarity is preferred over raw speed; the
+server caches decrypted tokens (see :mod:`repro.server.validation`), which
+keeps AES off the hot path exactly as a production server would.
+
+The state is kept as a flat 16-byte array in FIPS input order: byte ``i``
+holds state element ``s[i % 4][i // 4]`` (row ``i % 4``, column ``i // 4``).
+
+Correctness is pinned by the FIPS-197 Appendix C and NIST SP 800-38A test
+vectors in ``tests/crypto/test_aes.py``.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import CryptoError
+
+# FIPS-197 Figure 7: the AES S-box.
+SBOX = bytes(
+    [
+        0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+        0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+        0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+        0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+        0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+        0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+        0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+        0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+        0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+        0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+        0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+        0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+        0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+        0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+        0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+        0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+    ]
+)
+
+# The inverse S-box is derived rather than transcribed, which removes a whole
+# class of copy errors.
+INV_SBOX = bytes(256)
+_inv = bytearray(256)
+for _i, _v in enumerate(SBOX):
+    _inv[_v] = _i
+INV_SBOX = bytes(_inv)
+del _inv, _i, _v
+
+# Round constants for key expansion (AES-128 needs 10).
+RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+BLOCK_SIZE = 16
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. {02}) in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (FIPS-197 §4.2)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_mul_table(coefficient: int) -> bytes:
+    return bytes(_gmul(x, coefficient) for x in range(256))
+
+
+# Precomputed GF(2^8) multiplication tables for the (Inv)MixColumns
+# coefficients; they turn the per-byte multiplication loops into lookups,
+# which matters because the server decrypts a user-ID token per ADD request.
+_MUL2 = _build_mul_table(0x02)
+_MUL3 = _build_mul_table(0x03)
+_MUL9 = _build_mul_table(0x09)
+_MULB = _build_mul_table(0x0B)
+_MULD = _build_mul_table(0x0D)
+_MULE = _build_mul_table(0x0E)
+
+
+def _sub_bytes(state: bytearray, box: bytes) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+def _shift_rows(state: bytearray) -> None:
+    # Row r rotates left by r; state index is row + 4*column.
+    out = bytes(state)
+    for c in range(4):
+        for r in range(4):
+            state[4 * c + r] = out[4 * ((c + r) % 4) + r]
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    out = bytes(state)
+    for c in range(4):
+        for r in range(4):
+            state[4 * c + r] = out[4 * ((c - r) % 4) + r]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for c in range(4):
+        i = 4 * c
+        s0, s1, s2, s3 = state[i], state[i + 1], state[i + 2], state[i + 3]
+        state[i] = _MUL2[s0] ^ _MUL3[s1] ^ s2 ^ s3
+        state[i + 1] = s0 ^ _MUL2[s1] ^ _MUL3[s2] ^ s3
+        state[i + 2] = s0 ^ s1 ^ _MUL2[s2] ^ _MUL3[s3]
+        state[i + 3] = _MUL3[s0] ^ s1 ^ s2 ^ _MUL2[s3]
+
+
+def _inv_mix_columns(state: bytearray) -> None:
+    for c in range(4):
+        i = 4 * c
+        s0, s1, s2, s3 = state[i], state[i + 1], state[i + 2], state[i + 3]
+        state[i] = _MULE[s0] ^ _MULB[s1] ^ _MULD[s2] ^ _MUL9[s3]
+        state[i + 1] = _MUL9[s0] ^ _MULE[s1] ^ _MULB[s2] ^ _MULD[s3]
+        state[i + 2] = _MULD[s0] ^ _MUL9[s1] ^ _MULE[s2] ^ _MULB[s3]
+        state[i + 3] = _MULB[s0] ^ _MULD[s1] ^ _MUL9[s2] ^ _MULE[s3]
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+class AES128:
+    """AES with a 128-bit key: 10 rounds over a 16-byte block."""
+
+    ROUNDS = 10
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise CryptoError(f"AES-128 requires a 16-byte key, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[bytes]:
+        """FIPS-197 §5.2 key expansion: 44 words -> 11 round keys."""
+        words = [key[4 * i : 4 * i + 4] for i in range(4)]
+        for i in range(4, 4 * (AES128.ROUNDS + 1)):
+            temp = words[i - 1]
+            if i % 4 == 0:
+                rotated = temp[1:] + temp[:1]
+                temp = bytes(SBOX[b] for b in rotated)
+                temp = bytes((temp[0] ^ RCON[i // 4 - 1],)) + temp[1:]
+            words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+        return [b"".join(words[4 * r : 4 * r + 4]) for r in range(AES128.ROUNDS + 1)]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self.ROUNDS):
+            _sub_bytes(state, SBOX)
+            _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[rnd])
+        _sub_bytes(state, SBOX)
+        _shift_rows(state)
+        _add_round_key(state, self._round_keys[self.ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise CryptoError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[self.ROUNDS])
+        for rnd in range(self.ROUNDS - 1, 0, -1):
+            _inv_shift_rows(state)
+            _sub_bytes(state, INV_SBOX)
+            _add_round_key(state, self._round_keys[rnd])
+            _inv_mix_columns(state)
+        _inv_shift_rows(state)
+        _sub_bytes(state, INV_SBOX)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)

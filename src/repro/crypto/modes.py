@@ -1,0 +1,79 @@
+"""Block cipher modes of operation (ECB, CBC) with PKCS#7 padding.
+
+The user-ID tokens use CBC with a per-token random IV; ECB is provided for
+completeness and for the NIST SP 800-38A test vectors.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.util.errors import CryptoError
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding; always adds at least one byte."""
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len] * pad_len)
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip PKCS#7 padding, raising :class:`CryptoError` if malformed."""
+    if not data or len(data) % block_size != 0:
+        raise CryptoError("padded data length is not a multiple of the block size")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise CryptoError("invalid PKCS#7 padding length")
+    if data[-pad_len:] != bytes([pad_len] * pad_len):
+        raise CryptoError("corrupt PKCS#7 padding")
+    return data[:-pad_len]
+
+
+def _blocks(data: bytes):
+    for i in range(0, len(data), BLOCK_SIZE):
+        yield data[i : i + BLOCK_SIZE]
+
+
+def ecb_encrypt(cipher: AES128, plaintext: bytes, pad: bool = True) -> bytes:
+    if pad:
+        plaintext = pkcs7_pad(plaintext)
+    if len(plaintext) % BLOCK_SIZE != 0:
+        raise CryptoError("ECB input must be block-aligned when pad=False")
+    return b"".join(cipher.encrypt_block(b) for b in _blocks(plaintext))
+
+
+def ecb_decrypt(cipher: AES128, ciphertext: bytes, pad: bool = True) -> bytes:
+    if len(ciphertext) % BLOCK_SIZE != 0:
+        raise CryptoError("ECB ciphertext must be block-aligned")
+    plaintext = b"".join(cipher.decrypt_block(b) for b in _blocks(ciphertext))
+    return pkcs7_unpad(plaintext) if pad else plaintext
+
+
+def cbc_encrypt(cipher: AES128, plaintext: bytes, iv: bytes, pad: bool = True) -> bytes:
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError("IV must be one block")
+    if pad:
+        plaintext = pkcs7_pad(plaintext)
+    if len(plaintext) % BLOCK_SIZE != 0:
+        raise CryptoError("CBC input must be block-aligned when pad=False")
+    out = []
+    prev = iv
+    for block in _blocks(plaintext):
+        mixed = bytes(a ^ b for a, b in zip(block, prev))
+        prev = cipher.encrypt_block(mixed)
+        out.append(prev)
+    return b"".join(out)
+
+
+def cbc_decrypt(cipher: AES128, ciphertext: bytes, iv: bytes, pad: bool = True) -> bytes:
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError("IV must be one block")
+    if len(ciphertext) % BLOCK_SIZE != 0:
+        raise CryptoError("CBC ciphertext must be block-aligned")
+    out = []
+    prev = iv
+    for block in _blocks(ciphertext):
+        plain = cipher.decrypt_block(block)
+        out.append(bytes(a ^ b for a, b in zip(plain, prev)))
+        prev = block
+    plaintext = b"".join(out)
+    return pkcs7_unpad(plaintext) if pad else plaintext

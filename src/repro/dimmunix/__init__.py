@@ -1,0 +1,46 @@
+"""Dimmunix: the deadlock-immunity runtime (paper §II-A).
+
+This subpackage is the substrate Communix builds on: it detects deadlocks in
+live multi-threaded programs, extracts their signatures (outer + inner call
+stacks), persists them in a deadlock history, and *avoids* execution flows
+matching stored signatures by suspending threads just before dangerous lock
+acquisitions.
+
+The public surface:
+
+* :class:`DimmunixRuntime` — the per-process runtime (thread states,
+  resource-allocation graph, avoidance, detection, false-positive tracking);
+* :class:`DimmunixLock` / :class:`DimmunixRLock` — drop-in replacements for
+  ``threading.Lock`` / ``threading.RLock`` wired into a runtime;
+* :func:`patch_threading` — monkey-patch ``threading.Lock``/``RLock`` so an
+  unmodified program gets immunized (the AspectJ-weaving equivalent);
+* :func:`get_runtime` / :func:`set_runtime` — the process-global runtime.
+"""
+
+from repro.dimmunix.config import DimmunixConfig
+from repro.dimmunix.events import Event, EventKind, EventLog
+from repro.dimmunix.frames import capture_stack, python_code_hash
+from repro.dimmunix.lock import (
+    DimmunixLock,
+    DimmunixRLock,
+    get_runtime,
+    patch_threading,
+    set_runtime,
+)
+from repro.dimmunix.runtime import DimmunixRuntime, RuntimeStats
+
+__all__ = [
+    "DimmunixConfig",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "capture_stack",
+    "python_code_hash",
+    "DimmunixLock",
+    "DimmunixRLock",
+    "get_runtime",
+    "patch_threading",
+    "set_runtime",
+    "DimmunixRuntime",
+    "RuntimeStats",
+]

@@ -1,0 +1,133 @@
+"""The avoidance module (paper §II-A).
+
+Before each lock acquisition, Dimmunix decides whether allowing the running
+thread to proceed would lead to the *instantiation* of a signature from the
+deadlock history: "for a signature with outer call stacks CS1..CSn to be
+instantiated, there must exist threads t1..tn that either hold or are block
+waiting for locks l1..ln while having call stacks CS1..CSn".  If granting
+the current request would complete such a pattern, the requesting thread is
+suspended until the pattern can no longer form.
+
+Matching is made cheap by an index over the history: a runtime stack can
+only match a signature stack whose *top frame location* equals the runtime
+stack's top (suffix matching implies equal tops), so the only signatures
+ever examined at an acquisition site are those whose outer stacks end at
+that site.  Acquisitions at sites that appear in no signature — the common
+case — cost one dict lookup.
+
+This module is pure logic over immutable snapshots: the runtime calls it
+while holding its monitor and passes its thread-state table directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.history import DeadlockHistory
+from repro.core.signature import CallStack, DeadlockSignature
+
+
+@dataclass
+class ThreadView:
+    """What avoidance may use of another thread's state: the locks it holds
+    (with acquisition stacks) and the lock it is blocked waiting for (with
+    its current stack)."""
+
+    tid: int
+    held: list[tuple[int, CallStack]] = field(default_factory=list)
+    waiting: tuple[int, CallStack] | None = None
+
+    def candidates(self):
+        yield from self.held
+        if self.waiting is not None:
+            yield self.waiting
+
+
+@dataclass
+class DangerMatch:
+    """A signature instantiation that granting the request would complete."""
+
+    signature: DeadlockSignature
+    position: int  # index the requesting thread would fill
+    matched: tuple[tuple[int, int], ...]  # (tid, lock_id) per other position
+
+    @property
+    def matched_tids(self) -> tuple[int, ...]:
+        return tuple(tid for tid, _ in self.matched)
+
+
+class AvoidanceModule:
+    """Signature-instantiation matching against a deadlock history."""
+
+    def __init__(self, history: DeadlockHistory):
+        self._history = history
+        self._index: dict[tuple[str, str, int], list[tuple[DeadlockSignature, int]]] = {}
+        self._indexed_version = -1
+        #: Monotonic count of instantiation checks that examined at least
+        #: one signature (i.e. went past the index lookup).
+        self.deep_checks = 0
+
+    # ---------------------------------------------------------------- index
+    def _ensure_index(self) -> None:
+        if self._indexed_version == self._history.version:
+            return
+        index: dict[tuple[str, str, int], list[tuple[DeadlockSignature, int]]] = {}
+        for sig in self._history.snapshot():
+            for pos, thread_sig in enumerate(sig.threads):
+                index.setdefault(thread_sig.outer.top.location, []).append((sig, pos))
+        self._index = index
+        self._indexed_version = self._history.version
+
+    def signatures_at(self, location) -> list[tuple[DeadlockSignature, int]]:
+        self._ensure_index()
+        return self._index.get(location, [])
+
+    # ------------------------------------------------------------- matching
+    def find_danger(self, tid: int, lock_id: int, stack: CallStack,
+                    others: list[ThreadView]) -> DangerMatch | None:
+        """Return a :class:`DangerMatch` if granting ``lock_id`` to ``tid``
+        at ``stack`` would complete an instantiation, else ``None``."""
+        self._ensure_index()
+        if not self._index or not stack:
+            return None
+        entries = self._index.get(stack.top.location)
+        if not entries:
+            return None
+        self.deep_checks += 1
+        for sig, pos in entries:
+            if not sig.threads[pos].outer.matches(stack):
+                continue
+            remaining = [i for i in range(len(sig.threads)) if i != pos]
+            assignment = self._assign(sig, remaining, others,
+                                      used_tids={tid}, used_locks={lock_id})
+            if assignment is not None:
+                return DangerMatch(signature=sig, position=pos,
+                                   matched=tuple(assignment))
+        return None
+
+    def _assign(self, sig: DeadlockSignature, positions: list[int],
+                others: list[ThreadView], used_tids: set[int],
+                used_locks: set[int]) -> list[tuple[int, int]] | None:
+        """Backtracking search for an injective (thread, lock) assignment of
+        the remaining signature positions.  Deadlock cycles are short (almost
+        always 2, rarely 3-4 threads), so exhaustive search is cheap."""
+        if not positions:
+            return []
+        position, rest = positions[0], positions[1:]
+        wanted = sig.threads[position].outer
+        for view in others:
+            if view.tid in used_tids:
+                continue
+            for cand_lock, cand_stack in view.candidates():
+                if cand_lock in used_locks:
+                    continue
+                if not wanted.matches(cand_stack):
+                    continue
+                used_tids.add(view.tid)
+                used_locks.add(cand_lock)
+                tail = self._assign(sig, rest, others, used_tids, used_locks)
+                used_tids.discard(view.tid)
+                used_locks.discard(cand_lock)
+                if tail is not None:
+                    return [(view.tid, cand_lock)] + tail
+        return None

@@ -1,0 +1,77 @@
+"""Structured runtime events.
+
+The runtime emits events rather than calling collaborators directly: the
+Communix plugin subscribes to ``SIGNATURE_SAVED`` to upload new signatures,
+tests subscribe to assert on avoidance behaviour, and examples subscribe to
+narrate what is happening.  A bounded ring buffer keeps the most recent
+events available for post-mortem inspection without unbounded growth.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventKind(enum.Enum):
+    DEADLOCK_DETECTED = "deadlock_detected"
+    SIGNATURE_SAVED = "signature_saved"
+    AVOIDANCE_BLOCK = "avoidance_block"
+    AVOIDANCE_RESUME = "avoidance_resume"
+    AVOIDANCE_YIELD_GRANTED = "avoidance_yield_granted"
+    FALSE_POSITIVE_WARNING = "false_positive_warning"
+    VICTIM_RAISED = "victim_raised"
+    SELF_DEADLOCK = "self_deadlock"
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: EventKind
+    payload: dict[str, Any] = field(default_factory=dict)
+    timestamp: float = 0.0
+
+
+class EventLog:
+    """Thread-safe pub/sub with a bounded ring buffer of recent events."""
+
+    def __init__(self, capacity: int = 1024):
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self._subscribers: list[Callable[[Event], None]] = []
+        self._lock = threading.Lock()
+        self._counts: dict[EventKind, int] = {}
+
+    def emit(self, kind: EventKind, timestamp: float = 0.0, **payload: Any) -> Event:
+        event = Event(kind=kind, payload=payload, timestamp=timestamp)
+        with self._lock:
+            self._buffer.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> Callable[[], None]:
+        """Register ``callback``; returns an unsubscribe function."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if callback in self._subscribers:
+                    self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def recent(self, kind: EventKind | None = None) -> list[Event]:
+        with self._lock:
+            events = list(self._buffer)
+        if kind is None:
+            return events
+        return [e for e in events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        with self._lock:
+            return self._counts.get(kind, 0)

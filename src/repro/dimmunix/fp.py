@@ -1,0 +1,100 @@
+"""False-positive detection (paper §III-C1).
+
+"If after 100 instantiations of a signature S there was no true positive,
+and there was at least one interval of 1 second having more than 10
+instantiations of S, Dimmunix decides to warn the user about signature S;
+the user can decide to keep S."
+
+An *instantiation* here is an avoidance episode: the dangerous pattern of S
+formed and a thread was suspended.  A *true positive* cannot be observed
+directly (the deadlock did not happen precisely because it was avoided), so,
+like Dimmunix, we expose a hook — :meth:`record_true_positive` — that the
+detector calls when a real deadlock matching S's bug is ever captured, and
+that users/tests may call when they have outside evidence.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dimmunix.config import DimmunixConfig
+from repro.dimmunix.events import EventKind, EventLog
+from repro.util.clock import Clock
+
+
+@dataclass
+class _SignatureFpState:
+    instantiations: int = 0
+    burst_seen: bool = False
+    true_positive: bool = False
+    warned: bool = False
+    kept_by_user: bool = False
+    window: deque = field(default_factory=deque)
+
+
+class FalsePositiveDetector:
+    def __init__(self, config: DimmunixConfig, clock: Clock, events: EventLog):
+        self._config = config
+        self._clock = clock
+        self._events = events
+        self._state: dict[str, _SignatureFpState] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, sig_id: str) -> _SignatureFpState:
+        state = self._state.get(sig_id)
+        if state is None:
+            state = _SignatureFpState()
+            self._state[sig_id] = state
+        return state
+
+    def record_instantiation(self, sig_id: str) -> None:
+        now = self._clock.now()
+        warn = False
+        with self._lock:
+            state = self._get(sig_id)
+            state.instantiations += 1
+            window = state.window
+            window.append(now)
+            horizon = now - self._config.fp_burst_window
+            while window and window[0] < horizon:
+                window.popleft()
+            if len(window) > self._config.fp_burst_count:
+                state.burst_seen = True
+            if (
+                state.instantiations >= self._config.fp_instantiation_threshold
+                and state.burst_seen
+                and not state.true_positive
+                and not state.warned
+                and not state.kept_by_user
+            ):
+                state.warned = True
+                warn = True
+        if warn:
+            self._events.emit(
+                EventKind.FALSE_POSITIVE_WARNING,
+                timestamp=now,
+                sig_id=sig_id,
+                instantiations=self._state[sig_id].instantiations,
+            )
+
+    def record_true_positive(self, sig_id: str) -> None:
+        with self._lock:
+            self._get(sig_id).true_positive = True
+
+    def keep(self, sig_id: str) -> None:
+        """The user inspected the warning and decided to keep the signature."""
+        with self._lock:
+            state = self._get(sig_id)
+            state.kept_by_user = True
+
+    def instantiations(self, sig_id: str) -> int:
+        with self._lock:
+            state = self._state.get(sig_id)
+            return state.instantiations if state else 0
+
+    def is_warned(self, sig_id: str) -> bool:
+        with self._lock:
+            state = self._state.get(sig_id)
+            return bool(state and state.warned)

@@ -1,0 +1,81 @@
+"""Call-stack capture for live Python threads.
+
+Dimmunix signatures are built from the call stacks threads have at lock
+acquisitions.  For Python programs the analogue of the paper's
+``class.method:line`` frame is ``module.function:line``, and the analogue of
+the class-bytecode hash is a hash of the function's compiled code object
+(``co_code``), which changes whenever the function's code changes — exactly
+the versioning property client-side validation needs (§III-C3).
+
+Capture uses ``sys._getframe`` and walks ``f_back`` links, which is
+considerably cheaper than ``traceback.extract_stack`` and — like the paper's
+instrumentation — is *the* dominant per-acquisition overhead, so it pays to
+keep it lean.  Frames belonging to the instrumentation itself are filtered
+out so they never pollute signatures.
+"""
+
+from __future__ import annotations
+
+import sys
+from types import CodeType
+
+from repro.core.signature import CallStack, Frame
+from repro.util.encoding import stable_hash
+
+#: Cache of code-object hashes.  Code objects are immortal for the life of
+#: the functions that own them, and hashing co_code is pure, so a plain dict
+#: keyed by the code object is safe and fast.
+_CODE_HASHES: dict[CodeType, str] = {}
+
+
+def python_code_hash(code: CodeType) -> str:
+    """Stable hash of a code object (the plugin's "class bytecode hash").
+
+    Covers the opcodes *and* the constant pool / name tables: ``return 1``
+    vs ``return 2`` share ``co_code`` (the constant lives in ``co_consts``),
+    and a JVM class hash would certainly see that change.
+    """
+    cached = _CODE_HASHES.get(code)
+    if cached is None:
+        material = b"|".join(
+            (
+                code.co_code,
+                repr(code.co_consts).encode("utf-8", "replace"),
+                repr(code.co_names).encode("utf-8", "replace"),
+                repr(code.co_varnames).encode("utf-8", "replace"),
+            )
+        )
+        cached = stable_hash(material)
+        _CODE_HASHES[code] = cached
+    return cached
+
+
+def capture_stack(skip: int = 1, limit: int = 32,
+                  blacklist: tuple[str, ...] = ()) -> CallStack:
+    """Capture the calling thread's stack as a :class:`CallStack`.
+
+    ``skip`` discards that many innermost frames (the instrumentation);
+    ``blacklist`` additionally drops frames whose module name starts with
+    any of the given prefixes.  The result is ordered bottom -> top with the
+    acquisition point as the top (last) frame.
+    """
+    try:
+        frame = sys._getframe(skip + 1)
+    except ValueError:  # stack shallower than skip
+        frame = sys._getframe()
+    collected: list[Frame] = []
+    while frame is not None and len(collected) < limit:
+        module = frame.f_globals.get("__name__", "?")
+        if not any(module.startswith(prefix) for prefix in blacklist):
+            code = frame.f_code
+            collected.append(
+                Frame(
+                    class_name=module,
+                    method=code.co_name,
+                    line=frame.f_lineno,
+                    code_hash=python_code_hash(code),
+                )
+            )
+        frame = frame.f_back
+    collected.reverse()  # walked top -> bottom; stacks store bottom -> top
+    return CallStack(collected)

@@ -1,0 +1,559 @@
+"""The Dimmunix runtime: thread states, avoidance gating, deadlock detection.
+
+One :class:`DimmunixRuntime` instance lives per immunized process.  All
+instrumented locks funnel their acquire/release protocol through it:
+
+``before_acquire``
+    runs the avoidance check; suspends the caller while granting its request
+    would complete a signature instantiation; then registers the real wait;
+``acquired`` / ``released``
+    maintain the resource-allocation state (who holds what, acquired where);
+``detect_now``
+    builds the wait-for graph (real waits *and* avoidance waits), finds
+    cycles, extracts signatures for real deadlocks, resolves
+    avoidance-induced cycles by granting a yield permit, and designates a
+    victim when the recovery policy asks for one.
+
+A single condition variable (the *monitor*) guards all state; every state
+change notifies it, which is what wakes avoidance-suspended threads to
+re-check their dangerous pattern.  The paper's Dimmunix uses the same
+global-intercept structure; the per-acquisition cost of this monitor is part
+of the instrumentation overhead measured in Table II.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.history import DeadlockHistory
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    ORIGIN_LOCAL,
+    ThreadSignature,
+)
+from repro.dimmunix.avoidance import AvoidanceModule, DangerMatch, ThreadView
+from repro.dimmunix.config import DimmunixConfig, RECOVERY_RAISE
+from repro.dimmunix.events import EventKind, EventLog
+from repro.dimmunix.fp import FalsePositiveDetector
+from repro.util.clock import Clock, SystemClock
+from repro.util.logging import get_logger
+
+log = get_logger("dimmunix.runtime")
+
+# Real primitives captured at import time: the runtime must keep working
+# when ``patch_threading`` has swapped the public factories.
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+_REAL_EVENT = threading.Event
+
+
+@dataclass
+class _HeldLock:
+    lock_id: int
+    stack: CallStack
+
+
+#: Thread-state incarnation counter.  OS thread ids are recycled, so deadlock
+#: incidents are keyed by (epoch, lock) rather than (tid, lock): a new thread
+#: that inherits a dead thread's tid gets a fresh epoch and its deadlocks are
+#: never mistaken for already-handled ones.
+_EPOCHS = itertools.count(1)
+
+
+class _ThreadState:
+    __slots__ = (
+        "tid",
+        "name",
+        "epoch",
+        "held",
+        "waiting_lock",
+        "waiting_stack",
+        "avoidance_match",
+        "yield_permit",
+        "victim_signature",
+    )
+
+    def __init__(self, tid: int, name: str):
+        self.tid = tid
+        self.name = name
+        self.epoch = next(_EPOCHS)
+        self.held: dict[int, _HeldLock] = {}
+        self.waiting_lock: int | None = None
+        self.waiting_stack: CallStack | None = None
+        self.avoidance_match: DangerMatch | None = None
+        self.yield_permit = False
+        self.victim_signature: DeadlockSignature | None | bool = False
+
+    @property
+    def idle(self) -> bool:
+        return (
+            not self.held
+            and self.waiting_lock is None
+            and self.avoidance_match is None
+            and self.victim_signature is False
+        )
+
+
+@dataclass
+class RuntimeStats:
+    """Counters exposed for benchmarks and tests (all monitor-protected)."""
+
+    acquisitions: int = 0
+    releases: int = 0
+    avoidance_blocks: int = 0
+    avoidance_wait_seconds: float = 0.0
+    deadlocks_detected: int = 0
+    self_deadlocks: int = 0
+    signatures_saved: int = 0
+    yields_granted: int = 0
+    victims_designated: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self.__dict__)
+
+
+class DimmunixRuntime:
+    def __init__(
+        self,
+        history: DeadlockHistory | None = None,
+        config: DimmunixConfig | None = None,
+        clock: Clock | None = None,
+        events: EventLog | None = None,
+    ):
+        self.config = config or DimmunixConfig()
+        self.history = history if history is not None else DeadlockHistory(
+            path=self.config.history_path
+        )
+        self.clock = clock or SystemClock()
+        self.events = events or EventLog()
+        self.avoidance = AvoidanceModule(self.history)
+        self.fp = FalsePositiveDetector(self.config, self.clock, self.events)
+        self.stats = RuntimeStats()
+        self._monitor = _REAL_CONDITION(_REAL_RLOCK())
+        self._threads: dict[int, _ThreadState] = {}
+        self._holders: dict[int, int] = {}  # lock_id -> holder tid
+        self._active_incidents: set[frozenset] = set()
+        self._detector: threading.Thread | None = None
+        self._detector_stop = _REAL_EVENT()
+        #: Dynamically discovered nested sites: acquisition sites of locks
+        #: that were held while another lock was acquired (outer blocks of a
+        #: nested pair).  This is the live-Python substitute for the static
+        #: nesting analysis (the agent's nesting check consumes it through
+        #: PythonAppAdapter).
+        self.nested_sites: set[tuple[str, str, int]] = set()
+        #: Sample acquisition stacks keyed by their top-5 frame locations
+        #: (so distinct call paths into the same site are all represented),
+        #: kept only when ``config.record_acquisition_stacks`` is set.  The
+        #: DoS-attack forger (§IV-B) builds critical-path signatures from
+        #: these samples.
+        self.acquisition_stacks: dict[tuple, CallStack] = {}
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the background deadlock detector (idempotent)."""
+        with self._monitor:
+            if self._detector is not None and self._detector.is_alive():
+                return
+            self._detector_stop.clear()
+            self._detector = threading.Thread(
+                target=self._detector_loop, name="dimmunix-detector", daemon=True
+            )
+            self._detector.start()
+
+    def stop(self) -> None:
+        self._detector_stop.set()
+        detector = self._detector
+        if detector is not None:
+            detector.join(timeout=2.0)
+        self._detector = None
+
+    def _detector_loop(self) -> None:
+        while not self._detector_stop.wait(self.config.detection_interval):
+            try:
+                self.detect_now()
+            except Exception:  # pragma: no cover - detector must never die
+                log.exception("deadlock detector iteration failed")
+
+    # --------------------------------------------------------- thread state
+    def _state(self, tid: int) -> _ThreadState:
+        state = self._threads.get(tid)
+        if state is None:
+            state = _ThreadState(tid, threading.current_thread().name)
+            self._threads[tid] = state
+        return state
+
+    def _gc_thread(self, tid: int) -> None:
+        state = self._threads.get(tid)
+        if state is not None and state.idle:
+            del self._threads[tid]
+
+    def _views_excluding(self, tid: int) -> list[ThreadView]:
+        views = []
+        for other_tid, state in self._threads.items():
+            if other_tid == tid:
+                continue
+            view = ThreadView(tid=other_tid)
+            for held in state.held.values():
+                view.held.append((held.lock_id, held.stack))
+            if state.waiting_lock is not None and state.waiting_stack is not None:
+                view.waiting = (state.waiting_lock, state.waiting_stack)
+            if view.held or view.waiting:
+                views.append(view)
+        return views
+
+    # -------------------------------------------------------- lock protocol
+    def before_acquire(self, lock_id: int, stack: CallStack,
+                       deadline: float | None = None) -> bool:
+        """Avoidance gate + wait registration.  Returns False on timeout."""
+        tid = threading.get_ident()
+        recheck = self.config.avoidance_recheck_interval
+        max_block = self.config.max_avoidance_block
+        blocked_since: float | None = None
+        with self._monitor:
+            state = self._state(tid)
+            while True:
+                match = self.avoidance.find_danger(
+                    tid, lock_id, stack, self._views_excluding(tid)
+                )
+                if match is None:
+                    # A permit granted for a pattern that has since dissolved
+                    # must not linger and bypass a future, unrelated block.
+                    state.yield_permit = False
+                    break
+                if state.yield_permit:
+                    state.yield_permit = False
+                    self.events.emit(
+                        EventKind.AVOIDANCE_YIELD_GRANTED,
+                        timestamp=self.clock.now(),
+                        tid=tid,
+                        sig_id=match.signature.sig_id,
+                    )
+                    break
+                if blocked_since is None:
+                    blocked_since = time.monotonic()
+                    self.stats.avoidance_blocks += 1
+                    self.fp.record_instantiation(match.signature.sig_id)
+                    self.events.emit(
+                        EventKind.AVOIDANCE_BLOCK,
+                        timestamp=self.clock.now(),
+                        tid=tid,
+                        lock_id=lock_id,
+                        sig_id=match.signature.sig_id,
+                    )
+                state.avoidance_match = match
+                wait_for = recheck
+                if deadline is not None:
+                    wait_for = min(wait_for, deadline - time.monotonic())
+                    if wait_for <= 0:
+                        state.avoidance_match = None
+                        self._finish_avoidance(state, tid, blocked_since)
+                        self._gc_thread(tid)
+                        return False
+                if max_block is not None and blocked_since is not None:
+                    if time.monotonic() - blocked_since >= max_block:
+                        self.stats.yields_granted += 1
+                        self.events.emit(
+                            EventKind.AVOIDANCE_YIELD_GRANTED,
+                            timestamp=self.clock.now(),
+                            tid=tid,
+                            sig_id=match.signature.sig_id,
+                            reason="max_avoidance_block",
+                        )
+                        break
+                self._monitor.wait(wait_for)
+            self._finish_avoidance(state, tid, blocked_since)
+            state.waiting_lock = lock_id
+            state.waiting_stack = stack
+            self._monitor.notify_all()
+        return True
+
+    def _finish_avoidance(self, state: _ThreadState, tid: int,
+                          blocked_since: float | None) -> None:
+        state.avoidance_match = None
+        if blocked_since is not None:
+            waited = time.monotonic() - blocked_since
+            self.stats.avoidance_wait_seconds += waited
+            self.events.emit(
+                EventKind.AVOIDANCE_RESUME,
+                timestamp=self.clock.now(),
+                tid=tid,
+                waited=waited,
+            )
+
+    def acquired(self, lock_id: int, stack: CallStack) -> None:
+        tid = threading.get_ident()
+        with self._monitor:
+            state = self._state(tid)
+            if state.held and stack:
+                # Acquiring while already holding: every held lock's
+                # acquisition site is an *outer* (nested) synchronized block
+                # in the paper's sense — record those sites.
+                for held in state.held.values():
+                    if held.stack:
+                        self.nested_sites.add(held.stack.top.location)
+            if self.config.record_acquisition_stacks and stack:
+                if len(self.acquisition_stacks) < 4096:
+                    key = tuple(f.location for f in stack.suffix(5))
+                    self.acquisition_stacks.setdefault(key, stack)
+            state.held[lock_id] = _HeldLock(lock_id, stack)
+            state.waiting_lock = None
+            state.waiting_stack = None
+            # If this thread was designated a victim but escaped (the cycle
+            # broke some other way), the stale flag must not poison a later,
+            # unrelated acquisition.
+            state.victim_signature = False
+            state.yield_permit = False
+            self._holders[lock_id] = tid
+            self.stats.acquisitions += 1
+            self._monitor.notify_all()
+
+    def cancel_wait(self) -> None:
+        """The instrumented acquire gave up (timeout or victim raise)."""
+        tid = threading.get_ident()
+        with self._monitor:
+            state = self._threads.get(tid)
+            if state is None:
+                return
+            state.waiting_lock = None
+            state.waiting_stack = None
+            self._gc_thread(tid)
+            self._monitor.notify_all()
+
+    def released(self, lock_id: int) -> None:
+        tid = threading.get_ident()
+        with self._monitor:
+            state = self._threads.get(tid)
+            if state is None or lock_id not in state.held:
+                raise RuntimeError(
+                    f"thread {tid} released lock {lock_id} it does not hold"
+                )
+            del state.held[lock_id]
+            if self._holders.get(lock_id) == tid:
+                del self._holders[lock_id]
+            self.stats.releases += 1
+            self._gc_thread(tid)
+            self._monitor.notify_all()
+
+    def consume_victim(self) -> DeadlockSignature | None | bool:
+        """Poll-and-clear the caller's victim flag.
+
+        Returns False if not designated; otherwise the captured signature
+        (or None for a self-deadlock, which has no multi-thread signature).
+        """
+        tid = threading.get_ident()
+        with self._monitor:
+            state = self._threads.get(tid)
+            if state is None or state.victim_signature is False:
+                return False
+            signature = state.victim_signature
+            state.victim_signature = False
+            return signature
+
+    # ------------------------------------------------------------ detection
+    def detect_now(self) -> list[DeadlockSignature]:
+        """Run one detection pass; returns signatures of new real deadlocks."""
+        to_save: list[DeadlockSignature] = []
+        emits: list[tuple] = []
+        with self._monitor:
+            self._prune_incidents()
+            edges = self._build_edges()
+            cycles = _find_cycles(edges)
+            for cycle in cycles:
+                if len(cycle) == 1:
+                    self._handle_self_deadlock(cycle[0], emits)
+                    continue
+                avoidance_tids = [
+                    tid for tid in cycle
+                    if self._threads[tid].avoidance_match is not None
+                ]
+                if avoidance_tids:
+                    self._resolve_avoidance_cycle(avoidance_tids, emits)
+                else:
+                    signature = self._handle_real_deadlock(cycle, emits)
+                    if signature is not None:
+                        to_save.append(signature)
+        # History writes and event emission happen outside the monitor so
+        # that listeners (e.g. the Communix plugin's upload) can do I/O.
+        for signature in to_save:
+            if self.history.add(signature):
+                self.stats.signatures_saved += 1
+                self.events.emit(
+                    EventKind.SIGNATURE_SAVED,
+                    timestamp=self.clock.now(),
+                    sig_id=signature.sig_id,
+                )
+            else:
+                # Same manifestation as an existing entry: a true positive
+                # for that signature (the bug bit again despite avoidance).
+                self.fp.record_true_positive(signature.sig_id)
+        for kind, payload in emits:
+            self.events.emit(kind, timestamp=self.clock.now(), **payload)
+        return to_save
+
+    def _prune_incidents(self) -> None:
+        by_epoch = {state.epoch: state for state in self._threads.values()}
+        still_active = set()
+        for incident in self._active_incidents:
+            intact = True
+            for epoch, lock_id in incident:
+                state = by_epoch.get(epoch)
+                if state is None or state.waiting_lock != lock_id:
+                    intact = False
+                    break
+            if intact:
+                still_active.add(incident)
+        self._active_incidents = still_active
+
+    def _build_edges(self) -> dict[int, list[int]]:
+        edges: dict[int, list[int]] = {}
+        for tid, state in self._threads.items():
+            targets: list[int] = []
+            if state.waiting_lock is not None:
+                holder = self._holders.get(state.waiting_lock)
+                if holder is not None:
+                    targets.append(holder)
+            if state.avoidance_match is not None:
+                targets.extend(state.avoidance_match.matched_tids)
+            if targets:
+                edges[tid] = targets
+        return edges
+
+    def _handle_self_deadlock(self, tid: int, emits: list) -> None:
+        state = self._threads[tid]
+        incident = frozenset({(state.epoch, state.waiting_lock)})
+        if incident in self._active_incidents:
+            return
+        self._active_incidents.add(incident)
+        self.stats.self_deadlocks += 1
+        emits.append((EventKind.SELF_DEADLOCK, {"tid": tid}))
+        if self.config.recovery_policy == RECOVERY_RAISE:
+            state.victim_signature = None
+            self.stats.victims_designated += 1
+            emits.append((EventKind.VICTIM_RAISED, {"tid": tid}))
+            self._monitor.notify_all()
+
+    def _resolve_avoidance_cycle(self, avoidance_tids: list[int], emits: list) -> None:
+        """An avoidance suspension participates in a cycle: avoidance itself
+        would deadlock the program.  Dimmunix resolves this by letting one
+        suspended thread proceed despite the dangerous pattern."""
+        chosen = min(avoidance_tids)
+        state = self._threads[chosen]
+        if state.yield_permit:
+            return  # already granted, thread has not woken yet
+        state.yield_permit = True
+        self.stats.yields_granted += 1
+        self._monitor.notify_all()
+
+    def _handle_real_deadlock(self, cycle: list[int], emits: list):
+        incident = frozenset(
+            (self._threads[tid].epoch, self._threads[tid].waiting_lock)
+            for tid in cycle
+        )
+        if incident in self._active_incidents:
+            return None
+        self._active_incidents.add(incident)
+        self.stats.deadlocks_detected += 1
+        signature = self._extract_signature(cycle)
+        emits.append(
+            (
+                EventKind.DEADLOCK_DETECTED,
+                {
+                    "tids": tuple(cycle),
+                    "sig_id": signature.sig_id if signature else None,
+                },
+            )
+        )
+        if self.config.recovery_policy == RECOVERY_RAISE:
+            victim = max(cycle)
+            self._threads[victim].victim_signature = signature
+            self.stats.victims_designated += 1
+            emits.append((EventKind.VICTIM_RAISED, {"tid": victim}))
+            self._monitor.notify_all()
+        return signature
+
+    def _extract_signature(self, cycle: list[int]) -> DeadlockSignature | None:
+        """Outer stack: where each thread acquired the lock the *previous*
+        thread in the cycle is waiting for; inner stack: where it blocks."""
+        n = len(cycle)
+        thread_sigs = []
+        for i, tid in enumerate(cycle):
+            state = self._threads[tid]
+            prev_state = self._threads[cycle[(i - 1) % n]]
+            outer_lock = prev_state.waiting_lock
+            held = state.held.get(outer_lock) if outer_lock is not None else None
+            if held is None or state.waiting_stack is None:
+                return None  # state moved under us; next pass will retry
+            if not held.stack or not state.waiting_stack:
+                return None
+            thread_sigs.append(
+                ThreadSignature(outer=held.stack, inner=state.waiting_stack)
+            )
+        return DeadlockSignature(threads=tuple(thread_sigs), origin=ORIGIN_LOCAL)
+
+    # ------------------------------------------------------- user actions
+    def keep_signature(self, sig_id: str) -> None:
+        """Respond to a false-positive warning by keeping the signature
+        (§III-C1: "the user can decide to keep S, if he/she notices no
+        change in the behavior of the application")."""
+        self.fp.keep(sig_id)
+
+    def discard_signature(self, sig_id: str) -> bool:
+        """Respond to a false-positive warning by dropping the signature
+        from the history; avoidance stops matching it immediately."""
+        return self.history.remove(sig_id)
+
+    # ---------------------------------------------------------- inspection
+    def held_locks(self) -> dict[int, int]:
+        with self._monitor:
+            return dict(self._holders)
+
+    def thread_count(self) -> int:
+        with self._monitor:
+            return len(self._threads)
+
+
+def _find_cycles(edges: dict[int, list[int]]) -> list[list[int]]:
+    """Elementary cycles via iterative DFS; one representative per node set.
+
+    The wait-for graphs here are tiny (threads currently interacting with
+    locks), so a simple colored DFS that reports each gray-back-edge cycle
+    once is both sufficient and fast.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+    cycles: list[list[int]] = []
+    seen_keys: set[frozenset] = set()
+
+    for root in edges:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        path: list[int] = []
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, edge_index = stack[-1]
+            targets = edges.get(node, [])
+            if edge_index < len(targets):
+                stack[-1] = (node, edge_index + 1)
+                target = targets[edge_index]
+                target_color = color.get(target, WHITE)
+                if target_color == WHITE:
+                    color[target] = GRAY
+                    path.append(target)
+                    stack.append((target, 0))
+                elif target_color == GRAY:
+                    cycle = path[path.index(target):]
+                    key = frozenset(cycle)
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(list(cycle))
+            else:
+                stack.pop()
+                path.pop()
+                color[node] = BLACK
+    return cycles

@@ -1,0 +1,70 @@
+"""Run a Communix signature server from the command line.
+
+Usage::
+
+    python -m repro.server [--host 0.0.0.0] [--port 7199]
+        [--quota-per-day 10] [--no-adjacency-check]
+
+The server prints its bound address and serves until interrupted.  Clients
+connect with :class:`repro.client.TcpEndpoint` or via
+``python -m repro.client``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+
+from repro.server.server import CommunixServer, ServerConfig
+from repro.server.transport import ServerTransport
+from repro.util.logging import enable_console_logging
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Communix collaborative deadlock-immunity server",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7199)
+    parser.add_argument(
+        "--quota-per-day", type=int, default=10,
+        help="max signatures accepted per user per day (paper: 10)",
+    )
+    parser.add_argument(
+        "--no-adjacency-check", action="store_true",
+        help="disable the same-user adjacency rejection (testing only)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    enable_console_logging()
+    config = ServerConfig(
+        max_signatures_per_user_per_day=args.quota_per_day,
+        adjacency_check=not args.no_adjacency_check,
+    )
+    server = CommunixServer(config=config)
+    transport = ServerTransport(server, host=args.host, port=args.port)
+    host, port = transport.start()
+    print(f"communix-server listening on {host}:{port} "
+          f"(quota {config.max_signatures_per_user_per_day}/user/day)")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        transport.stop()
+        stats = server.stats
+        print(
+            f"served {stats.adds_accepted} adds, {stats.gets_served} gets; "
+            f"database holds {len(server.database)} signatures"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

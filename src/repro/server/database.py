@@ -1,0 +1,92 @@
+"""The server's signature database.
+
+Append-only and index-addressed: ``GET(k)`` returns every signature from
+database index ``k`` on, which is what makes client downloads incremental
+(§III-B).  Entries are kept as *serialized blobs*: an append-only store never
+re-serializes, so a ``GET`` is a list slice of references — the cheap
+iteration the paper's Fig. 2 numbers rely on — and the transport can splice
+blobs straight onto the wire.
+
+A per-user side index of top-frame sets supports the adjacency check
+(§III-C2) without deserializing history.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.signature import DeadlockSignature
+
+
+@dataclass(frozen=True)
+class StoredSignature:
+    index: int
+    blob: bytes
+    sig_id: str
+    sender_uid: int
+    top_frames: frozenset
+
+
+class SignatureDatabase:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._entries: list[StoredSignature] = []
+        self._blobs: list[bytes] = []  # parallel list for cheap GET slices
+        self._by_sig_id: dict[str, int] = {}
+        self._by_user: dict[int, list[int]] = {}  # uid -> entry indices
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def next_index(self) -> int:
+        return len(self)
+
+    # ------------------------------------------------------------- writing
+    def append(self, signature: DeadlockSignature, blob: bytes,
+               sender_uid: int) -> int:
+        """Store a validated signature; returns its database index.
+
+        Duplicate signatures (same content hash) are not stored twice; the
+        existing index is returned — many users reporting the same deadlock
+        is the expected steady state.
+        """
+        with self._lock:
+            existing = self._by_sig_id.get(signature.sig_id)
+            if existing is not None:
+                return self._entries[existing].index
+            index = len(self._entries)
+            entry = StoredSignature(
+                index=index,
+                blob=blob,
+                sig_id=signature.sig_id,
+                sender_uid=sender_uid,
+                top_frames=signature.top_frames,
+            )
+            self._entries.append(entry)
+            self._blobs.append(blob)
+            self._by_sig_id[signature.sig_id] = index
+            self._by_user.setdefault(sender_uid, []).append(index)
+            return index
+
+    # ------------------------------------------------------------- reading
+    def blobs_from(self, start: int) -> tuple[int, list[bytes]]:
+        """(next_index, blobs) for ``GET(start)``."""
+        with self._lock:
+            start = max(0, start)
+            return len(self._blobs), self._blobs[start:]
+
+    def user_top_frames(self, uid: int) -> list[frozenset]:
+        """Top-frame sets of every signature this user previously sent."""
+        with self._lock:
+            return [self._entries[i].top_frames for i in self._by_user.get(uid, [])]
+
+    def entry(self, index: int) -> StoredSignature:
+        with self._lock:
+            return self._entries[index]
+
+    def contains(self, sig_id: str) -> bool:
+        with self._lock:
+            return sig_id in self._by_sig_id

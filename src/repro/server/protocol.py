@@ -1,0 +1,138 @@
+"""Wire protocol for the Communix server (length-prefixed frames over TCP).
+
+Every message is one *frame*: a 4-byte big-endian length followed by that
+many payload bytes.  Requests are canonical-JSON frames::
+
+    {"op": "ADD", "token": "<hex>", "signature": "<base64 blob>"}
+    {"op": "GET", "from_index": k}
+    {"op": "ISSUE_ID"}
+    {"op": "STATS"}
+
+``ADD``/``ISSUE_ID``/``STATS`` responses are JSON frames.  ``GET`` responses
+use a binary layout so the client can store and count signatures without
+JSON-decoding each one (the agent parses them later, once, at startup)::
+
+    b"SIGS" | next_index:u32 | count:u32 | (len:u32 | blob)*count
+
+Truncated or oversized frames raise :class:`ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import socket
+import struct
+from typing import Any
+
+from repro.util.encoding import canonical_json, from_canonical_json
+from repro.util.errors import ProtocolError
+
+MAX_FRAME = 256 * 1024 * 1024  # GET(0) of a large database can be big
+_GET_MAGIC = b"SIGS"
+
+
+# ----------------------------------------------------------------- framing
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> bytes | None:
+    """Read one frame; ``None`` on clean EOF before any bytes."""
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            if header:
+                raise ProtocolError("connection closed mid-header")
+            return None
+        header += chunk
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"declared frame length {length} exceeds maximum")
+    return _recv_exact(sock, length)
+
+
+# ---------------------------------------------------------------- requests
+def encode_request(obj: dict[str, Any]) -> bytes:
+    return canonical_json(obj)
+
+
+def decode_request(payload: bytes) -> dict[str, Any]:
+    try:
+        obj = from_canonical_json(payload)
+    except ValueError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict) or "op" not in obj:
+        raise ProtocolError("request must be an object with an 'op' field")
+    return obj
+
+
+def encode_add_request(blob: bytes, token: str) -> bytes:
+    return encode_request(
+        {
+            "op": "ADD",
+            "token": token,
+            "signature": base64.b64encode(blob).decode("ascii"),
+        }
+    )
+
+
+def decode_add_signature(request: dict[str, Any]) -> bytes:
+    try:
+        return base64.b64decode(request["signature"], validate=True)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"malformed ADD signature field: {exc}") from exc
+
+
+# ------------------------------------------------------------ GET response
+def encode_get_response(next_index: int, blobs: list[bytes]) -> bytes:
+    parts = [_GET_MAGIC, struct.pack(">II", next_index, len(blobs))]
+    for blob in blobs:
+        parts.append(struct.pack(">I", len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def decode_get_response(payload: bytes) -> tuple[int, list[bytes]]:
+    if len(payload) < 12 or payload[:4] != _GET_MAGIC:
+        raise ProtocolError("malformed GET response header")
+    next_index, count = struct.unpack(">II", payload[4:12])
+    blobs: list[bytes] = []
+    offset = 12
+    for _ in range(count):
+        if offset + 4 > len(payload):
+            raise ProtocolError("truncated GET response (length field)")
+        (length,) = struct.unpack(">I", payload[offset:offset + 4])
+        offset += 4
+        if offset + length > len(payload):
+            raise ProtocolError("truncated GET response (blob body)")
+        blobs.append(payload[offset:offset + length])
+        offset += length
+    if offset != len(payload):
+        raise ProtocolError("trailing bytes in GET response")
+    return next_index, blobs
+
+
+def count_get_response(payload: bytes) -> tuple[int, int]:
+    """(next_index, count) without materializing the blobs — what the
+    Communix client uses to account for a download cheaply."""
+    if len(payload) < 12 or payload[:4] != _GET_MAGIC:
+        raise ProtocolError("malformed GET response header")
+    next_index, count = struct.unpack(">II", payload[4:12])
+    return next_index, count

@@ -1,0 +1,50 @@
+"""Per-user daily signature quota (paper §III-C1).
+
+"The server processes only up to 10 signatures per day from one user;
+beyond this threshold, the signatures from that user are ignored."  With the
+encrypted-ID requirement this bounds a flood: 100 attackers with 5 IDs each
+can force at most 5,000 signatures per day into the pipeline (§IV-B).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.util.clock import Clock
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class DailyQuota:
+    def __init__(self, clock: Clock, limit_per_day: int = 10):
+        self._clock = clock
+        self._limit = limit_per_day
+        self._lock = threading.Lock()
+        self._counts: dict[tuple[int, int], int] = {}  # (uid, day) -> count
+
+    def _day(self) -> int:
+        return int(self._clock.now() // SECONDS_PER_DAY)
+
+    def try_consume(self, uid: int) -> bool:
+        """Record one signature from ``uid``; False if today's quota is spent."""
+        key = (uid, self._day())
+        with self._lock:
+            used = self._counts.get(key, 0)
+            if used >= self._limit:
+                return False
+            self._counts[key] = used + 1
+            # Opportunistically drop stale days to bound memory.
+            if len(self._counts) > 100_000:
+                today = key[1]
+                self._counts = {
+                    k: v for k, v in self._counts.items() if k[1] >= today
+                }
+            return True
+
+    def used_today(self, uid: int) -> int:
+        with self._lock:
+            return self._counts.get((uid, self._day()), 0)
+
+    @property
+    def limit(self) -> int:
+        return self._limit

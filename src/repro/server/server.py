@@ -1,0 +1,119 @@
+"""The Communix server's request-processing core (paper §III-B/C2, §IV-A).
+
+``process_add`` and ``process_get`` are the two routines the paper's Fig. 2
+invokes "from 1,000-100,000 simultaneous threads"; they are fully
+thread-safe and independent of any transport.  :class:`ServerTransport`
+wraps them for the network (Fig. 3); benchmarks and tests may call them
+directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.signature import DeadlockSignature, ORIGIN_REMOTE
+from repro.crypto.userid import UserIdAuthority
+from repro.server.database import SignatureDatabase
+from repro.server.ratelimit import DailyQuota
+from repro.server.validation import ServerSideValidator, ServerVerdict
+from repro.util.clock import Clock, SystemClock
+from repro.util.errors import ValidationError
+from repro.util.logging import get_logger
+
+log = get_logger("server")
+
+
+@dataclass
+class ServerConfig:
+    max_signatures_per_user_per_day: int = 10
+    require_token: bool = True
+    adjacency_check: bool = True
+    #: Upper bound on accepted signature blob size; a 2-thread signature is
+    #: ~1.7 KB (paper §IV-A), so this is generous while bounding abuse.
+    max_signature_bytes: int = 64 * 1024
+
+
+@dataclass
+class AddOutcome:
+    accepted: bool
+    verdict: str
+    index: int | None = None
+
+
+@dataclass
+class ServerStats:
+    adds_accepted: int = 0
+    adds_rejected: dict[str, int] = field(default_factory=dict)
+    gets_served: int = 0
+    signatures_served: int = 0
+
+    def note_rejection(self, verdict: str) -> None:
+        self.adds_rejected[verdict] = self.adds_rejected.get(verdict, 0) + 1
+
+
+class CommunixServer:
+    def __init__(self, config: ServerConfig | None = None,
+                 authority: UserIdAuthority | None = None,
+                 clock: Clock | None = None):
+        self.config = config or ServerConfig()
+        self.clock = clock or SystemClock()
+        self.authority = authority or UserIdAuthority()
+        self.database = SignatureDatabase()
+        self.quota = DailyQuota(
+            self.clock, self.config.max_signatures_per_user_per_day
+        )
+        self.validator = ServerSideValidator(
+            self.authority, self.quota, self.database
+        )
+        self.stats = ServerStats()
+        self._stats_lock = threading.Lock()
+
+    # ----------------------------------------------------------- user ids
+    def issue_user_token(self) -> str:
+        """Hand out a fresh encrypted user ID.
+
+        The paper deliberately leaves the Sybil-resistant issuing *service*
+        out of scope (§III-C2) and so do we: this method is the trusted
+        stand-in used by examples, tests, and benchmarks.
+        """
+        return self.authority.issue(issued_at=int(self.clock.now()))
+
+    # ------------------------------------------------------------ requests
+    def process_add(self, blob: bytes, token: str) -> AddOutcome:
+        """Handle ``ADD(sig)``: validate and store one signature blob."""
+        if len(blob) > self.config.max_signature_bytes:
+            return self._rejected("oversized")
+        try:
+            signature = DeadlockSignature.from_bytes(blob, origin=ORIGIN_REMOTE)
+        except ValidationError:
+            return self._rejected("malformed")
+        if self.config.require_token:
+            verdict, uid = self.validator.check_add(signature, token)
+            if not self.config.adjacency_check and verdict is ServerVerdict.ADJACENT:
+                verdict, uid = ServerVerdict.OK, uid
+            if verdict is not ServerVerdict.OK:
+                return self._rejected(verdict.value)
+        else:
+            uid = 0
+        index = self.database.append(signature, blob, uid)
+        with self._stats_lock:
+            self.stats.adds_accepted += 1
+        return AddOutcome(accepted=True, verdict="ok", index=index)
+
+    def process_get(self, from_index: int) -> tuple[int, list[bytes]]:
+        """Handle ``GET(k)``: all blobs from database index ``k`` on.
+
+        Returns ``(next_index, blobs)`` so the client can resume
+        incrementally with ``GET(next_index)`` tomorrow.
+        """
+        next_index, blobs = self.database.blobs_from(from_index)
+        with self._stats_lock:
+            self.stats.gets_served += 1
+            self.stats.signatures_served += len(blobs)
+        return next_index, blobs
+
+    def _rejected(self, verdict: str) -> AddOutcome:
+        with self._stats_lock:
+            self.stats.note_rejection(verdict)
+        return AddOutcome(accepted=False, verdict=verdict)

@@ -1,0 +1,152 @@
+"""TCP transport for the Communix server.
+
+A classic thread-per-connection accept loop: each client connection gets a
+handler thread that reads request frames and writes response frames until
+the peer disconnects.  Connections are persistent — a Communix client (or a
+benchmark thread) issues its whole ``ADD, GET(0)`` sequence over one
+connection, as the paper's end-to-end setup does.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.server.protocol import (
+    decode_add_signature,
+    decode_request,
+    encode_get_response,
+    read_frame,
+    write_frame,
+)
+from repro.server.server import CommunixServer
+from repro.util.encoding import canonical_json
+from repro.util.errors import ProtocolError
+from repro.util.logging import get_logger
+
+log = get_logger("server.transport")
+
+
+class ServerTransport:
+    def __init__(self, server: CommunixServer, host: str = "127.0.0.1",
+                 port: int = 0, accept_backlog: int = 512):
+        self._server = server
+        self._host = host
+        self._port = port
+        self._backlog = accept_backlog
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._handlers: set[threading.Thread] = set()
+        self._handlers_lock = threading.Lock()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(self._backlog)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+        self._stop.clear()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="communix-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        log.info("server listening on %s:%d", self._host, self._port)
+        return self._host, self._port
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            handler.join(timeout=1.0)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._host, self._port
+
+    # ---------------------------------------------------------------- loops
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, peer),
+                name=f"communix-conn-{peer[1]}",
+                daemon=True,
+            )
+            with self._handlers_lock:
+                self._handlers.add(handler)
+            handler.start()
+
+    def _serve_connection(self, conn: socket.socket, peer) -> None:
+        try:
+            conn.settimeout(30.0)
+            while not self._stop.is_set():
+                try:
+                    payload = read_frame(conn)
+                except (ProtocolError, OSError):
+                    break
+                if payload is None:
+                    break
+                try:
+                    response = self._dispatch(payload)
+                except ProtocolError as exc:
+                    response = canonical_json({"ok": False, "error": str(exc)})
+                try:
+                    write_frame(conn, response)
+                except OSError:
+                    break
+        finally:
+            conn.close()
+            with self._handlers_lock:
+                self._handlers.discard(threading.current_thread())
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, payload: bytes) -> bytes:
+        request = decode_request(payload)
+        op = request["op"]
+        if op == "ADD":
+            blob = decode_add_signature(request)
+            token = str(request.get("token", ""))
+            outcome = self._server.process_add(blob, token)
+            return canonical_json(
+                {
+                    "ok": outcome.accepted,
+                    "verdict": outcome.verdict,
+                    "index": outcome.index,
+                }
+            )
+        if op == "GET":
+            try:
+                from_index = int(request.get("from_index", 0))
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError("GET from_index must be an integer") from exc
+            next_index, blobs = self._server.process_get(from_index)
+            return encode_get_response(next_index, blobs)
+        if op == "ISSUE_ID":
+            return canonical_json({"ok": True, "token": self._server.issue_user_token()})
+        if op == "STATS":
+            stats = self._server.stats
+            return canonical_json(
+                {
+                    "ok": True,
+                    "database_size": len(self._server.database),
+                    "adds_accepted": stats.adds_accepted,
+                    "gets_served": stats.gets_served,
+                }
+            )
+        raise ProtocolError(f"unknown op {op!r}")

@@ -1,0 +1,81 @@
+"""Server-side signature validation (paper §III-C2).
+
+Upon receiving signature S with encrypted ID I, the server:
+
+1. decrypts I to recover the sender's user ID (rejecting forged tokens);
+2. enforces the per-user daily quota (§III-C1);
+3. rejects S if the same user already sent a signature *adjacent* to S —
+   "S and S' have some (but not all) top frames in common".  This is the
+   check that collapses an attacker's signature space from
+   ``N^4 * sum(N_d^4)`` to just N (one signature per nested block).
+
+Token decryption is AES work; the validator memoizes decoded tokens, which
+keeps crypto off the hot path exactly as a production server would.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+from repro.core.signature import DeadlockSignature
+from repro.crypto.userid import UserIdAuthority
+from repro.server.database import SignatureDatabase
+from repro.server.ratelimit import DailyQuota
+from repro.util.errors import CryptoError
+
+
+class ServerVerdict(enum.Enum):
+    OK = "ok"
+    BAD_TOKEN = "bad_token"
+    QUOTA_EXCEEDED = "quota_exceeded"
+    ADJACENT = "adjacent"
+    MALFORMED = "malformed"
+
+
+def adjacent(top_frames_a: frozenset, top_frames_b: frozenset) -> bool:
+    """Some, but not all, top frames in common (§III-C2)."""
+    common = top_frames_a & top_frames_b
+    return bool(common) and top_frames_a != top_frames_b
+
+
+class ServerSideValidator:
+    def __init__(self, authority: UserIdAuthority, quota: DailyQuota,
+                 database: SignatureDatabase, token_cache_size: int = 65_536):
+        self._authority = authority
+        self._quota = quota
+        self._database = database
+        self._token_cache: dict[str, int] = {}
+        self._cache_lock = threading.Lock()
+        self._cache_size = token_cache_size
+
+    # -------------------------------------------------------------- tokens
+    def resolve_uid(self, token: str) -> int | None:
+        with self._cache_lock:
+            uid = self._token_cache.get(token)
+        if uid is not None:
+            return uid
+        try:
+            decoded = self._authority.decode(token)
+        except CryptoError:
+            return None
+        with self._cache_lock:
+            if len(self._token_cache) >= self._cache_size:
+                self._token_cache.clear()
+            self._token_cache[token] = decoded.user_id
+        return decoded.user_id
+
+    # ---------------------------------------------------------- validation
+    def check_add(self, signature: DeadlockSignature, token: str
+                  ) -> tuple[ServerVerdict, int | None]:
+        """Full §III-C2 pipeline for one ADD; returns (verdict, uid)."""
+        uid = self.resolve_uid(token)
+        if uid is None:
+            return ServerVerdict.BAD_TOKEN, None
+        if not self._quota.try_consume(uid):
+            return ServerVerdict.QUOTA_EXCEEDED, uid
+        mine = signature.top_frames
+        for previous in self._database.user_top_frames(uid):
+            if adjacent(mine, previous):
+                return ServerVerdict.ADJACENT, uid
+        return ServerVerdict.OK, uid

@@ -1,0 +1,99 @@
+"""The §IV-B attacker: forging malicious deadlock signatures.
+
+"The attackers have only one way to exploit Dimmunix, to slow down a Java
+application: they can send signatures with outer call stacks of depth 5
+which cover all the nested synchronized blocks/methods that are on the
+critical path, in order to maximize the amount of thread serialization."
+
+:func:`forge_critical_path_signatures` builds exactly those: two-thread
+signatures whose outer stacks are depth-``d`` suffixes of real acquisition
+stacks sampled from the victim workload.  :func:`forge_off_path_signatures`
+builds signatures pointing at locations the application never executes (the
+"<2% if none is on the critical path" control).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    Frame,
+    ORIGIN_REMOTE,
+    ThreadSignature,
+)
+
+
+def forge_critical_path_signatures(sample_stacks: list[CallStack],
+                                   count: int = 20, depth: int = 5,
+                                   seed: int = 0) -> list[DeadlockSignature]:
+    """Pair up sampled acquisition stacks into ``count`` fake signatures.
+
+    Each signature claims "a deadlock happens between code at suffix A and
+    code at suffix B"; Dimmunix will dutifully serialize those code paths.
+    Deeper suffixes pin fewer executions (the point of the depth floor).
+    """
+    if len(sample_stacks) < 2:
+        raise ValueError("need at least two sample stacks to forge pairs")
+    rng = random.Random(seed)
+    suffixes: list[CallStack] = []
+    seen: set[tuple] = set()
+    for stack in sample_stacks:
+        suffix = stack.suffix(depth)
+        key = suffix.locations()
+        if key not in seen and suffix:
+            seen.add(key)
+            suffixes.append(suffix)
+    pairs = list(itertools.combinations(range(len(suffixes)), 2))
+    rng.shuffle(pairs)
+    signatures: list[DeadlockSignature] = []
+    for a, b in pairs:
+        if len(signatures) >= count:
+            break
+        threads = (
+            ThreadSignature(outer=suffixes[a], inner=suffixes[a]),
+            ThreadSignature(outer=suffixes[b], inner=suffixes[b]),
+        )
+        try:
+            signatures.append(
+                DeadlockSignature(threads=threads, origin=ORIGIN_REMOTE)
+            )
+        except Exception:
+            continue  # identical suffixes etc.; just skip the pair
+    if not signatures:
+        raise ValueError("could not forge any signature from the samples")
+    # If there are fewer distinct pairs than requested, the attacker simply
+    # sends what exists (the history deduplicates anyway).
+    return signatures
+
+
+def forge_off_path_signatures(count: int = 20, depth: int = 5,
+                              seed: int = 0) -> list[DeadlockSignature]:
+    """Signatures whose locations the application never executes."""
+    rng = random.Random(seed)
+    signatures = []
+    for i in range(count):
+        stacks = []
+        for j in range(2):
+            frames = [
+                Frame(
+                    class_name="ghost.module",
+                    method=f"phantom_{i}_{j}_{k}",
+                    line=rng.randrange(1, 10_000),
+                    code_hash=f"{i:04x}{j:02x}{k:02x}" + "00" * 4,
+                )
+                for k in range(depth)
+            ]
+            stacks.append(CallStack(frames))
+        signatures.append(
+            DeadlockSignature(
+                threads=(
+                    ThreadSignature(outer=stacks[0], inner=stacks[0]),
+                    ThreadSignature(outer=stacks[1], inner=stacks[1]),
+                ),
+                origin=ORIGIN_REMOTE,
+            )
+        )
+    return signatures

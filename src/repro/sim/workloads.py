@@ -1,0 +1,171 @@
+"""Deadlock-prone programs with realistic call-stack depth.
+
+These are the "applications" of the integration tests and examples.  The
+acquisition call chains are deliberately several frames deep so that the
+captured outer call stacks satisfy the paper's depth >= 5 validation floor
+when the signatures travel through Communix to another node.
+
+:class:`TwoLockProgram` is the canonical AB/BA bug: two code paths taking
+two locks in opposite orders.  ``run_once(collide=True)`` steers the threads
+into the deadlock window with events; with a Dimmunix history containing the
+signature, the same schedule is serialized by avoidance instead.
+
+:class:`DiningPhilosophers` is the classic N-way cycle, for deadlocks
+involving more than two threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.dimmunix.lock import DimmunixLock
+from repro.dimmunix.runtime import DimmunixRuntime
+from repro.util.errors import DeadlockError
+
+
+@dataclass
+class RunResult:
+    completed: list[str] = field(default_factory=list)
+    deadlock_errors: list[DeadlockError] = field(default_factory=list)
+    timed_out: bool = False
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.deadlock_errors) or self.timed_out
+
+
+class TwoLockProgram:
+    """Two threads, two locks, opposite acquisition orders."""
+
+    def __init__(self, runtime: DimmunixRuntime, name: str = "twolock",
+                 rendezvous_timeout: float = 0.7):
+        self.runtime = runtime
+        self.lock_a = DimmunixLock(runtime, f"{name}-A")
+        self.lock_b = DimmunixLock(runtime, f"{name}-B")
+        self._rendezvous_timeout = rendezvous_timeout
+
+    # --- thread 1 path: A then B, through a deep call chain ---------------
+    # Four named levels + the critical frame keep the *trimmed* outer stacks
+    # at depth >= 5 on a receiving node (the thread-bootstrap closure below
+    # the chain is anonymous and gets trimmed by the hash check).
+    def _t1_level1(self, result, collide, e1, e2):
+        self._t1_level2(result, collide, e1, e2)
+
+    def _t1_level2(self, result, collide, e1, e2):
+        self._t1_level3(result, collide, e1, e2)
+
+    def _t1_level3(self, result, collide, e1, e2):
+        self._t1_level4(result, collide, e1, e2)
+
+    def _t1_level4(self, result, collide, e1, e2):
+        self._t1_critical(result, collide, e1, e2)
+
+    def _t1_critical(self, result, collide, e1, e2):
+        with self.lock_a:
+            if collide:
+                e1.set()
+                e2.wait(self._rendezvous_timeout)
+            with self.lock_b:
+                result.completed.append("t1")
+
+    # --- thread 2 path: B then A ------------------------------------------
+    def _t2_level1(self, result, collide, e1, e2):
+        self._t2_level2(result, collide, e1, e2)
+
+    def _t2_level2(self, result, collide, e1, e2):
+        self._t2_level3(result, collide, e1, e2)
+
+    def _t2_level3(self, result, collide, e1, e2):
+        self._t2_level4(result, collide, e1, e2)
+
+    def _t2_level4(self, result, collide, e1, e2):
+        self._t2_critical(result, collide, e1, e2)
+
+    def _t2_critical(self, result, collide, e1, e2):
+        with self.lock_b:
+            if collide:
+                e2.set()
+                e1.wait(self._rendezvous_timeout)
+            with self.lock_a:
+                result.completed.append("t2")
+
+    # ----------------------------------------------------------------- run
+    def run_once(self, collide: bool = True, join_timeout: float = 5.0) -> RunResult:
+        result = RunResult()
+        e1, e2 = threading.Event(), threading.Event()
+
+        def runner(entry):
+            try:
+                entry(result, collide, e1, e2)
+            except DeadlockError as exc:
+                result.deadlock_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(self._t1_level1,), name="twolock-1"),
+            threading.Thread(target=runner, args=(self._t2_level1,), name="twolock-2"),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(join_timeout)
+        result.timed_out = any(t.is_alive() for t in threads)
+        return result
+
+
+class DiningPhilosophers:
+    """N philosophers, N forks, everyone grabs left-then-right."""
+
+    def __init__(self, runtime: DimmunixRuntime, seats: int = 3,
+                 rendezvous_timeout: float = 0.7):
+        if seats < 2:
+            raise ValueError("need at least two philosophers")
+        self.runtime = runtime
+        self.seats = seats
+        self.forks = [DimmunixLock(runtime, f"fork-{i}") for i in range(seats)]
+        self._rendezvous_timeout = rendezvous_timeout
+
+    def _reach(self, seat, result, collide, barrier):
+        self._reach2(seat, result, collide, barrier)
+
+    def _reach2(self, seat, result, collide, barrier):
+        self._reach3(seat, result, collide, barrier)
+
+    def _reach3(self, seat, result, collide, barrier):
+        self._reach4(seat, result, collide, barrier)
+
+    def _reach4(self, seat, result, collide, barrier):
+        self._dine(seat, result, collide, barrier)
+
+    def _dine(self, seat, result, collide, barrier):
+        left = self.forks[seat]
+        right = self.forks[(seat + 1) % self.seats]
+        with left:
+            if collide:
+                try:
+                    barrier.wait(self._rendezvous_timeout)
+                except threading.BrokenBarrierError:
+                    pass  # avoidance already serialized someone; fine
+            with right:
+                result.completed.append(f"p{seat}")
+
+    def run_once(self, collide: bool = True, join_timeout: float = 6.0) -> RunResult:
+        result = RunResult()
+        barrier = threading.Barrier(self.seats)
+
+        def runner(seat):
+            try:
+                self._reach(seat, result, collide, barrier)
+            except DeadlockError as exc:
+                result.deadlock_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=runner, args=(seat,), name=f"phil-{seat}")
+            for seat in range(self.seats)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(join_timeout)
+        result.timed_out = any(t.is_alive() for t in threads)
+        return result

@@ -1,0 +1,38 @@
+"""Shared utilities: clocks, canonical encoding, errors, and logging.
+
+These helpers are deliberately small and dependency-free; every other
+subpackage builds on them.  The clock abstraction in particular is what makes
+the time-sensitive parts of the system (rate limiting, false-positive
+detection, the periodic client, the protection-time simulation) fully
+deterministic under test.
+"""
+
+from repro.util.clock import Clock, ManualClock, SystemClock
+from repro.util.encoding import canonical_json, from_canonical_json, stable_hash
+from repro.util.errors import (
+    CommunixError,
+    CryptoError,
+    DeadlockError,
+    HistoryError,
+    ProtocolError,
+    RateLimitExceeded,
+    ValidationError,
+)
+from repro.util.logging import get_logger
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "canonical_json",
+    "from_canonical_json",
+    "stable_hash",
+    "CommunixError",
+    "CryptoError",
+    "DeadlockError",
+    "HistoryError",
+    "ProtocolError",
+    "RateLimitExceeded",
+    "ValidationError",
+    "get_logger",
+]

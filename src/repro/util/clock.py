@@ -1,0 +1,90 @@
+"""Clock abstraction used throughout the framework.
+
+Every component that needs wall-clock time (the server's daily quota, the
+client's download period, Dimmunix's false-positive detector, the
+protection-time simulator) receives a :class:`Clock` instead of calling
+``time.time()`` directly.  Production code uses :class:`SystemClock`; tests
+and simulations use :class:`ManualClock` to advance time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface for time sources.
+
+    Concrete clocks provide :meth:`now` (seconds, arbitrary epoch) and
+    :meth:`sleep`.
+    """
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real wall-clock time backed by :func:`time.monotonic` offsets.
+
+    ``now()`` returns UNIX time so that persisted timestamps are meaningful
+    across processes.
+    """
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to.
+
+    ``sleep`` advances the clock instead of blocking, which lets tests run
+    day-granularity scenarios (e.g. the server's 10-signatures-per-day quota)
+    instantly.  The clock is thread-safe: waiters blocked in :meth:`sleep`
+    on a real condition variable are released when another thread advances
+    time past their deadline.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward and wake any waiters."""
+        if seconds < 0:
+            raise ValueError("cannot move time backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def wait_until(self, deadline: float, timeout: float = 5.0) -> bool:
+        """Block the *calling OS thread* until the clock reaches ``deadline``.
+
+        Used by tests that coordinate a background component with manual
+        time.  Returns ``False`` if the real ``timeout`` elapses first.
+        """
+        end = time.monotonic() + timeout
+        with self._cond:
+            while self._now < deadline:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True

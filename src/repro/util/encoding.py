@@ -1,0 +1,40 @@
+"""Canonical JSON encoding and stable content hashing.
+
+Signatures are content-addressed: two machines that independently produce the
+same deadlock signature must derive the same signature ID.  That requires a
+*canonical* byte encoding — sorted keys, no whitespace, UTF-8 — which this
+module provides, together with a SHA-256 helper used for signature IDs and
+bytecode hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(obj: Any) -> bytes:
+    """Encode ``obj`` as canonical JSON bytes (sorted keys, compact)."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+def from_canonical_json(data: bytes | str) -> Any:
+    """Decode JSON previously produced by :func:`canonical_json`."""
+    if isinstance(data, bytes):
+        data = data.decode("utf-8")
+    return json.loads(data)
+
+
+def stable_hash(data: bytes | str, length: int = 16) -> str:
+    """Hex SHA-256 of ``data``, truncated to ``length`` hex characters.
+
+    16 hex chars (64 bits) is plenty for the signature and bytecode ID spaces
+    exercised here while keeping serialized signatures compact (the paper
+    reports 1.7 KB per signature; ours are the same order of magnitude).
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()[:length]

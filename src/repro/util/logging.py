@@ -1,0 +1,37 @@
+"""Library logging setup.
+
+The library never prints; it logs under the ``repro`` namespace and installs
+a ``NullHandler`` so that applications embedding it stay silent unless they
+configure logging themselves.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the library namespace.
+
+    ``get_logger("server")`` yields ``repro.server``; passing a fully
+    qualified ``repro.*`` name returns it unchanged.
+    """
+    if name.startswith(_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Convenience for examples: route library logs to stderr."""
+    logger = logging.getLogger(_ROOT)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,53 @@
+"""Instruction-set and successor-computation tests."""
+
+from repro.appmodel.bytecode import EXPLICIT_LOCK_TARGETS, Instruction, Opcode
+
+
+class TestSuccessors:
+    def test_straight_line(self):
+        ins = Instruction(Opcode.NOP)
+        assert ins.successors(0, 3) == (1,)
+
+    def test_last_instruction_has_no_fallthrough(self):
+        assert Instruction(Opcode.NOP).successors(2, 3) == ()
+
+    def test_return_terminates(self):
+        assert Instruction(Opcode.RETURN).successors(0, 5) == ()
+
+    def test_throw_terminates(self):
+        assert Instruction(Opcode.THROW).successors(0, 5) == ()
+
+    def test_goto_single_target(self):
+        assert Instruction(Opcode.GOTO, 4).successors(0, 6) == (4,)
+
+    def test_if_branch_and_fallthrough(self):
+        assert Instruction(Opcode.IF, 4).successors(1, 6) == (4, 2)
+
+    def test_if_at_end_only_branch(self):
+        assert Instruction(Opcode.IF, 0).successors(5, 6) == (0,)
+
+
+class TestEncoding:
+    def test_encode_with_operand(self):
+        ins = Instruction(Opcode.INVOKE, "a.B.m", line=7)
+        assert ins.encode() == "invoke(a.B.m)@7"
+
+    def test_encode_without_operand(self):
+        assert Instruction(Opcode.MONITORENTER, line=3).encode() == "monitorenter@3"
+
+    def test_encoding_distinguishes_lines(self):
+        a = Instruction(Opcode.NOP, line=1)
+        b = Instruction(Opcode.NOP, line=2)
+        assert a.encode() != b.encode()
+
+
+class TestExplicitLockOps:
+    def test_reentrant_lock_calls_flagged(self):
+        for target in EXPLICIT_LOCK_TARGETS:
+            assert Instruction(Opcode.INVOKE, target).is_explicit_lock_op
+
+    def test_ordinary_invoke_not_flagged(self):
+        assert not Instruction(Opcode.INVOKE, "app.C.m").is_explicit_lock_op
+
+    def test_non_invoke_not_flagged(self):
+        assert not Instruction(Opcode.MONITORENTER).is_explicit_lock_op

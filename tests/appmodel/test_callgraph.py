@@ -1,0 +1,98 @@
+"""Call graph and may-reach-synchronization tests."""
+
+from repro.appmodel.callgraph import CallGraph
+from repro.appmodel.classfile import MethodBuilder
+
+
+def method(cls, name, invokes=(), sync=False, monitor=False):
+    mb = MethodBuilder(cls, name, synchronized_method=sync)
+    if monitor:
+        mb.monitor_enter()
+        mb.nop()
+        mb.monitor_exit()
+    else:
+        mb.nop()
+    for target in invokes:
+        mb.invoke(target)
+    return mb.build()
+
+
+def graph(*methods):
+    return CallGraph({m.ref: m for m in methods})
+
+
+class TestDirectSync:
+    def test_synchronized_method(self):
+        cg = graph(method("C", "s", sync=True))
+        assert cg.is_directly_synchronized("C.s")
+
+    def test_monitor_block(self):
+        cg = graph(method("C", "b", monitor=True))
+        assert cg.is_directly_synchronized("C.b")
+
+    def test_plain_method(self):
+        cg = graph(method("C", "p"))
+        assert not cg.is_directly_synchronized("C.p")
+
+    def test_unknown_ref(self):
+        cg = graph()
+        assert not cg.is_directly_synchronized("ghost.G.m")
+
+
+class TestMayReachSync:
+    def test_direct(self):
+        cg = graph(method("C", "s", sync=True))
+        assert cg.may_reach_sync("C.s")
+
+    def test_one_hop(self):
+        cg = graph(
+            method("C", "caller", invokes=["C.target"]),
+            method("C", "target", sync=True),
+        )
+        assert cg.may_reach_sync("C.caller")
+
+    def test_transitive_chain(self):
+        cg = graph(
+            method("C", "a", invokes=["C.b"]),
+            method("C", "b", invokes=["C.c"]),
+            method("C", "c", invokes=["C.d"]),
+            method("C", "d", monitor=True),
+        )
+        assert cg.may_reach_sync("C.a")
+
+    def test_negative(self):
+        cg = graph(
+            method("C", "a", invokes=["C.b"]),
+            method("C", "b"),
+        )
+        assert not cg.may_reach_sync("C.a")
+
+    def test_cycle_without_sync_terminates(self):
+        cg = graph(
+            method("C", "a", invokes=["C.b"]),
+            method("C", "b", invokes=["C.a"]),
+        )
+        assert not cg.may_reach_sync("C.a")
+        assert not cg.may_reach_sync("C.b")
+
+    def test_cycle_with_sync(self):
+        cg = graph(
+            method("C", "a", invokes=["C.b"]),
+            method("C", "b", invokes=["C.a", "C.s"]),
+            method("C", "s", sync=True),
+        )
+        assert cg.may_reach_sync("C.a")
+
+    def test_unresolved_target_conservatively_negative(self):
+        cg = graph(method("C", "a", invokes=["jdk.Lib.m"]))
+        assert not cg.may_reach_sync("C.a")
+        assert "jdk.Lib.m" in cg.unresolved_refs
+
+    def test_memoization_consistent(self):
+        cg = graph(
+            method("C", "a", invokes=["C.b"]),
+            method("C", "b", sync=True),
+        )
+        assert cg.may_reach_sync("C.a")
+        assert cg.may_reach_sync("C.a")  # cached path
+        assert cg.may_reach_sync("C.b")

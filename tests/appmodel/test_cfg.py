@@ -1,0 +1,76 @@
+"""Control-flow graph construction tests."""
+
+import pytest
+
+from repro.appmodel.cfg import ControlFlowGraph
+from repro.appmodel.classfile import MethodBuilder
+
+
+def straight_method():
+    mb = MethodBuilder("C", "m")
+    mb.nop()
+    mb.nop()
+    return mb.build()
+
+
+def branching_method():
+    # 0: IF -> 3 ; 1: NOP ; 2: GOTO 4 ; 3: NOP ; 4: RETURN
+    mb = MethodBuilder("C", "m")
+    branch = mb.branch(0)
+    mb.nop()
+    goto = mb.goto(0)
+    taken = mb.nop()
+    ret = mb.ret()
+    mb.patch_target(branch, taken)
+    mb.patch_target(goto, ret)
+    return mb.build()
+
+
+class TestSuccessors:
+    def test_straight_line_chain(self):
+        cfg = ControlFlowGraph(straight_method())
+        assert cfg.successors(0) == (1,)
+        assert cfg.successors(1) == (2,)
+        assert cfg.successors(2) == ()  # the auto RETURN
+
+    def test_branching(self):
+        cfg = ControlFlowGraph(branching_method())
+        assert cfg.successors(0) == (3, 1)
+        assert cfg.successors(2) == (4,)
+
+    def test_no_cfg_method_rejected(self):
+        method = straight_method()
+        method.has_cfg = False
+        with pytest.raises(ValueError):
+            ControlFlowGraph(method)
+
+
+class TestReachability:
+    def test_all_reachable_in_branching(self):
+        cfg = ControlFlowGraph(branching_method())
+        assert cfg.reachable_from(0) == {0, 1, 2, 3, 4}
+
+    def test_partial_reachability(self):
+        cfg = ControlFlowGraph(branching_method())
+        assert cfg.reachable_from(3) == {3, 4}
+
+
+class TestBasicBlocks:
+    def test_straight_line_single_block(self):
+        cfg = ControlFlowGraph(straight_method())
+        blocks = cfg.basic_blocks()
+        assert len(blocks) == 1
+        assert (blocks[0].start, blocks[0].end) == (0, 2)
+
+    def test_branching_blocks(self):
+        cfg = ControlFlowGraph(branching_method())
+        blocks = cfg.basic_blocks()
+        starts = [b.start for b in blocks]
+        assert starts == [0, 1, 3, 4]
+        assert all(len(b) >= 1 for b in blocks)
+
+    def test_empty_method(self):
+        mb = MethodBuilder("C", "m")
+        method = mb.build()  # just the auto RETURN
+        blocks = ControlFlowGraph(method).basic_blocks()
+        assert len(blocks) == 1

@@ -1,0 +1,125 @@
+"""Class file, method builder, and desugaring tests."""
+
+import pytest
+
+from repro.appmodel.bytecode import Opcode
+from repro.appmodel.classfile import ClassFile, Method, MethodBuilder, make_ref, split_ref
+
+
+class TestRefs:
+    def test_make_and_split(self):
+        ref = make_ref("a.b.C", "m")
+        assert ref == "a.b.C.m"
+        assert split_ref(ref) == ("a.b.C", "m")
+
+
+class TestMethodBuilder:
+    def test_auto_return_appended(self):
+        method = MethodBuilder("C", "m").build()
+        assert method.instructions[-1].opcode is Opcode.RETURN
+
+    def test_no_double_return(self):
+        mb = MethodBuilder("C", "m")
+        mb.ret()
+        method = mb.build()
+        assert sum(1 for i in method.instructions if i.opcode is Opcode.RETURN) == 1
+
+    def test_patch_target(self):
+        mb = MethodBuilder("C", "m")
+        idx = mb.goto(0)
+        mb.nop()
+        mb.patch_target(idx, 1)
+        assert mb.build().instructions[idx].operand == 1
+
+    def test_patch_target_rejects_non_branch(self):
+        mb = MethodBuilder("C", "m")
+        idx = mb.nop()
+        with pytest.raises(ValueError):
+            mb.patch_target(idx, 0)
+
+    def test_line_numbers_monotone(self):
+        mb = MethodBuilder("C", "m", first_line=100)
+        mb.nop()
+        mb.nop()
+        method = mb.build()
+        lines = [i.line for i in method.instructions]
+        assert lines == sorted(lines)
+        assert lines[0] == 100
+
+
+class TestDesugaring:
+    def _sync_method(self, body_ops=("nop",)):
+        mb = MethodBuilder("C", "m", first_line=10, synchronized_method=True)
+        for op in body_ops:
+            getattr(mb, op)()
+        return mb.build()
+
+    def test_wraps_body_in_monitor_pair(self):
+        desugared = self._sync_method().desugared()
+        opcodes = [i.opcode for i in desugared.instructions]
+        assert opcodes[0] is Opcode.MONITORENTER
+        assert Opcode.MONITOREXIT in opcodes
+        assert opcodes[-1] is Opcode.RETURN
+        assert not desugared.synchronized_method
+
+    def test_returns_redirected_to_exit(self):
+        desugared = self._sync_method(("nop", "ret")).desugared()
+        # The body's RETURN must become a GOTO to the shared exit sequence.
+        gotos = [i for i in desugared.instructions if i.opcode is Opcode.GOTO]
+        assert len(gotos) == 1
+        target = int(gotos[0].operand)
+        assert desugared.instructions[target].opcode is Opcode.MONITOREXIT
+
+    def test_non_sync_method_unchanged(self):
+        mb = MethodBuilder("C", "m")
+        mb.nop()
+        method = mb.build()
+        assert method.desugared() is method
+
+    def test_desugaring_preserves_ref_and_cfg_flag(self):
+        method = self._sync_method()
+        method.has_cfg = False
+        desugared = method.desugared()
+        assert desugared.ref == method.ref
+        assert desugared.has_cfg is False
+
+
+class TestClassFile:
+    def _cls(self, padding=b""):
+        cls = ClassFile(name="p.K", padding=padding)
+        mb = MethodBuilder("p.K", "m")
+        mb.nop()
+        cls.add_method(mb.build())
+        return cls
+
+    def test_hash_stable(self):
+        assert self._cls().bytecode_hash() == self._cls().bytecode_hash()
+
+    def test_hash_changes_with_code(self):
+        a = self._cls()
+        b = ClassFile(name="p.K")
+        mb = MethodBuilder("p.K", "m")
+        mb.nop()
+        mb.nop()
+        b.add_method(mb.build())
+        assert a.bytecode_hash() != b.bytecode_hash()
+
+    def test_hash_changes_with_padding(self):
+        assert self._cls().bytecode_hash() != self._cls(b"pad").bytecode_hash()
+
+    def test_method_order_irrelevant(self):
+        a = ClassFile(name="p.K")
+        b = ClassFile(name="p.K")
+        for name_order in (("m1", "m2"), ("m2", "m1")):
+            target = a if name_order == ("m1", "m2") else b
+            for name in name_order:
+                mb = MethodBuilder("p.K", name)
+                mb.nop()
+                target.add_method(mb.build())
+        assert a.bytecode_hash() == b.bytecode_hash()
+
+    def test_wrong_class_method_rejected(self):
+        cls = ClassFile(name="p.K")
+        mb = MethodBuilder("other.C", "m")
+        with pytest.raises(ValueError):
+            cls.add_method(mb.build())

@@ -1,0 +1,68 @@
+"""Generator tests: presets must reproduce their Table I statistics."""
+
+import pytest
+
+from repro.appmodel.generator import PRESETS, AppSpec, generate_application
+
+
+class TestScaledGeneration:
+    @pytest.mark.parametrize("preset", ["jboss", "limewire", "vuze"])
+    def test_scaled_statistics_match_spec(self, preset):
+        spec = PRESETS[preset].scaled(0.05)
+        app = generate_application(PRESETS[preset], scale=0.05)
+        stats = app.statistics()
+        assert stats.sync_sites == spec.sync_sites
+        assert stats.analyzed_sites == spec.analyzed_sites
+        assert stats.nested_sites == spec.nested_sites
+        assert stats.loc == spec.loc
+        # Explicit ops are packed 4 per method; count is rounded up.
+        assert stats.explicit_sync_ops >= spec.explicit_ops
+        assert stats.explicit_sync_ops < spec.explicit_ops + 4
+
+    def test_deterministic_for_seed(self):
+        a = generate_application(PRESETS["vuze"], scale=0.05)
+        b = generate_application(PRESETS["vuze"], scale=0.05)
+        assert a.hash_index() == b.hash_index()
+
+    def test_different_presets_differ(self):
+        a = generate_application(PRESETS["jboss"], scale=0.05)
+        b = generate_application(PRESETS["limewire"], scale=0.05)
+        assert set(a.hash_index()) != set(b.hash_index())
+
+
+class TestSpecValidation:
+    def test_nested_bound_enforced(self):
+        bad = AppSpec(
+            name="bad", loc=1000, sync_sites=10, explicit_ops=0,
+            analyzed_sites=5, nested_sites=4, classes=4,
+        )
+        with pytest.raises(ValueError):
+            generate_application(bad)
+
+    def test_scaled_keeps_invariants(self):
+        for preset in PRESETS.values():
+            for scale in (0.02, 0.05, 0.2):
+                spec = preset.scaled(scale)
+                assert spec.analyzed_sites >= 2 * spec.nested_sites
+                assert spec.sync_sites >= spec.analyzed_sites
+                assert spec.nested_sites >= 1
+
+
+class TestPresetTableI:
+    """The full-scale presets carry exactly the paper's Table I targets."""
+
+    @pytest.mark.parametrize(
+        "name,loc,sync,explicit,analyzed,nested",
+        [
+            ("jboss", 636_895, 1_898, 104, 844, 249),
+            ("limewire", 595_623, 1_435, 189, 781, 277),
+            ("vuze", 476_702, 3_653, 14, 432, 120),
+        ],
+    )
+    def test_preset_targets(self, name, loc, sync, explicit, analyzed, nested):
+        spec = PRESETS[name]
+        assert spec.loc == loc
+        assert spec.sync_sites == sync
+        assert spec.explicit_ops == explicit
+        assert spec.analyzed_sites == analyzed
+        assert spec.nested_sites == nested

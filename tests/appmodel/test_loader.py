@@ -1,0 +1,103 @@
+"""Application loader tests: hash caching, generations, statistics."""
+
+from repro.appmodel.classfile import ClassFile, MethodBuilder
+from repro.appmodel.loader import Application
+from repro.core.signature import Frame
+
+
+def simple_class(name, nested=False, loc=100):
+    cls = ClassFile(name=name, source_loc=loc)
+    mb = MethodBuilder(name, "work", first_line=10)
+    mb.monitor_enter()
+    if nested:
+        mb.monitor_enter()
+        mb.monitor_exit()
+    mb.monitor_exit()
+    cls.add_method(mb.build())
+    return cls
+
+
+class TestHashes:
+    def test_hash_cached_and_stable(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A"))
+        first = app.bytecode_hash("app.A")
+        assert first == app.bytecode_hash("app.A")
+
+    def test_unknown_class_none(self):
+        app = Application("app")
+        assert app.bytecode_hash("ghost") is None
+
+    def test_reload_invalidates_cache(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A"))
+        before = app.bytecode_hash("app.A")
+        replacement = simple_class("app.A", nested=True)
+        app.load_class(replacement)
+        after = app.bytecode_hash("app.A")
+        assert before != after
+
+    def test_frame_hash_protocol(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A"))
+        frame = Frame("app.A", "work", 10, "whatever")
+        assert app.frame_hash(frame) == app.bytecode_hash("app.A")
+
+    def test_hash_index_covers_all(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A"))
+        app.load_class(simple_class("app.B"))
+        index = app.hash_index()
+        assert set(index) == {"app.A", "app.B"}
+
+
+class TestGenerations:
+    def test_generation_bumps_on_load(self):
+        app = Application("app")
+        g0 = app.generation
+        app.load_class(simple_class("app.A"))
+        assert app.generation == g0 + 1
+
+    def test_nested_sites_recomputed_after_load(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A", nested=True))
+        first = app.nested_sync_sites()
+        assert len(first) == 1
+        app.load_class(simple_class("app.B", nested=True))
+        second = app.nested_sync_sites()
+        assert len(second) == 2
+
+
+class TestStartup:
+    def test_start_hashes_everything(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A"))
+        app.start()
+        assert app.started
+        app.shutdown()
+        assert not app.started
+
+    def test_loc_accounting(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A", loc=70))
+        app.load_class(simple_class("app.B", loc=30))
+        assert app.loc == 100
+
+    def test_declared_loc_wins(self):
+        app = Application("app", loc=12345)
+        app.load_class(simple_class("app.A", loc=1))
+        assert app.loc == 12345
+
+
+class TestStatistics:
+    def test_statistics_row(self):
+        app = Application("app")
+        app.load_class(simple_class("app.A", nested=True, loc=50))
+        app.load_class(simple_class("app.B", loc=50))
+        stats = app.statistics()
+        assert stats.name == "app"
+        assert stats.loc == 100
+        assert stats.sync_sites == 3  # nested pair + plain block
+        assert stats.nested_sites == 1
+        assert stats.analyzed_sites == 3
+        assert stats.nesting_seconds >= 0.0

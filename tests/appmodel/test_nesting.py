@@ -1,0 +1,186 @@
+"""Nesting analysis tests (§III-C3 algorithm)."""
+
+from repro.appmodel.classfile import MethodBuilder
+from repro.appmodel.nesting import NestingAnalysis
+
+
+def analyze(*methods):
+    table = {m.ref: m for m in methods}
+    analysis = NestingAnalysis(table)
+    report = analysis.analyze_all()
+    return report
+
+
+class TestBlockNesting:
+    def test_plain_block_not_nested(self):
+        mb = MethodBuilder("C", "m", first_line=10)
+        mb.monitor_enter()
+        mb.nop()
+        mb.monitor_exit()
+        report = analyze(mb.build())
+        assert report.total_sites == 1
+        assert report.analyzed_sites == 1
+        assert report.nested_count == 0
+
+    def test_block_nesting_detected(self):
+        mb = MethodBuilder("C", "m", first_line=10)
+        outer = mb.monitor_enter()
+        mb.monitor_enter()
+        mb.monitor_exit()
+        mb.monitor_exit()
+        method = mb.build()
+        report = analyze(method)
+        assert report.total_sites == 2
+        assert report.nested_count == 1
+        outer_line = method.instructions[outer].line
+        assert ("C", "m", outer_line) in report.nested_sites
+
+    def test_inner_block_is_non_nested(self):
+        mb = MethodBuilder("C", "m", first_line=10)
+        mb.monitor_enter()
+        inner = mb.monitor_enter()
+        mb.monitor_exit()
+        mb.monitor_exit()
+        method = mb.build()
+        report = analyze(method)
+        inner_line = method.instructions[inner].line
+        assert ("C", "m", inner_line) in report.non_nested_sites
+
+
+class TestInvokeNesting:
+    def test_call_to_synchronized_method_makes_nested(self):
+        helper = MethodBuilder("C", "helper", synchronized_method=True)
+        helper.nop()
+        helper_m = helper.build()
+        mb = MethodBuilder("C", "m", first_line=10)
+        mb.monitor_enter()
+        mb.invoke("C.helper")
+        mb.monitor_exit()
+        report = analyze(mb.build(), helper_m)
+        # The outer block is nested; the helper's desugared block is not.
+        assert report.nested_count == 1
+        assert report.total_sites == 2
+
+    def test_transitive_call_chain(self):
+        a = MethodBuilder("C", "a")
+        a.invoke("C.b")
+        b = MethodBuilder("C", "b")
+        b.monitor_enter()
+        b.nop()
+        b.monitor_exit()
+        mb = MethodBuilder("C", "m", first_line=5)
+        mb.monitor_enter()
+        mb.invoke("C.a")
+        mb.monitor_exit()
+        report = analyze(mb.build(), a.build(), b.build())
+        assert report.nested_count == 1
+
+    def test_harmless_call_skipped_over(self):
+        noop = MethodBuilder("C", "noop")
+        noop.nop()
+        mb = MethodBuilder("C", "m")
+        mb.monitor_enter()
+        mb.invoke("C.noop")
+        mb.monitor_exit()
+        report = analyze(mb.build(), noop.build())
+        assert report.nested_count == 0
+
+    def test_unknown_callee_treated_as_harmless(self):
+        mb = MethodBuilder("C", "m")
+        mb.monitor_enter()
+        mb.invoke("jdk.Unknown.m")
+        mb.monitor_exit()
+        report = analyze(mb.build())
+        assert report.nested_count == 0
+
+
+class TestBranches:
+    def test_nested_on_branch_taken_path(self):
+        # enter ; IF -> inner-enter path ; fallthrough exits first
+        mb = MethodBuilder("C", "m", first_line=20)
+        mb.monitor_enter()
+        branch = mb.branch(0)
+        mb.nop()
+        goto = mb.goto(0)
+        inner = mb.monitor_enter()  # taken path hits another enter
+        mb.monitor_exit()
+        exit_index = mb.monitor_exit()
+        mb.patch_target(branch, inner)
+        mb.patch_target(goto, exit_index)
+        report = analyze(mb.build())
+        # BFS visits the branch target first: nested.
+        method_sites = {site for site in report.nested_sites}
+        assert len(method_sites) == 1
+
+    def test_both_paths_exit_non_nested(self):
+        mb = MethodBuilder("C", "m", first_line=30)
+        mb.monitor_enter()
+        branch = mb.branch(0)
+        mb.nop()
+        goto = mb.goto(0)
+        taken = mb.nop()
+        exit_index = mb.monitor_exit()
+        mb.patch_target(branch, taken)
+        mb.patch_target(goto, exit_index)
+        report = analyze(mb.build())
+        assert report.nested_count == 0
+
+
+class TestSootCoverageGaps:
+    def test_no_cfg_sites_unanalyzed(self):
+        mb = MethodBuilder("C", "m", has_cfg=False)
+        mb.monitor_enter()
+        mb.nop()
+        mb.monitor_exit()
+        report = analyze(mb.build())
+        assert report.total_sites == 1
+        assert report.analyzed_sites == 0
+        assert len(report.unanalyzed_sites) == 1
+
+    def test_mixed_coverage_accounting(self):
+        opaque = MethodBuilder("C", "opaque", has_cfg=False)
+        opaque.monitor_enter()
+        opaque.monitor_exit()
+        clear = MethodBuilder("C", "clear")
+        clear.monitor_enter()
+        clear.monitor_exit()
+        report = analyze(opaque.build(), clear.build())
+        assert report.total_sites == 2
+        assert report.analyzed_sites == 1
+
+
+class TestSynchronizedMethods:
+    def test_sync_method_desugared_and_counted(self):
+        mb = MethodBuilder("C", "s", synchronized_method=True)
+        mb.nop()
+        report = analyze(mb.build())
+        assert report.total_sites == 1
+        assert report.nested_count == 0
+
+    def test_sync_method_calling_sync_method_nested(self):
+        a = MethodBuilder("C", "a", synchronized_method=True)
+        a.invoke("C.b")
+        b = MethodBuilder("C", "b", synchronized_method=True)
+        b.nop()
+        report = analyze(a.build(), b.build())
+        assert report.total_sites == 2
+        assert report.nested_count == 1
+
+
+class TestLatentNesting:
+    def test_new_class_uncovers_nesting(self):
+        """'Adding new classes to the CFG can only uncover new nested
+        synchronized blocks/methods.'"""
+        host = MethodBuilder("C", "m", first_line=10)
+        host.monitor_enter()
+        host.invoke("Ext.helper")
+        host.monitor_exit()
+        host_m = host.build()
+
+        before = analyze(host_m)
+        assert before.nested_count == 0
+
+        helper = MethodBuilder("Ext", "helper", synchronized_method=True)
+        helper.nop()
+        after = analyze(host_m, helper.build())
+        assert after.nested_count == 1

@@ -1,0 +1,61 @@
+"""Signature factory tests: each factory targets one validation stage."""
+
+from repro.appmodel import SignatureFactory
+from repro.core.validation import ClientSideValidator, RejectReason
+
+
+class TestFactoryShapes:
+    def test_valid_has_requested_depth(self, shared_factory):
+        sig = shared_factory.make_valid(depth=9)
+        assert all(t.outer.depth == 9 for t in sig.threads)
+
+    def test_valid_three_thread_signature(self, shared_factory):
+        sig = shared_factory.make_valid(n_threads=3)
+        assert len(sig.threads) == 3
+
+    def test_batch_mixture(self, shared_app):
+        factory = SignatureFactory(shared_app, seed=3)
+        batch = factory.make_batch(60, valid_fraction=0.5)
+        assert len(batch) == 60
+        validator = ClientSideValidator(shared_app)
+        verdicts = [validator.validate(sig).accepted for sig in batch]
+        accepted = sum(verdicts)
+        # Roughly the valid fraction should be accepted; allow slack for the
+        # random mixture.
+        assert 15 <= accepted <= 45
+
+    def test_batch_deterministic_per_seed(self, shared_app):
+        a = SignatureFactory(shared_app, seed=9).make_batch(10)
+        b = SignatureFactory(shared_app, seed=9).make_batch(10)
+        assert [s.sig_id for s in a] == [s.sig_id for s in b]
+
+    def test_adjacent_pair_property(self, shared_factory):
+        a, b = shared_factory.make_adjacent_pair()
+        assert a.is_adjacent_to(b)
+
+    def test_mergeable_pair_same_bug_different_ids(self, shared_factory):
+        a, b = shared_factory.make_mergeable_pair()
+        assert a.bug_key == b.bug_key
+        assert a.sig_id != b.sig_id
+
+
+class TestFactoryValidationTargets:
+    def test_each_factory_hits_its_stage(self, shared_app, shared_factory):
+        validator = ClientSideValidator(shared_app)
+        assert validator.validate(shared_factory.make_valid()).accepted
+        assert (
+            validator.validate(shared_factory.make_bad_hash()).reason
+            is RejectReason.HASH_MISMATCH
+        )
+        assert (
+            validator.validate(shared_factory.make_shallow(2)).reason
+            is RejectReason.TOO_SHALLOW
+        )
+        assert (
+            validator.validate(shared_factory.make_non_nested()).reason
+            is RejectReason.NOT_NESTED
+        )
+        assert (
+            validator.validate(shared_factory.make_foreign()).reason
+            is RejectReason.HASH_MISMATCH
+        )

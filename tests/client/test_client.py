@@ -1,0 +1,130 @@
+"""Communix client tests: incremental daily downloads (§III-B)."""
+
+import random
+import time
+
+import pytest
+
+from repro.client.client import CommunixClient
+from repro.client.endpoints import InProcessEndpoint
+from repro.core.repository import LocalRepository
+from repro.crypto.userid import UserIdAuthority
+from repro.server.server import CommunixServer
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def deployment(manual_clock):
+    server = CommunixServer(
+        authority=UserIdAuthority(rng=random.Random(9)), clock=manual_clock
+    )
+    endpoint = InProcessEndpoint(server)
+    repo = LocalRepository()
+    client = CommunixClient(
+        endpoint=endpoint, repository=repo, clock=manual_clock, period=86_400.0
+    )
+    return server, endpoint, repo, client
+
+
+def upload(server, factory, n):
+    sigs = []
+    for _ in range(n):
+        token = server.issue_user_token()
+        sig = factory.make_valid()
+        assert server.process_add(sig.to_bytes(), token).accepted
+        sigs.append(sig)
+    return sigs
+
+
+class TestPollOnce:
+    def test_initial_full_download(self, deployment, shared_factory):
+        server, _, repo, client = deployment
+        upload(server, shared_factory, 3)
+        report = client.poll_once()
+        assert report.received == 3
+        assert report.stored == 3
+        assert len(repo) == 3
+        assert repo.server_index == 3
+
+    def test_incremental_second_poll(self, deployment, shared_factory):
+        server, _, repo, client = deployment
+        upload(server, shared_factory, 2)
+        client.poll_once()
+        upload(server, shared_factory, 2)
+        report = client.poll_once()
+        assert report.requested_from == 2
+        assert report.received == 2  # only the new ones travel
+        assert len(repo) == 4
+
+    def test_no_news_empty_download(self, deployment, shared_factory):
+        server, _, repo, client = deployment
+        upload(server, shared_factory, 1)
+        client.poll_once()
+        report = client.poll_once()
+        assert report.received == 0
+        assert report.stored == 0
+
+    def test_malformed_blob_skipped(self, deployment, shared_factory):
+        server, endpoint, repo, client = deployment
+
+        class HostileEndpoint:
+            def get(self, from_index):
+                return 2, [b"not a signature", shared_factory.make_valid().to_bytes()]
+
+        hostile_client = CommunixClient(
+            endpoint=HostileEndpoint(), repository=repo,
+            clock=client.clock, period=86_400.0,
+        )
+        report = hostile_client.poll_once()
+        assert report.malformed == 1
+        assert report.stored == 1
+
+    def test_endpoint_failure_reported_not_raised(self, deployment):
+        _, _, repo, client = deployment
+
+        class DeadEndpoint:
+            def get(self, from_index):
+                from repro.util.errors import ProtocolError
+
+                raise ProtocolError("gone")
+
+        failing = CommunixClient(
+            endpoint=DeadEndpoint(), repository=repo, clock=client.clock
+        )
+        report = failing.poll_once()
+        assert report.failed
+        assert "gone" in report.error
+        assert len(repo) == 0
+
+
+class TestBackgroundDaemon:
+    def _wait_for(self, predicate, timeout=3.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.02)
+        return predicate()
+
+    def test_periodic_download_on_manual_clock(self, deployment, shared_factory):
+        server, _, repo, client = deployment
+        upload(server, shared_factory, 1)
+        client.start()
+        try:
+            assert self._wait_for(lambda: len(repo) == 1)
+            upload(server, shared_factory, 1)
+            # Within the same "day" nothing new is fetched...
+            time.sleep(0.1)
+            assert len(repo) == 1
+            # ...but advancing a day triggers the next incremental poll.
+            client.clock.advance(86_400.0)
+            assert self._wait_for(lambda: len(repo) == 2)
+        finally:
+            client.stop()
+
+    def test_start_idempotent_and_stop(self, deployment):
+        _, _, _, client = deployment
+        client.start()
+        client.start()
+        client.stop()
+        client.stop()

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.appmodel import PRESETS, SignatureFactory, generate_application
+from repro.dimmunix import DimmunixConfig, DimmunixRuntime
+from repro.util.clock import ManualClock
+
+
+def make_fast_config(**overrides) -> DimmunixConfig:
+    """Dimmunix config with intervals shrunk for snappy threaded tests."""
+    defaults = dict(
+        detection_interval=0.02,
+        acquire_poll_interval=0.01,
+        avoidance_recheck_interval=0.005,
+    )
+    defaults.update(overrides)
+    return DimmunixConfig(**defaults)
+
+
+@pytest.fixture
+def fast_config() -> DimmunixConfig:
+    return make_fast_config()
+
+
+@pytest.fixture
+def runtime(fast_config):
+    rt = DimmunixRuntime(config=fast_config)
+    rt.start()
+    yield rt
+    rt.stop()
+
+
+@pytest.fixture
+def manual_clock() -> ManualClock:
+    # Start well inside a "day" so quota-day boundaries are predictable.
+    return ManualClock(start=1_000_000.0)
+
+
+@pytest.fixture(scope="session")
+def shared_app():
+    """A small JBoss-like app model, shared read-only across tests."""
+    return generate_application(PRESETS["jboss"], scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def shared_factory(shared_app) -> SignatureFactory:
+    return SignatureFactory(shared_app, seed=42)
+
+
+@pytest.fixture
+def fresh_app():
+    """A function-scoped app model for tests that mutate it."""
+    return generate_application(PRESETS["limewire"], scale=0.05)

@@ -1,0 +1,182 @@
+"""Communix agent tests (§III-A/C/D): the startup inspection pass."""
+
+import pytest
+
+from repro.appmodel import SignatureFactory
+from repro.appmodel.classfile import MethodBuilder
+from repro.appmodel.classfile import ClassFile
+from repro.core.agent import CommunixAgent
+from repro.core.history import DeadlockHistory
+from repro.core.repository import LocalRepository
+from repro.core.validation import ClientSideValidator
+
+
+@pytest.fixture
+def pipeline(fresh_app):
+    history = DeadlockHistory()
+    repo = LocalRepository()
+    agent = CommunixAgent(fresh_app, history, repo)
+    factory = SignatureFactory(fresh_app, seed=5)
+    return fresh_app, history, repo, agent, factory
+
+
+class TestStartupPass:
+    def test_valid_signatures_enter_history(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        repo.append_from_server([factory.make_valid() for _ in range(4)])
+        report = agent.on_application_start()
+        assert report.inspected == 4
+        assert report.accepted == 4
+        assert len(history) == report.added
+
+    def test_invalid_signatures_rejected_by_stage(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        repo.append_from_server(
+            [
+                factory.make_valid(),
+                factory.make_bad_hash(),
+                factory.make_shallow(depth=2),
+                factory.make_non_nested(),
+                factory.make_foreign(),
+            ]
+        )
+        report = agent.on_application_start()
+        assert report.accepted == 1
+        assert report.rejected.get("hash_mismatch") == 2  # bad hash + foreign
+        assert report.rejected.get("too_shallow") == 1
+        assert report.rejected.get("not_nested") == 1
+
+    def test_each_signature_inspected_once(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        repo.append_from_server([factory.make_valid()])
+        first = agent.on_application_start()
+        second = agent.on_application_start()
+        assert first.inspected == 1
+        assert second.inspected == 0  # incremental inspection
+
+    def test_new_downloads_processed_next_start(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        repo.append_from_server([factory.make_valid()])
+        agent.on_application_start()
+        repo.append_from_server([factory.make_valid()])
+        report = agent.on_application_start()
+        assert report.inspected == 1
+
+    def test_same_bug_manifestations_merge(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        a, b = factory.make_mergeable_pair(depth_a=10, depth_b=9, common=6)
+        repo.append_from_server([a, b])
+        report = agent.on_application_start()
+        assert report.accepted == 2
+        assert report.added == 1
+        assert report.merged == 1
+        assert len(history) == 1
+
+    def test_duplicate_across_days(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        sig = factory.make_valid()
+        repo.append_from_server([sig])
+        agent.on_application_start()
+        # The same signature arrives again under a new server index.
+        repo.append_from_server([sig], next_server_index=99)
+        report = agent.on_application_start()
+        # Dedup in the repository means it is never re-inspected.
+        assert report.inspected == 0
+        assert len(history) == 1
+
+
+def build_latent_nested_app():
+    """An app with a sync block whose nestedness depends on a class that is
+    not loaded yet: ``enter; INVOKE ext.Ext.helper; exit``.  While ``ext.Ext``
+    is unknown the analysis sees a non-nested block; once it loads (with a
+    synchronized ``helper``), the same site becomes nested (§III-C3)."""
+    from repro.appmodel.loader import Application
+
+    app = Application("latent")
+    for tag in ("one", "two"):
+        cls = ClassFile(name=f"latent.Host{tag}")
+        mb = MethodBuilder(cls.name, "entry", first_line=10)
+        mb.monitor_enter()
+        mb.invoke("latent.Ext.helper")
+        mb.monitor_exit()
+        cls.add_method(mb.build())
+        app.load_class(cls)
+    app.generation = 0
+    return app
+
+
+def sig_for_latent_app(app, depth=6):
+    from repro.core.signature import (
+        CallStack,
+        DeadlockSignature,
+        Frame,
+        ThreadSignature,
+    )
+
+    threads = []
+    for tag in ("one", "two"):
+        cls = f"latent.Host{tag}"
+        digest = app.bytecode_hash(cls)
+        frames = [Frame(cls, "entry", 5, digest) for _ in range(depth - 1)]
+        frames.append(Frame(cls, "entry", 10, digest))  # the monitorenter line
+        outer = CallStack(frames)
+        inner = CallStack([Frame(cls, "entry", 11, digest)])
+        threads.append(ThreadSignature(outer=outer, inner=inner))
+    return DeadlockSignature(threads=tuple(threads), origin="remote")
+
+
+class TestNestingRecheck:
+    def test_failed_nesting_recovered_after_class_load(self):
+        app = build_latent_nested_app()
+        history = DeadlockHistory()
+        repo = LocalRepository()
+        agent = CommunixAgent(app, history, repo)
+        sig = sig_for_latent_app(app)
+        repo.append_from_server([sig])
+
+        report = agent.on_application_start()
+        assert report.rejected.get("not_nested") == 1
+        assert repo.pending_nesting(app.name) == [0]
+        assert len(history) == 0
+
+        # The missing class arrives (e.g. a plugin loads): helper is
+        # synchronized, so both Host sites become nested.
+        ext = ClassFile(name="latent.Ext")
+        mb = MethodBuilder(ext.name, "helper", synchronized_method=True)
+        mb.nop()
+        ext.add_method(mb.build())
+        app.load_class(ext)
+
+        report2 = agent.on_application_start()
+        assert report2.recheck_accepted == 1
+        assert len(history) == 1
+        assert repo.pending_nesting(app.name) == []
+
+    def test_unrelated_class_load_keeps_pending(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        repo.append_from_server([factory.make_non_nested()])
+        report = agent.on_application_start()
+        assert report.rejected.get("not_nested") == 1
+        extra = ClassFile(name=f"{app.name}.Extra")
+        mb = MethodBuilder(extra.name, "noop")
+        mb.nop()
+        extra.add_method(mb.build())
+        app.load_class(extra)
+        report2 = agent.on_application_start()
+        assert repo.pending_nesting(app.name) == [0]
+        assert report2.recheck_accepted == 0
+
+    def test_no_generation_change_skips_recheck(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        repo.append_from_server([factory.make_non_nested()])
+        agent.on_application_start()
+        report = agent.on_application_start()  # no class loads in between
+        assert report.recheck_accepted == 0
+        assert repo.pending_nesting(app.name) == [0]
+
+    def test_relaxed_validator_configuration(self, pipeline):
+        app, history, repo, agent, factory = pipeline
+        agent.set_app(app, ClientSideValidator(app, require_nesting=False))
+        repo.append_from_server([factory.make_non_nested()])
+        report = agent.on_application_start()
+        assert report.accepted == 1

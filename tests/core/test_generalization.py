@@ -1,0 +1,157 @@
+"""Signature generalization tests (§III-D)."""
+
+from repro.core.generalization import Generalizer, merge_signatures
+from repro.core.history import DeadlockHistory
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    Frame,
+    ORIGIN_LOCAL,
+    ORIGIN_REMOTE,
+    ThreadSignature,
+)
+
+
+def fr(method, line, cls="app.M"):
+    return Frame(cls, method, line, "ee" * 8)
+
+
+def manifestation(prefix_tags, origin=ORIGIN_REMOTE, common=6):
+    """Two-thread signatures of the same bug: shared top `common` frames per
+    thread, divergent frames below controlled by prefix_tags."""
+    threads = []
+    for t in range(2):
+        shared = [fr(f"shared{t}_{i}", 100 * t + i) for i in range(common)]
+        prefix = [fr(f"pre{tag}_{t}_{i}", 500 + i) for i, tag in enumerate(prefix_tags)]
+        outer = CallStack(prefix + shared)
+        inner = CallStack([fr(f"inner{t}", 900 + t)])
+        threads.append(ThreadSignature(outer=outer, inner=inner))
+    return DeadlockSignature(threads=tuple(threads), origin=origin)
+
+
+class TestMergeSignatures:
+    def test_merge_same_bug_takes_common_suffix(self):
+        a = manifestation(["x"], common=6)
+        b = manifestation(["y"], common=6)
+        merged = merge_signatures(a, b)
+        assert merged is not None
+        assert all(t.outer.depth == 6 for t in merged.threads)
+        assert merged.bug_key == a.bug_key
+
+    def test_merge_different_bugs_refused(self):
+        a = manifestation(["x"])
+        # Different top frames entirely.
+        threads = (
+            ThreadSignature(outer=CallStack([fr("zz", 1)] * 6), inner=CallStack([fr("zi", 2)])),
+            ThreadSignature(outer=CallStack([fr("ww", 3)] * 6), inner=CallStack([fr("wi", 4)])),
+        )
+        b = DeadlockSignature(threads=threads)
+        assert merge_signatures(a, b) is None
+
+    def test_remote_merge_respects_depth_floor(self):
+        # Common suffix of depth 3 < 5: refuse when a remote sig is involved.
+        a = manifestation(["x"], common=3, origin=ORIGIN_REMOTE)
+        b = manifestation(["y"], common=3, origin=ORIGIN_REMOTE)
+        assert merge_signatures(a, b) is None
+
+    def test_local_merge_ignores_depth_floor(self):
+        a = manifestation(["x"], common=3, origin=ORIGIN_LOCAL)
+        b = manifestation(["y"], common=3, origin=ORIGIN_LOCAL)
+        merged = merge_signatures(a, b)
+        assert merged is not None
+        assert merged.origin == ORIGIN_LOCAL
+        assert all(t.outer.depth == 3 for t in merged.threads)
+
+    def test_mixed_origin_result_is_remote(self):
+        a = manifestation(["x"], common=6, origin=ORIGIN_LOCAL)
+        b = manifestation(["y"], common=6, origin=ORIGIN_REMOTE)
+        merged = merge_signatures(a, b)
+        assert merged.origin == ORIGIN_REMOTE
+
+    def test_merge_is_commutative_on_locations(self):
+        a = manifestation(["x"], common=6)
+        b = manifestation(["y"], common=6)
+        ab = merge_signatures(a, b)
+        ba = merge_signatures(b, a)
+        assert ab.sig_id == ba.sig_id
+
+    def test_merge_idempotent(self):
+        a = manifestation(["x"])
+        merged = merge_signatures(a, a)
+        assert merged.sig_id == a.sig_id
+
+    def test_merge_with_more_general_absorbs(self):
+        specific = manifestation(["x"], common=6)
+        general = merge_signatures(specific, manifestation(["y"], common=6))
+        again = merge_signatures(general, specific)
+        assert again.sig_id == general.sig_id
+
+
+class TestMergeOnAppModel:
+    def test_factory_mergeable_pair(self, shared_factory):
+        a, b = shared_factory.make_mergeable_pair(depth_a=10, depth_b=8, common=6)
+        merged = merge_signatures(a, b)
+        assert merged is not None
+        assert all(t.outer.depth == 6 for t in merged.threads)
+
+
+class TestGeneralizer:
+    def test_new_bug_added(self):
+        history = DeadlockHistory()
+        result = Generalizer(history).incorporate(manifestation(["x"]))
+        assert result.outcome == "added"
+        assert len(history) == 1
+
+    def test_same_bug_merged_in_place(self):
+        history = DeadlockHistory()
+        gen = Generalizer(history)
+        gen.incorporate(manifestation(["x"], common=6))
+        result = gen.incorporate(manifestation(["y"], common=6))
+        assert result.outcome == "merged"
+        assert len(history) == 1  # "keep few signatures per deadlock bug"
+        stored = history.snapshot()[0]
+        assert all(t.outer.depth == 6 for t in stored.threads)
+
+    def test_exact_duplicate(self):
+        history = DeadlockHistory()
+        gen = Generalizer(history)
+        gen.incorporate(manifestation(["x"]))
+        result = gen.incorporate(manifestation(["x"]))
+        assert result.outcome == "duplicate"
+        assert len(history) == 1
+
+    def test_specialization_absorbed(self):
+        history = DeadlockHistory()
+        gen = Generalizer(history)
+        general = merge_signatures(
+            manifestation(["x"], common=6), manifestation(["y"], common=6)
+        )
+        gen.incorporate(general)
+        result = gen.incorporate(manifestation(["z"], common=6))
+        assert result.outcome in ("absorbed", "merged")
+        assert len(history) == 1
+
+    def test_unmergeable_same_bug_added_separately(self):
+        # Remote sigs whose common suffix would drop below the depth floor
+        # cannot merge; both stay in the history.
+        history = DeadlockHistory()
+        gen = Generalizer(history)
+        gen.incorporate(manifestation(["x"], common=3, origin=ORIGIN_REMOTE))
+        result = gen.incorporate(manifestation(["y"], common=3, origin=ORIGIN_REMOTE))
+        assert result.outcome == "added"
+        assert len(history) == 2
+
+    def test_different_bugs_coexist(self):
+        history = DeadlockHistory()
+        gen = Generalizer(history)
+        gen.incorporate(manifestation(["x"]))
+        other = manifestation(["x"])
+        threads = tuple(
+            ThreadSignature(
+                outer=CallStack([fr(f"other{t}", 50 + i) for i in range(6)]),
+                inner=CallStack([fr(f"oi{t}", 70 + t)]),
+            )
+            for t in range(2)
+        )
+        gen.incorporate(DeadlockSignature(threads=threads))
+        assert len(history) == 2

@@ -1,0 +1,109 @@
+"""Property-based tests for the generalization algebra (§III-D)."""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.generalization import merge_signatures
+from repro.core.signature import CallStack, DeadlockSignature, Frame, ThreadSignature
+
+# Build manifestations of ONE fixed bug: shared suffix pool per thread slot,
+# random divergent prefixes.  This gives merge_signatures real work while
+# keeping bug keys equal.
+
+_shared = [
+    [Frame("app.M", f"s{t}_{i}", 100 * t + i, "aa" * 8) for i in range(8)]
+    for t in range(2)
+]
+
+prefix_frames = st.lists(
+    st.builds(
+        Frame,
+        class_name=st.just("app.M"),
+        method=st.sampled_from(["pa", "pb", "pc"]),
+        line=st.integers(min_value=1000, max_value=1010),
+        code_hash=st.just("aa" * 8),
+    ),
+    max_size=4,
+)
+
+
+@st.composite
+def same_bug_signatures(draw, origin="local"):
+    threads = []
+    for t in range(2):
+        prefix = draw(prefix_frames)
+        keep = draw(st.integers(min_value=1, max_value=8))
+        outer = CallStack(prefix + _shared[t][-keep:])
+        inner = CallStack([_shared[t][-1]])
+        threads.append(ThreadSignature(outer=outer, inner=inner))
+    return DeadlockSignature(threads=tuple(threads), origin=origin)
+
+
+class TestMergeProperties:
+    @given(same_bug_signatures(), same_bug_signatures())
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a, b):
+        ab = merge_signatures(a, b)
+        ba = merge_signatures(b, a)
+        if ab is None:
+            assert ba is None
+        else:
+            assert ab.sig_id == ba.sig_id
+
+    @given(same_bug_signatures())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, a):
+        merged = merge_signatures(a, a)
+        assert merged is not None
+        assert merged.sig_id == a.sig_id
+
+    @given(same_bug_signatures(), same_bug_signatures())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_never_deepens(self, a, b):
+        merged = merge_signatures(a, b)
+        assume(merged is not None)
+        for mt in merged.threads:
+            assert mt.outer.depth <= max(
+                max(t.outer.depth for t in a.threads),
+                max(t.outer.depth for t in b.threads),
+            )
+
+    @given(same_bug_signatures(), same_bug_signatures())
+    @settings(max_examples=100, deadline=None)
+    def test_merged_matches_both_originals(self, a, b):
+        """The generalized stacks must match every manifestation they came
+        from — otherwise merging would lose protection."""
+        merged = merge_signatures(a, b)
+        assume(merged is not None)
+        for sig in (a, b):
+            for mt, ot in zip(
+                sorted(merged.threads, key=lambda t: t.bug_key),
+                sorted(sig.threads, key=lambda t: t.bug_key),
+            ):
+                assert mt.outer.matches(ot.outer)
+
+    @given(same_bug_signatures(), same_bug_signatures())
+    @settings(max_examples=100, deadline=None)
+    def test_preserves_bug_key(self, a, b):
+        merged = merge_signatures(a, b)
+        assume(merged is not None)
+        assert merged.bug_key == a.bug_key == b.bug_key
+
+    @given(same_bug_signatures(origin="remote"), same_bug_signatures(origin="remote"))
+    @settings(max_examples=100, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    def test_remote_results_respect_depth_floor(self, a, b):
+        merged = merge_signatures(a, b)
+        assume(merged is not None)
+        assert all(t.outer.depth >= 5 for t in merged.threads)
+
+    @given(same_bug_signatures(), same_bug_signatures(), same_bug_signatures())
+    @settings(max_examples=60, deadline=None)
+    def test_associative_on_locations(self, a, b, c):
+        left = merge_signatures(a, b)
+        right = merge_signatures(b, c)
+        assume(left is not None and right is not None)
+        lc = merge_signatures(left, c)
+        ar = merge_signatures(a, right)
+        assume(lc is not None and ar is not None)
+        assert lc.sig_id == ar.sig_id

@@ -1,0 +1,170 @@
+"""Tests for the persistent deadlock history."""
+
+import json
+
+import pytest
+
+from repro.core.history import DeadlockHistory
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    Frame,
+    ORIGIN_LOCAL,
+    ThreadSignature,
+)
+from repro.util.errors import HistoryError
+
+
+def make_sig(tag: int, origin=ORIGIN_LOCAL) -> DeadlockSignature:
+    def stk(which: str, depth: int = 3) -> CallStack:
+        return CallStack(
+            Frame(f"app.C{tag}", f"{which}{i}", 10 * tag + i, "cd" * 8)
+            for i in range(depth)
+        )
+
+    threads = (
+        ThreadSignature(outer=stk("a"), inner=stk("b")),
+        ThreadSignature(outer=stk("c"), inner=stk("d")),
+    )
+    return DeadlockSignature(threads=threads, origin=origin)
+
+
+class TestBasics:
+    def test_add_and_len(self):
+        history = DeadlockHistory()
+        assert history.add(make_sig(1))
+        assert len(history) == 1
+        assert make_sig(1) in history
+
+    def test_duplicate_add_refused(self):
+        history = DeadlockHistory()
+        history.add(make_sig(1))
+        assert not history.add(make_sig(1))
+        assert len(history) == 1
+
+    def test_version_bumps_on_mutation(self):
+        history = DeadlockHistory()
+        v0 = history.version
+        history.add(make_sig(1))
+        assert history.version > v0
+
+    def test_snapshot_is_immutable_view(self):
+        history = DeadlockHistory()
+        history.add(make_sig(1))
+        snap = history.snapshot()
+        history.add(make_sig(2))
+        assert len(snap) == 1
+
+    def test_get_by_id(self):
+        history = DeadlockHistory()
+        sig = make_sig(3)
+        history.add(sig)
+        assert history.get(sig.sig_id) == sig
+        assert history.get("nope") is None
+
+    def test_remove(self):
+        history = DeadlockHistory()
+        sig = make_sig(1)
+        history.add(sig)
+        assert history.remove(sig.sig_id)
+        assert len(history) == 0
+        assert not history.remove(sig.sig_id)
+
+    def test_same_bug_lookup(self):
+        history = DeadlockHistory()
+        sig = make_sig(1)
+        history.add(sig)
+        assert history.same_bug(make_sig(1)) == [sig]
+        assert history.same_bug(make_sig(2)) == []
+
+
+class TestReplace:
+    def test_replace_swaps_in_place(self):
+        history = DeadlockHistory()
+        old, new = make_sig(1), make_sig(2)
+        history.add(old)
+        assert history.replace(old, new)
+        assert history.get(old.sig_id) is None
+        assert history.get(new.sig_id) == new
+        assert len(history) == 1
+
+    def test_replace_missing_old_fails(self):
+        history = DeadlockHistory()
+        assert not history.replace(make_sig(1), make_sig(2))
+
+    def test_replace_with_existing_target_drops_old(self):
+        history = DeadlockHistory()
+        a, b = make_sig(1), make_sig(2)
+        history.add(a)
+        history.add(b)
+        assert history.replace(a, b)
+        assert len(history) == 1
+        assert history.get(b.sig_id) == b
+
+
+class TestListeners:
+    def test_listener_called_on_add(self):
+        history = DeadlockHistory()
+        seen = []
+        history.add_listener(seen.append)
+        sig = make_sig(1)
+        history.add(sig)
+        assert seen == [sig]
+
+    def test_listener_not_called_on_duplicate(self):
+        history = DeadlockHistory()
+        seen = []
+        history.add(make_sig(1))
+        history.add_listener(seen.append)
+        history.add(make_sig(1))
+        assert seen == []
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = DeadlockHistory(path=path)
+        history.add(make_sig(1))
+        history.add(make_sig(2))
+
+        reloaded = DeadlockHistory(path=path)
+        assert len(reloaded) == 2
+        assert {s.sig_id for s in reloaded.snapshot()} == {
+            s.sig_id for s in history.snapshot()
+        }
+
+    def test_origin_survives_persistence(self, tmp_path):
+        path = tmp_path / "history.json"
+        history = DeadlockHistory(path=path)
+        history.add(make_sig(1, origin="remote"))
+        reloaded = DeadlockHistory(path=path)
+        assert reloaded.snapshot()[0].origin == "remote"
+
+    def test_corrupt_file_raises_history_error(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text("{{{ not json")
+        with pytest.raises(HistoryError):
+            DeadlockHistory(path=path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(HistoryError):
+            DeadlockHistory(path=path)
+
+    def test_corrupt_entry_rejected(self, tmp_path):
+        path = tmp_path / "history.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": [{"signature": {"bad": 1}}]})
+        )
+        with pytest.raises(HistoryError):
+            DeadlockHistory(path=path)
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(HistoryError):
+            DeadlockHistory().save()
+
+    def test_merge_from(self):
+        history = DeadlockHistory()
+        added = history.merge_from([make_sig(1), make_sig(1), make_sig(2)])
+        assert added == 2

@@ -1,0 +1,149 @@
+"""Communix plugin tests (§III-B): hash attachment + upload."""
+
+import time
+
+from repro.core.history import DeadlockHistory
+from repro.core.plugin import CommunixPlugin, attach_hashes
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    Frame,
+    ORIGIN_LOCAL,
+    ORIGIN_REMOTE,
+    ThreadSignature,
+)
+
+
+class StubApp:
+    name = "stub"
+    generation = 0
+
+    def __init__(self, hashes):
+        self._hashes = hashes
+
+    def frame_hash(self, frame):
+        return self._hashes.get(frame.class_name)
+
+
+def bare_sig(origin=ORIGIN_LOCAL, hashed=False):
+    code_hash = "cc" * 8 if hashed else ""
+    threads = tuple(
+        ThreadSignature(
+            outer=CallStack([Frame(f"app.K{t}", "outer", 10 + t, code_hash)]),
+            inner=CallStack([Frame(f"app.K{t}", "inner", 20 + t, code_hash)]),
+        )
+        for t in range(2)
+    )
+    return DeadlockSignature(threads=threads, origin=origin)
+
+
+class TestAttachHashes:
+    def test_fills_missing_hashes(self):
+        app = StubApp({"app.K0": "11" * 8, "app.K1": "22" * 8})
+        annotated = attach_hashes(bare_sig(), app)
+        hashes = {
+            f.class_name: f.code_hash
+            for t in annotated.threads
+            for f in (*t.outer, *t.inner)
+        }
+        assert hashes == {"app.K0": "11" * 8, "app.K1": "22" * 8}
+
+    def test_existing_hashes_kept(self):
+        app = StubApp({"app.K0": "11" * 8, "app.K1": "22" * 8})
+        annotated = attach_hashes(bare_sig(hashed=True), app)
+        for t in annotated.threads:
+            assert all(f.code_hash == "cc" * 8 for f in t.outer)
+
+    def test_unknown_classes_stay_unhashed(self):
+        annotated = attach_hashes(bare_sig(), StubApp({}))
+        for t in annotated.threads:
+            assert all(f.code_hash == "" for f in t.outer)
+
+
+class TestPluginUpload:
+    def _wait_for(self, predicate, timeout=2.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_local_signature_uploaded_with_hashes(self):
+        history = DeadlockHistory()
+        uploads = []
+
+        def uploader(sig, token):
+            uploads.append((sig, token))
+            return True
+
+        app = StubApp({"app.K0": "11" * 8, "app.K1": "22" * 8})
+        plugin = CommunixPlugin(history, app, uploader, "tok-1")
+        try:
+            history.add(bare_sig())
+            assert self._wait_for(lambda: len(uploads) == 1)
+            sig, token = uploads[0]
+            assert token == "tok-1"
+            assert all(
+                f.code_hash for t in sig.threads for f in (*t.outer, *t.inner)
+            )
+            assert plugin.uploaded  # sig_id recorded
+        finally:
+            plugin.close()
+
+    def test_remote_signatures_not_reuploaded(self):
+        history = DeadlockHistory()
+        uploads = []
+        plugin = CommunixPlugin(
+            history, StubApp({}), lambda s, t: uploads.append(s) or True, "tok"
+        )
+        try:
+            history.add(bare_sig(origin=ORIGIN_REMOTE))
+            time.sleep(0.15)
+            assert uploads == []
+        finally:
+            plugin.close()
+
+    def test_failed_upload_retried_on_flush(self):
+        history = DeadlockHistory()
+        attempts = []
+        accept = {"now": False}
+
+        def flaky(sig, token):
+            attempts.append(sig.sig_id)
+            return accept["now"]
+
+        plugin = CommunixPlugin(history, StubApp({}), flaky, "tok")
+        try:
+            history.add(bare_sig())
+            assert self._wait_for(lambda: len(plugin.failed_uploads) == 1)
+            accept["now"] = True
+            assert plugin.flush()
+            assert not plugin.failed_uploads
+            assert len(attempts) == 2
+        finally:
+            plugin.close()
+
+    def test_uploader_exception_contained(self):
+        history = DeadlockHistory()
+
+        def exploding(sig, token):
+            raise RuntimeError("network down")
+
+        plugin = CommunixPlugin(history, StubApp({}), exploding, "tok")
+        try:
+            history.add(bare_sig())
+            assert self._wait_for(lambda: len(plugin.failed_uploads) == 1)
+        finally:
+            plugin.close()
+
+    def test_synchronous_mode(self):
+        history = DeadlockHistory()
+        uploads = []
+        plugin = CommunixPlugin(
+            history, StubApp({}), lambda s, t: uploads.append(s) or True,
+            "tok", background=False,
+        )
+        history.add(bare_sig())
+        assert len(uploads) == 1  # no worker, upload happened inline
+        plugin.close()

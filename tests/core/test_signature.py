@@ -1,0 +1,194 @@
+"""Tests for frames, call stacks, and deadlock signatures."""
+
+import pytest
+
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    Frame,
+    ORIGIN_LOCAL,
+    ORIGIN_REMOTE,
+    ThreadSignature,
+)
+from repro.util.errors import ValidationError
+
+
+def frame(cls="app.C", method="m", line=10, code_hash="aa" * 8) -> Frame:
+    return Frame(cls, method, line, code_hash)
+
+
+def stack(*locations) -> CallStack:
+    return CallStack(
+        Frame(cls, m, line, "ab" * 8) for cls, m, line in locations
+    )
+
+
+def two_thread_sig(origin=ORIGIN_LOCAL) -> DeadlockSignature:
+    t1 = ThreadSignature(
+        outer=stack(("app.A", "f", 1), ("app.A", "g", 2)),
+        inner=stack(("app.A", "f", 1), ("app.A", "h", 3)),
+    )
+    t2 = ThreadSignature(
+        outer=stack(("app.B", "p", 4), ("app.B", "q", 5)),
+        inner=stack(("app.B", "p", 4), ("app.B", "r", 6)),
+    )
+    return DeadlockSignature(threads=(t1, t2), origin=origin)
+
+
+class TestFrame:
+    def test_encode_decode_round_trip(self):
+        f = frame()
+        assert Frame.decode(f.encode()) == f
+
+    def test_decode_handles_dotted_class_names(self):
+        f = Frame("com.example.Deep.Inner", "method", 42, "deadbeef")
+        assert Frame.decode(f.encode()) == f
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            Frame.decode("not-a-frame")
+
+    def test_location_excludes_hash(self):
+        a = frame(code_hash="11" * 8)
+        b = frame(code_hash="22" * 8)
+        assert a.location == b.location
+        assert a != b
+
+    def test_with_hash(self):
+        assert frame().with_hash("ff" * 8).code_hash == "ff" * 8
+
+
+class TestCallStack:
+    def test_top_is_last(self):
+        s = stack(("a", "bottom", 1), ("a", "top", 2))
+        assert s.top.method == "top"
+
+    def test_empty_stack_has_no_top(self):
+        with pytest.raises(ValidationError):
+            CallStack().top
+
+    def test_suffix_matching(self):
+        runtime = stack(("a", "r0", 1), ("a", "r1", 2), ("a", "r2", 3))
+        sig = stack(("a", "r1", 2), ("a", "r2", 3))
+        assert sig.matches(runtime)
+        assert runtime.matches(runtime)
+
+    def test_matching_ignores_hashes(self):
+        runtime = CallStack([Frame("a", "m", 1, "11" * 8)])
+        sig = CallStack([Frame("a", "m", 1, "22" * 8)])
+        assert sig.matches(runtime)
+
+    def test_longer_signature_does_not_match(self):
+        runtime = stack(("a", "m", 1))
+        sig = stack(("a", "x", 0), ("a", "m", 1))
+        assert not sig.matches(runtime)
+
+    def test_mismatched_suffix(self):
+        runtime = stack(("a", "r1", 2), ("a", "r2", 3))
+        sig = stack(("a", "other", 9), ("a", "r2", 3))
+        assert not sig.matches(runtime)
+
+    def test_empty_signature_matches_nothing(self):
+        assert not CallStack().matches(stack(("a", "m", 1)))
+
+    def test_common_suffix(self):
+        a = stack(("m", "x", 1), ("m", "shared", 5), ("m", "top", 9))
+        b = stack(("m", "y", 2), ("m", "shared", 5), ("m", "top", 9))
+        common = a.common_suffix(b)
+        assert common.locations() == (("m", "shared", 5), ("m", "top", 9))
+
+    def test_common_suffix_disjoint(self):
+        a = stack(("m", "x", 1))
+        b = stack(("m", "y", 2))
+        assert a.common_suffix(b) == CallStack()
+
+    def test_suffix_depth(self):
+        s = stack(("a", "f", 1), ("a", "g", 2), ("a", "h", 3))
+        assert s.suffix(2).locations() == (("a", "g", 2), ("a", "h", 3))
+        assert s.suffix(99) == s
+        assert s.suffix(0) == CallStack()
+
+    def test_encode_decode(self):
+        s = stack(("a", "f", 1), ("b", "g", 2))
+        assert CallStack.decode(s.encode()) == s
+
+
+class TestThreadSignature:
+    def test_requires_non_empty_stacks(self):
+        with pytest.raises(ValidationError):
+            ThreadSignature(outer=CallStack(), inner=stack(("a", "m", 1)))
+
+    def test_bug_key_is_top_pair(self):
+        t = ThreadSignature(
+            outer=stack(("a", "f", 1), ("a", "g", 2)),
+            inner=stack(("a", "h", 3)),
+        )
+        assert t.bug_key == (("a", "g", 2), ("a", "h", 3))
+
+
+class TestDeadlockSignature:
+    def test_requires_two_threads(self):
+        t = ThreadSignature(outer=stack(("a", "m", 1)), inner=stack(("a", "n", 2)))
+        with pytest.raises(ValidationError):
+            DeadlockSignature(threads=(t,))
+
+    def test_thread_order_canonicalized(self):
+        sig = two_thread_sig()
+        flipped = DeadlockSignature(threads=tuple(reversed(sig.threads)))
+        assert sig.sig_id == flipped.sig_id
+        assert sig == flipped
+
+    def test_origin_excluded_from_identity(self):
+        local = two_thread_sig(ORIGIN_LOCAL)
+        remote = two_thread_sig(ORIGIN_REMOTE)
+        assert local.sig_id == remote.sig_id
+        assert local.to_bytes() == remote.to_bytes()
+
+    def test_serialization_round_trip(self):
+        sig = two_thread_sig()
+        decoded = DeadlockSignature.from_bytes(sig.to_bytes())
+        assert decoded.sig_id == sig.sig_id
+        assert decoded.origin == ORIGIN_REMOTE  # wire signatures are remote
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            DeadlockSignature.from_bytes(b"definitely not json")
+        with pytest.raises(ValidationError):
+            DeadlockSignature.from_bytes(b'{"version":2,"threads":[]}')
+
+    def test_min_outer_depth(self):
+        assert two_thread_sig().min_outer_depth == 2
+
+    def test_top_frames(self):
+        tops = two_thread_sig().top_frames
+        assert ("app.A", "g", 2) in tops  # t1 outer top
+        assert ("app.A", "h", 3) in tops  # t1 inner top
+        assert len(tops) == 4
+
+    def test_bug_key_groups_manifestations(self):
+        a = two_thread_sig()
+        b = DeadlockSignature(threads=tuple(reversed(a.threads)))
+        assert a.bug_key == b.bug_key
+
+
+class TestAdjacency:
+    def test_identical_top_sets_not_adjacent(self):
+        a, b = two_thread_sig(), two_thread_sig()
+        assert not a.is_adjacent_to(b)
+
+    def test_disjoint_not_adjacent(self):
+        a = two_thread_sig()
+        t1 = ThreadSignature(outer=stack(("z.Z", "u", 1)), inner=stack(("z.Z", "v", 2)))
+        t2 = ThreadSignature(outer=stack(("z.Z", "w", 3)), inner=stack(("z.Z", "x", 4)))
+        b = DeadlockSignature(threads=(t1, t2))
+        assert not a.is_adjacent_to(b)
+
+    def test_partial_overlap_is_adjacent(self):
+        a = two_thread_sig()
+        shared = a.threads[0]
+        other = ThreadSignature(
+            outer=stack(("new.C", "n", 7)), inner=stack(("new.C", "o", 8))
+        )
+        b = DeadlockSignature(threads=(shared, other))
+        assert a.is_adjacent_to(b)
+        assert b.is_adjacent_to(a)

@@ -1,0 +1,96 @@
+"""Property-based tests over the signature algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signature import CallStack, DeadlockSignature, Frame, ThreadSignature
+
+frames = st.builds(
+    Frame,
+    class_name=st.sampled_from(["app.A", "app.B", "lib.C"]),
+    method=st.sampled_from(["f", "g", "h", "k"]),
+    line=st.integers(min_value=1, max_value=50),
+    code_hash=st.sampled_from(["aa" * 8, "bb" * 8]),
+)
+
+stacks = st.lists(frames, min_size=1, max_size=8).map(CallStack)
+thread_sigs = st.builds(ThreadSignature, outer=stacks, inner=stacks)
+signatures = st.lists(thread_sigs, min_size=2, max_size=3).map(
+    lambda ts: DeadlockSignature(threads=tuple(ts))
+)
+
+
+class TestCallStackProperties:
+    @given(stacks)
+    @settings(max_examples=100)
+    def test_stack_matches_itself(self, s):
+        assert s.matches(s)
+
+    @given(stacks, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_suffix_always_matches_original(self, s, depth):
+        suffix = s.suffix(depth)
+        assert suffix.matches(s)
+
+    @given(stacks, stacks)
+    @settings(max_examples=100)
+    def test_common_suffix_symmetric_in_locations(self, a, b):
+        ab = a.common_suffix(b).locations()
+        ba = b.common_suffix(a).locations()
+        assert ab == ba
+
+    @given(stacks, stacks)
+    @settings(max_examples=100)
+    def test_common_suffix_matches_both(self, a, b):
+        common = a.common_suffix(b)
+        if common:
+            assert common.matches(a)
+            assert common.matches(b)
+
+    @given(stacks)
+    @settings(max_examples=50)
+    def test_common_suffix_idempotent(self, s):
+        assert s.common_suffix(s) == s
+
+    @given(stacks, stacks)
+    @settings(max_examples=100)
+    def test_common_suffix_no_longer_than_either(self, a, b):
+        common = a.common_suffix(b)
+        assert len(common) <= min(len(a), len(b))
+
+    @given(stacks)
+    @settings(max_examples=50)
+    def test_encode_decode_round_trip(self, s):
+        assert CallStack.decode(s.encode()) == s
+
+
+class TestSignatureProperties:
+    @given(signatures)
+    @settings(max_examples=100)
+    def test_serialization_preserves_identity(self, sig):
+        decoded = DeadlockSignature.from_bytes(sig.to_bytes())
+        assert decoded.sig_id == sig.sig_id
+        assert decoded.bug_key == sig.bug_key
+
+    @given(signatures)
+    @settings(max_examples=100)
+    def test_thread_permutation_invariance(self, sig):
+        reordered = DeadlockSignature(threads=tuple(reversed(sig.threads)))
+        assert reordered.sig_id == sig.sig_id
+
+    @given(signatures)
+    @settings(max_examples=100)
+    def test_adjacency_irreflexive(self, sig):
+        assert not sig.is_adjacent_to(sig)
+
+    @given(signatures, signatures)
+    @settings(max_examples=100)
+    def test_adjacency_symmetric(self, a, b):
+        assert a.is_adjacent_to(b) == b.is_adjacent_to(a)
+
+    @given(signatures)
+    @settings(max_examples=50)
+    def test_size_is_signature_scale(self, sig):
+        # Sanity bound: our wire signatures stay in the paper's size class
+        # (the paper reports 1.7 KB); certainly under 64 KB.
+        assert len(sig.to_bytes()) < 64 * 1024

@@ -1,0 +1,238 @@
+"""Client-side validation tests (§III-C3)."""
+
+import pytest
+
+from repro.core.signature import CallStack, DeadlockSignature, Frame, ThreadSignature
+from repro.core.validation import (
+    ClientSideValidator,
+    RejectReason,
+    trim_stack,
+)
+
+
+class FakeApp:
+    """Minimal AppView: a hash table plus a nested-site set."""
+
+    def __init__(self, hashes: dict, nested: set):
+        self.name = "fake"
+        self.generation = 0
+        self._hashes = hashes
+        self._nested = nested
+
+    def frame_hash(self, frame):
+        return self._hashes.get(frame.class_name)
+
+    def nested_sync_sites(self, force: bool = False):
+        return self._nested
+
+
+H = {"app.A": "11" * 8, "app.B": "22" * 8, "app.C": "33" * 8}
+
+
+def fr(cls, method, line, code_hash=None):
+    return Frame(cls, method, line, code_hash if code_hash is not None else H[cls])
+
+
+class TestTrimStack:
+    def test_full_match_unchanged(self):
+        app = FakeApp(H, set())
+        stack = CallStack([fr("app.A", "f", 1), fr("app.A", "g", 2)])
+        assert trim_stack(stack, app) == stack
+
+    def test_top_mismatch_rejects(self):
+        app = FakeApp(H, set())
+        stack = CallStack([fr("app.A", "f", 1), fr("app.A", "g", 2, "bad0" * 4)])
+        assert trim_stack(stack, app) is None
+
+    def test_unknown_top_class_rejects(self):
+        app = FakeApp(H, set())
+        stack = CallStack([Frame("ghost.X", "g", 2, "ab" * 8)])
+        assert trim_stack(stack, app) is None
+
+    def test_lower_mismatch_trims(self):
+        app = FakeApp(H, set())
+        stack = CallStack(
+            [
+                fr("app.A", "bottom", 1),
+                fr("app.B", "stale", 2, "feed" * 4),  # first mismatch from top
+                fr("app.B", "mid", 3),
+                fr("app.A", "top", 4),
+            ]
+        )
+        trimmed = trim_stack(stack, app)
+        assert trimmed.locations() == (
+            ("app.B", "mid", 3),
+            ("app.A", "top", 4),
+        )
+
+    def test_trim_keeps_longest_matching_suffix(self):
+        # Mismatches at two depths: the cut happens at the highest one.
+        app = FakeApp(H, set())
+        stack = CallStack(
+            [
+                fr("app.A", "a", 1, "00" * 8),
+                fr("app.A", "b", 2),
+                fr("app.A", "c", 3, "00" * 8),
+                fr("app.A", "d", 4),
+                fr("app.A", "e", 5),
+            ]
+        )
+        trimmed = trim_stack(stack, app)
+        assert trimmed.locations() == (("app.A", "d", 4), ("app.A", "e", 5))
+
+    def test_empty_stack_rejected(self):
+        assert trim_stack(CallStack(), FakeApp(H, set())) is None
+
+
+def make_sig(outer_stacks, inner_stacks):
+    threads = tuple(
+        ThreadSignature(outer=o, inner=i)
+        for o, i in zip(outer_stacks, inner_stacks)
+    )
+    return DeadlockSignature(threads=threads, origin="remote")
+
+
+def deep_stack(cls, top_method, top_line, depth=6):
+    frames = [fr(cls, f"below{i}", i + 1) for i in range(depth - 1)]
+    frames.append(fr(cls, top_method, top_line))
+    return CallStack(frames)
+
+
+class TestValidatorPipeline:
+    def setup_method(self):
+        self.nested = {("app.A", "outerA", 100), ("app.B", "outerB", 200)}
+        self.app = FakeApp(H, self.nested)
+        self.validator = ClientSideValidator(self.app)
+        self.good_sig = make_sig(
+            [deep_stack("app.A", "outerA", 100), deep_stack("app.B", "outerB", 200)],
+            [deep_stack("app.A", "innerA", 101), deep_stack("app.B", "innerB", 201)],
+        )
+
+    def test_valid_signature_accepted(self):
+        result = self.validator.validate(self.good_sig)
+        assert result.accepted
+        assert result.signature.sig_id == self.good_sig.sig_id
+
+    def test_hash_reject_on_outer_top(self):
+        bad_outer = CallStack(
+            list(deep_stack("app.A", "outerA", 100))[:-1]
+            + [fr("app.A", "outerA", 100, "f00d" * 4)]
+        )
+        sig = make_sig(
+            [bad_outer, deep_stack("app.B", "outerB", 200)],
+            [deep_stack("app.A", "innerA", 101), deep_stack("app.B", "innerB", 201)],
+        )
+        result = self.validator.validate(sig)
+        assert not result.accepted
+        assert result.reason is RejectReason.HASH_MISMATCH
+
+    def test_hash_check_covers_inner_stacks(self):
+        # "The hash checking covers also the inner call stacks" — a stale
+        # inner top means the deadlock-prone code was changed: reject.
+        bad_inner = CallStack([fr("app.A", "innerA", 101, "dead" * 4)])
+        sig = make_sig(
+            [deep_stack("app.A", "outerA", 100), deep_stack("app.B", "outerB", 200)],
+            [bad_inner, deep_stack("app.B", "innerB", 201)],
+        )
+        result = self.validator.validate(sig)
+        assert not result.accepted
+        assert result.reason is RejectReason.HASH_MISMATCH
+
+    def test_shallow_outer_rejected(self):
+        sig = make_sig(
+            [deep_stack("app.A", "outerA", 100, depth=3),
+             deep_stack("app.B", "outerB", 200)],
+            [deep_stack("app.A", "innerA", 101), deep_stack("app.B", "innerB", 201)],
+        )
+        result = self.validator.validate(sig)
+        assert not result.accepted
+        assert result.reason is RejectReason.TOO_SHALLOW
+
+    def test_depth_checked_after_trimming(self):
+        # Deep stack whose lower frames are stale: trimming makes it shallow.
+        frames = [fr("app.A", f"below{i}", i, "00" * 8) for i in range(4)]
+        frames += [fr("app.A", "mid", 50), fr("app.A", "outerA", 100)]
+        sig = make_sig(
+            [CallStack(frames), deep_stack("app.B", "outerB", 200)],
+            [deep_stack("app.A", "innerA", 101), deep_stack("app.B", "innerB", 201)],
+        )
+        result = self.validator.validate(sig)
+        assert not result.accepted
+        assert result.reason is RejectReason.TOO_SHALLOW
+
+    def test_non_nested_outer_rejected(self):
+        sig = make_sig(
+            [deep_stack("app.A", "notNested", 999),
+             deep_stack("app.B", "outerB", 200)],
+            [deep_stack("app.A", "innerA", 101), deep_stack("app.B", "innerB", 201)],
+        )
+        result = self.validator.validate(sig)
+        assert not result.accepted
+        assert result.reason is RejectReason.NOT_NESTED
+
+    def test_nesting_check_optional(self):
+        validator = ClientSideValidator(self.app, require_nesting=False)
+        sig = make_sig(
+            [deep_stack("app.A", "notNested", 999),
+             deep_stack("app.B", "outerB", 200)],
+            [deep_stack("app.A", "innerA", 101), deep_stack("app.B", "innerB", 201)],
+        )
+        assert validator.validate(sig).accepted
+
+    def test_min_depth_configurable(self):
+        validator = ClientSideValidator(self.app, min_outer_depth=2)
+        sig = make_sig(
+            [deep_stack("app.A", "outerA", 100, depth=2),
+             deep_stack("app.B", "outerB", 200, depth=2)],
+            [deep_stack("app.A", "innerA", 101), deep_stack("app.B", "innerB", 201)],
+        )
+        assert validator.validate(sig).accepted
+
+    def test_inner_stacks_also_trimmed(self):
+        stale_then_good = CallStack(
+            [fr("app.C", "old", 7, "aa00" * 4), fr("app.A", "innerA", 101)]
+        )
+        sig = make_sig(
+            [deep_stack("app.A", "outerA", 100), deep_stack("app.B", "outerB", 200)],
+            [stale_then_good, deep_stack("app.B", "innerB", 201)],
+        )
+        result = self.validator.validate(sig)
+        assert result.accepted
+        inner_depths = sorted(t.inner.depth for t in result.signature.threads)
+        assert inner_depths[0] == 1  # trimmed to the matching top frame
+
+
+class TestValidatorOnAppModel:
+    """The validator against the real synthetic app substrate."""
+
+    def test_factory_valid_accepted(self, shared_app, shared_factory):
+        validator = ClientSideValidator(shared_app)
+        sig = shared_factory.make_valid()
+        assert validator.validate(sig).accepted
+
+    def test_factory_bad_hash_rejected(self, shared_app, shared_factory):
+        validator = ClientSideValidator(shared_app)
+        result = validator.validate(shared_factory.make_bad_hash())
+        assert result.reason is RejectReason.HASH_MISMATCH
+
+    def test_factory_shallow_rejected(self, shared_app, shared_factory):
+        validator = ClientSideValidator(shared_app)
+        result = validator.validate(shared_factory.make_shallow(depth=2))
+        assert result.reason is RejectReason.TOO_SHALLOW
+
+    def test_factory_non_nested_rejected(self, shared_app, shared_factory):
+        validator = ClientSideValidator(shared_app)
+        result = validator.validate(shared_factory.make_non_nested())
+        assert result.reason is RejectReason.NOT_NESTED
+
+    def test_factory_foreign_rejected(self, shared_app, shared_factory):
+        validator = ClientSideValidator(shared_app)
+        result = validator.validate(shared_factory.make_foreign())
+        assert result.reason is RejectReason.HASH_MISMATCH
+
+    def test_factory_trimmable_accepted_with_trim(self, shared_app, shared_factory):
+        validator = ClientSideValidator(shared_app)
+        sig = shared_factory.make_trimmable(depth=10, corrupt_below=6)
+        result = validator.validate(sig)
+        assert result.accepted
+        assert all(t.outer.depth == 6 for t in result.signature.threads)

@@ -1,0 +1,81 @@
+"""AES-128 correctness against published test vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES128, INV_SBOX, SBOX, _gmul, _xtime
+from repro.util.errors import CryptoError
+
+
+class TestKnownAnswerVectors:
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        cipher = AES128(key)
+        assert cipher.encrypt_block(plaintext) == expected
+        assert cipher.decrypt_block(expected) == plaintext
+
+    @pytest.mark.parametrize(
+        "plaintext,ciphertext",
+        [
+            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+        ],
+    )
+    def test_sp800_38a_ecb_vectors(self, plaintext, ciphertext):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        cipher = AES128(key)
+        assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() == ciphertext
+
+
+class TestStructure:
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox_inverts(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+            assert SBOX[INV_SBOX[value]] == value
+
+    def test_xtime_known_values(self):
+        # {57} * {02} = {ae} (FIPS-197 section 4.2.1 example chain)
+        assert _xtime(0x57) == 0xAE
+        assert _xtime(0xAE) == 0x47
+
+    def test_gmul_known_value(self):
+        # {57} * {13} = {fe} from FIPS-197 section 4.2
+        assert _gmul(0x57, 0x13) == 0xFE
+
+    def test_gmul_identity_and_zero(self):
+        for value in (0x00, 0x01, 0x53, 0xFF):
+            assert _gmul(value, 1) == value
+            assert _gmul(value, 0) == 0
+
+
+class TestInputValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(CryptoError):
+            AES128(b"short")
+        with pytest.raises(CryptoError):
+            AES128(b"x" * 32)  # AES-256 keys are out of scope
+
+    def test_bad_block_length(self):
+        cipher = AES128(b"k" * 16)
+        with pytest.raises(CryptoError):
+            cipher.encrypt_block(b"tiny")
+        with pytest.raises(CryptoError):
+            cipher.decrypt_block(b"y" * 17)
+
+
+class TestRoundTrips:
+    def test_many_blocks_round_trip(self):
+        cipher = AES128(bytes(range(16)))
+        for i in range(64):
+            block = bytes((i * 5 + j * 11) % 256 for j in range(16))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_distinct_keys_distinct_ciphertexts(self):
+        block = b"\x00" * 16
+        c1 = AES128(b"a" * 16).encrypt_block(block)
+        c2 = AES128(b"b" * 16).encrypt_block(block)
+        assert c1 != c2

@@ -1,0 +1,103 @@
+"""Block mode and padding tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ecb_decrypt,
+    ecb_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.util.errors import CryptoError
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+class TestPkcs7:
+    def test_pads_to_block(self):
+        assert pkcs7_pad(b"abc") == b"abc" + bytes([13] * 13)
+
+    def test_full_block_payload_gets_extra_block(self):
+        padded = pkcs7_pad(b"x" * 16)
+        assert len(padded) == 32
+        assert padded[-1] == 16
+
+    def test_unpad_round_trip(self):
+        for size in range(0, 33):
+            data = bytes(range(size % 256))[:size]
+            assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            b"",  # empty
+            b"x" * 15,  # not block-aligned
+            b"x" * 15 + b"\x00",  # pad length 0 is invalid
+            b"x" * 15 + b"\x11",  # pad length 17 > block size
+        ],
+    )
+    def test_unpad_rejects_garbage(self, corrupt):
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(corrupt)
+
+    def test_unpad_rejects_inconsistent_padding(self):
+        bad = b"x" * 14 + bytes([1, 2])  # last byte claims 2, but x != 2
+        with pytest.raises(CryptoError):
+            pkcs7_unpad(bad)
+
+
+class TestCbcVector:
+    def test_sp800_38a_f2_1_first_block(self):
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ciphertext = cbc_encrypt(AES128(KEY), plaintext, IV, pad=False)
+        assert ciphertext.hex() == "7649abac8119b246cee98e9b12e9197d"
+
+    def test_cbc_chaining_differs_from_ecb(self):
+        plaintext = b"A" * 32  # two identical blocks
+        ecb = ecb_encrypt(AES128(KEY), plaintext, pad=False)
+        cbc = cbc_encrypt(AES128(KEY), plaintext, IV, pad=False)
+        assert ecb[:16] == ecb[16:]  # ECB leaks the repetition
+        assert cbc[:16] != cbc[16:]  # CBC hides it
+
+
+class TestModeErrors:
+    def test_cbc_requires_block_iv(self):
+        with pytest.raises(CryptoError):
+            cbc_encrypt(AES128(KEY), b"data", b"shortiv")
+
+    def test_unaligned_ciphertext_rejected(self):
+        with pytest.raises(CryptoError):
+            ecb_decrypt(AES128(KEY), b"x" * 15)
+        with pytest.raises(CryptoError):
+            cbc_decrypt(AES128(KEY), b"x" * 17, IV)
+
+    def test_unpadded_encrypt_requires_alignment(self):
+        with pytest.raises(CryptoError):
+            ecb_encrypt(AES128(KEY), b"x" * 5, pad=False)
+
+
+class TestModeProperties:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_ecb_round_trip(self, payload):
+        cipher = AES128(KEY)
+        assert ecb_decrypt(cipher, ecb_encrypt(cipher, payload)) == payload
+
+    @given(st.binary(max_size=200), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_cbc_round_trip(self, payload, iv):
+        cipher = AES128(KEY)
+        assert cbc_decrypt(cipher, cbc_encrypt(cipher, payload, iv), iv) == payload
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_cbc_iv_sensitivity(self, payload):
+        cipher = AES128(KEY)
+        iv2 = bytes([IV[0] ^ 1]) + IV[1:]
+        assert cbc_encrypt(cipher, payload, IV) != cbc_encrypt(cipher, payload, iv2)

@@ -1,0 +1,99 @@
+"""Encrypted user-ID token tests (§III-C2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.userid import DEFAULT_SERVER_KEY, UserIdAuthority
+from repro.util.errors import CryptoError
+
+
+@pytest.fixture
+def authority() -> UserIdAuthority:
+    return UserIdAuthority(rng=random.Random(7))
+
+
+class TestIssueDecode:
+    def test_round_trip(self, authority):
+        token = authority.issue_for(42, issued_at=1234)
+        decoded = authority.decode(token)
+        assert decoded.user_id == 42
+        assert decoded.issued_at == 1234
+
+    def test_sequential_issue(self, authority):
+        first = authority.decode(authority.issue())
+        second = authority.decode(authority.issue())
+        assert (first.user_id, second.user_id) == (1, 2)
+
+    def test_tokens_are_hex(self, authority):
+        token = authority.issue()
+        bytes.fromhex(token)  # must not raise
+
+    def test_reissue_same_uid_different_token(self, authority):
+        # Random IVs: even the same uid gets distinct tokens.
+        t1 = authority.issue_for(5)
+        t2 = authority.issue_for(5)
+        assert t1 != t2
+        assert authority.decode(t1).user_id == authority.decode(t2).user_id == 5
+
+
+class TestForgeryResistance:
+    def test_users_cannot_manufacture_ids(self, authority):
+        # "The id is encrypted, in order to prevent users from manufacturing
+        # their own ids."  Random hex of the right length must be rejected.
+        rng = random.Random(1)
+        for _ in range(20):
+            fake = "".join(rng.choice("0123456789abcdef") for _ in range(96))
+            with pytest.raises(CryptoError):
+                authority.decode(fake)
+
+    def test_bit_flip_rejected(self, authority):
+        token = authority.issue_for(7)
+        raw = bytearray(bytes.fromhex(token))
+        raw[20] ^= 0x01
+        with pytest.raises(CryptoError):
+            authority.decode(raw.hex())
+
+    def test_truncated_token_rejected(self, authority):
+        token = authority.issue_for(7)
+        with pytest.raises(CryptoError):
+            authority.decode(token[: len(token) // 2])
+
+    def test_non_hex_rejected(self, authority):
+        with pytest.raises(CryptoError):
+            authority.decode("zz" * 48)
+
+    def test_wrong_key_rejected(self):
+        issuing = UserIdAuthority(key=b"A" * 16, rng=random.Random(3))
+        verifying = UserIdAuthority(key=b"B" * 16)
+        token = issuing.issue_for(9)
+        with pytest.raises(CryptoError):
+            verifying.decode(token)
+
+    def test_uid_out_of_range(self, authority):
+        with pytest.raises(CryptoError):
+            authority.issue_for(-1)
+        with pytest.raises(CryptoError):
+            authority.issue_for(2**63)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=2**63 - 1),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_any_uid_round_trips(self, uid, issued):
+        authority = UserIdAuthority(rng=random.Random(uid & 0xFFFF))
+        decoded = authority.decode(authority.issue_for(uid, issued_at=issued))
+        assert decoded.user_id == uid
+        assert decoded.issued_at == issued
+
+
+class TestDefaultKey:
+    def test_default_key_is_128_bits(self):
+        assert len(DEFAULT_SERVER_KEY) == 16
+
+    def test_default_authorities_interoperate(self):
+        token = UserIdAuthority(rng=random.Random(5)).issue_for(11)
+        assert UserIdAuthority().decode(token).user_id == 11

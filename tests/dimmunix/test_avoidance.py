@@ -1,0 +1,132 @@
+"""Unit tests for the avoidance matching logic (no real threads)."""
+
+from repro.core.history import DeadlockHistory
+from repro.core.signature import CallStack, DeadlockSignature, Frame, ThreadSignature
+from repro.dimmunix.avoidance import AvoidanceModule, ThreadView
+
+
+def fr(method, line, cls="app.W"):
+    return Frame(cls, method, line, "dd" * 8)
+
+
+def stack(*frames):
+    return CallStack(frames)
+
+
+# A two-position signature: position A = acquire at siteA, position B = siteB.
+SITE_A = [fr("pathA", 1), fr("siteA", 10)]
+SITE_B = [fr("pathB", 2), fr("siteB", 20)]
+
+
+def two_pos_signature():
+    return DeadlockSignature(
+        threads=(
+            ThreadSignature(outer=stack(*SITE_A), inner=stack(fr("innerA", 11))),
+            ThreadSignature(outer=stack(*SITE_B), inner=stack(fr("innerB", 21))),
+        ),
+        origin="local",
+    )
+
+
+def runtime_stack_a():
+    return stack(fr("main", 0), fr("pathA", 1), fr("siteA", 10))
+
+
+def runtime_stack_b():
+    return stack(fr("main", 0), fr("pathB", 2), fr("siteB", 20))
+
+
+class TestIndexing:
+    def test_empty_history_no_danger(self):
+        module = AvoidanceModule(DeadlockHistory())
+        assert module.find_danger(1, 100, runtime_stack_a(), []) is None
+
+    def test_index_rebuilds_on_history_change(self):
+        history = DeadlockHistory()
+        module = AvoidanceModule(history)
+        assert module.find_danger(1, 100, runtime_stack_a(), []) is None
+        history.add(two_pos_signature())
+        views = [ThreadView(tid=2, held=[(200, runtime_stack_b())])]
+        assert module.find_danger(1, 100, runtime_stack_a(), views) is not None
+
+    def test_unrelated_site_is_cheap_miss(self):
+        history = DeadlockHistory()
+        history.add(two_pos_signature())
+        module = AvoidanceModule(history)
+        other = stack(fr("elsewhere", 99))
+        before = module.deep_checks
+        assert module.find_danger(1, 100, other, []) is None
+        assert module.deep_checks == before  # index miss, no deep work
+
+
+class TestPatternCompletion:
+    def setup_method(self):
+        self.history = DeadlockHistory()
+        self.history.add(two_pos_signature())
+        self.module = AvoidanceModule(self.history)
+
+    def test_blocks_when_other_holds_matching_lock(self):
+        views = [ThreadView(tid=2, held=[(200, runtime_stack_b())])]
+        match = self.module.find_danger(1, 100, runtime_stack_a(), views)
+        assert match is not None
+        assert match.matched == ((2, 200),)
+
+    def test_blocks_when_other_waits_with_matching_stack(self):
+        views = [ThreadView(tid=2, waiting=(200, runtime_stack_b()))]
+        assert self.module.find_danger(1, 100, runtime_stack_a(), views) is not None
+
+    def test_no_block_without_peer(self):
+        assert self.module.find_danger(1, 100, runtime_stack_a(), []) is None
+
+    def test_no_block_when_peer_stack_differs(self):
+        views = [ThreadView(tid=2, held=[(200, runtime_stack_a())])]
+        # Peer is at siteA too; position B has no filler -> no instantiation.
+        assert self.module.find_danger(1, 100, runtime_stack_a(), views) is None
+
+    def test_same_lock_cannot_fill_two_positions(self):
+        views = [ThreadView(tid=2, held=[(100, runtime_stack_b())])]
+        # Peer holds the SAME lock the requester asks for: locks must be
+        # distinct, so no instantiation.
+        assert self.module.find_danger(1, 100, runtime_stack_a(), views) is None
+
+    def test_same_thread_cannot_fill_two_positions(self):
+        views = [ThreadView(tid=1, held=[(200, runtime_stack_b())])]
+        # Only view belongs to the requesting thread itself (excluded by
+        # construction in the runtime, but the matcher must not rely on it).
+        match = self.module.find_danger(1, 100, runtime_stack_a(), views)
+        assert match is None
+
+    def test_suffix_matching_not_exact(self):
+        deep = stack(fr("extra", 5), fr("main", 0), fr("pathB", 2), fr("siteB", 20))
+        views = [ThreadView(tid=2, held=[(200, deep)])]
+        assert self.module.find_danger(1, 100, runtime_stack_a(), views) is not None
+
+    def test_requester_can_fill_either_position(self):
+        views = [ThreadView(tid=2, held=[(100, runtime_stack_a())])]
+        match = self.module.find_danger(1, 200, runtime_stack_b(), views)
+        assert match is not None
+        assert match.position == 1 or match.position == 0
+
+
+class TestThreePositionSignatures:
+    def test_three_way_pattern(self):
+        site_c = [fr("pathC", 3), fr("siteC", 30)]
+        sig = DeadlockSignature(
+            threads=(
+                ThreadSignature(outer=stack(*SITE_A), inner=stack(fr("iA", 1))),
+                ThreadSignature(outer=stack(*SITE_B), inner=stack(fr("iB", 2))),
+                ThreadSignature(outer=stack(*site_c), inner=stack(fr("iC", 3))),
+            ),
+        )
+        history = DeadlockHistory()
+        history.add(sig)
+        module = AvoidanceModule(history)
+        runtime_c = stack(fr("pathC", 3), fr("siteC", 30))
+        # Only one peer present: no instantiation possible yet.
+        one_peer = [ThreadView(tid=2, held=[(200, runtime_stack_b())])]
+        assert module.find_danger(1, 100, runtime_stack_a(), one_peer) is None
+        # Two peers with distinct locks complete the pattern.
+        two_peers = one_peer + [ThreadView(tid=3, held=[(300, runtime_c)])]
+        match = module.find_danger(1, 100, runtime_stack_a(), two_peers)
+        assert match is not None
+        assert len(match.matched) == 2

@@ -1,0 +1,138 @@
+"""Avoidance integration tests: immunity, serialization, yield resolution."""
+
+import threading
+import time
+
+from repro.dimmunix.events import EventKind
+from repro.dimmunix.lock import DimmunixLock
+from repro.dimmunix.runtime import DimmunixRuntime
+from repro.sim.workloads import DiningPhilosophers, TwoLockProgram
+from tests.conftest import make_fast_config
+
+
+class TestImmunityAfterFirstDeadlock:
+    def test_second_run_avoids_deadlock(self, runtime):
+        program = TwoLockProgram(runtime, "imm1")
+        first = program.run_once(collide=True)
+        assert first.deadlocked
+        second = program.run_once(collide=True)
+        assert not second.deadlocked
+        assert sorted(second.completed) == ["t1", "t2"]
+        assert runtime.stats.deadlocks_detected == 1  # never again
+        assert runtime.stats.avoidance_blocks >= 1
+
+    def test_many_protected_runs_stay_clean(self, runtime):
+        program = TwoLockProgram(runtime, "imm2")
+        program.run_once(collide=True)
+        for _ in range(5):
+            result = program.run_once(collide=True)
+            assert not result.deadlocked
+        assert runtime.stats.deadlocks_detected == 1
+
+    def test_avoidance_events_flow(self, runtime):
+        program = TwoLockProgram(runtime, "imm3")
+        program.run_once(collide=True)
+        program.run_once(collide=True)
+        assert runtime.events.count(EventKind.AVOIDANCE_BLOCK) >= 1
+        assert runtime.events.count(EventKind.AVOIDANCE_RESUME) >= 1
+
+    def test_fp_instantiations_recorded(self, runtime):
+        program = TwoLockProgram(runtime, "imm4")
+        program.run_once(collide=True)
+        sig = runtime.history.snapshot()[0]
+        program.run_once(collide=True)
+        assert runtime.fp.instantiations(sig.sig_id) >= 1
+
+    def test_unrelated_locks_not_serialized(self, runtime):
+        program = TwoLockProgram(runtime, "imm5")
+        program.run_once(collide=True)
+        # Locks acquired at sites not covered by the signature fly through.
+        other = DimmunixLock(runtime, "unrelated")
+        blocks_before = runtime.stats.avoidance_blocks
+        for _ in range(50):
+            with other:
+                pass
+        assert runtime.stats.avoidance_blocks == blocks_before
+
+
+class TestPhilosopherImmunity:
+    def test_philosophers_protected_after_first_cycle(self, runtime):
+        table = DiningPhilosophers(runtime, seats=3)
+        first = table.run_once(collide=True)
+        if not first.deadlock_errors:
+            return  # scheduling did not produce the deadlock; nothing to test
+        second = table.run_once(collide=True)
+        assert not second.deadlock_errors
+
+
+class TestAvoidanceInducedCycleResolution:
+    def test_yield_permit_breaks_avoidance_cycle(self):
+        """Construct a state where two threads would suspend each other in
+        avoidance forever; the detector must grant a yield permit."""
+        config = make_fast_config()
+        runtime = DimmunixRuntime(config=config)
+        runtime.start()
+        try:
+            program = TwoLockProgram(runtime, "ay")
+            first = program.run_once(collide=True)
+            assert first.deadlocked
+
+            # Both threads try to take their *first* lock simultaneously and
+            # repeatedly; with the signature in history, one of them blocks
+            # in avoidance whenever the other holds its lock.  Interleaved
+            # hold-and-retry loops eventually produce the mutual-suspension
+            # state; the yield path must keep everything live.
+            stop = threading.Event()
+            errors = []
+
+            def hammer(entry):
+                try:
+                    while not stop.is_set():
+                        result = program.run_once(collide=True, join_timeout=5.0)
+                        if result.timed_out:
+                            errors.append("stuck")
+                            return
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            thread = threading.Thread(target=hammer, args=(None,))
+            thread.start()
+            time.sleep(1.0)
+            stop.set()
+            thread.join(8.0)
+            assert not thread.is_alive()
+            assert not errors
+        finally:
+            runtime.stop()
+
+    def test_max_avoidance_block_safety_valve(self):
+        config = make_fast_config(max_avoidance_block=0.1)
+        runtime = DimmunixRuntime(config=config)
+        runtime.start()
+        try:
+            program = TwoLockProgram(runtime, "valve")
+            program.run_once(collide=True)
+            # Hold lock B forever from a foreign thread with a matching
+            # stack is hard to fake; instead verify the valve fires during a
+            # protected run under sustained contention.
+            for _ in range(3):
+                result = program.run_once(collide=True)
+                assert not result.timed_out
+        finally:
+            runtime.stop()
+
+
+class TestHistoryGrowthAtRuntime:
+    def test_signatures_added_mid_run_take_effect(self, runtime):
+        # Avoidance index must pick up history changes (version bump).
+        program = TwoLockProgram(runtime, "mid")
+        first = program.run_once(collide=True)
+        assert first.deadlocked
+        sig = runtime.history.snapshot()[0]
+        runtime.history.clear()
+        assert runtime.history.version > 0
+        unprotected = program.run_once(collide=True)
+        assert unprotected.deadlocked  # cleared history -> vulnerable again
+        runtime.history.add(sig)
+        protected = program.run_once(collide=True)
+        assert not protected.deadlocked

@@ -1,0 +1,113 @@
+"""Property-based tests for avoidance matching invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import DeadlockHistory
+from repro.core.signature import CallStack, DeadlockSignature, Frame, ThreadSignature
+from repro.dimmunix.avoidance import AvoidanceModule, ThreadView
+
+SITES = [("app.M", f"site{i}", 10 * i) for i in range(1, 5)]
+
+
+def frame(site, code_hash="ff" * 8):
+    return Frame(site[0], site[1], site[2], code_hash)
+
+
+def stack_for(site, prefix_len=1):
+    frames = [Frame("app.M", f"caller{j}", 500 + j, "ff" * 8)
+              for j in range(prefix_len)]
+    frames.append(frame(site))
+    return CallStack(frames)
+
+
+site_pairs = st.lists(
+    st.sampled_from(range(len(SITES))), min_size=2, max_size=3, unique=True
+)
+
+
+@st.composite
+def histories(draw):
+    history = DeadlockHistory()
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        indices = draw(site_pairs)
+        threads = tuple(
+            ThreadSignature(outer=stack_for(SITES[i]), inner=stack_for(SITES[i]))
+            for i in indices
+        )
+        history.add(DeadlockSignature(threads=threads))
+    return history
+
+
+@st.composite
+def world_states(draw):
+    """Random other-thread states over the same site pool."""
+    views = []
+    used_locks = set()
+    for tid in range(2, draw(st.integers(min_value=2, max_value=5))):
+        view = ThreadView(tid=tid)
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            lock_id = draw(st.integers(min_value=100, max_value=120))
+            if lock_id in used_locks:
+                continue
+            used_locks.add(lock_id)
+            site = SITES[draw(st.integers(min_value=0, max_value=len(SITES) - 1))]
+            view.held.append((lock_id, stack_for(site, prefix_len=2)))
+        if view.held:
+            views.append(view)
+    return views
+
+
+class TestAvoidanceInvariants:
+    @given(histories(), world_states())
+    @settings(max_examples=150, deadline=None)
+    def test_no_danger_without_peers(self, history, views):
+        module = AvoidanceModule(history)
+        request_stack = stack_for(SITES[0], prefix_len=2)
+        # With no other threads at all, no instantiation can complete.
+        assert module.find_danger(1, 99, request_stack, []) is None
+
+    @given(histories(), world_states())
+    @settings(max_examples=150, deadline=None)
+    def test_match_assignment_is_injective(self, history, views):
+        module = AvoidanceModule(history)
+        for site in SITES:
+            match = module.find_danger(1, 99, stack_for(site, prefix_len=2), views)
+            if match is None:
+                continue
+            tids = [t for t, _ in match.matched]
+            locks = [l for _, l in match.matched]
+            assert len(set(tids)) == len(tids)
+            assert len(set(locks)) == len(locks)
+            assert 1 not in tids  # never matches the requester itself
+            assert 99 not in locks  # never reuses the requested lock
+
+    @given(histories(), world_states())
+    @settings(max_examples=150, deadline=None)
+    def test_matched_positions_really_match(self, history, views):
+        """Soundness: every reported match is a genuine instantiation."""
+        module = AvoidanceModule(history)
+        by_tid = {v.tid: v for v in views}
+        for site in SITES:
+            stack = stack_for(site, prefix_len=2)
+            match = module.find_danger(1, 99, stack, views)
+            if match is None:
+                continue
+            sig = match.signature
+            assert sig.threads[match.position].outer.matches(stack)
+            other_positions = [
+                i for i in range(len(sig.threads)) if i != match.position
+            ]
+            assert len(match.matched) == len(other_positions)
+            for (tid, lock_id) in match.matched:
+                candidates = dict(by_tid[tid].held)
+                assert lock_id in candidates
+
+    @given(histories())
+    @settings(max_examples=50, deadline=None)
+    def test_clearing_history_clears_danger(self, history):
+        module = AvoidanceModule(history)
+        views = [ThreadView(tid=2, held=[(100, stack_for(SITES[1], 2))])]
+        history.clear()
+        for site in SITES:
+            assert module.find_danger(1, 99, stack_for(site, 2), views) is None

@@ -1,0 +1,148 @@
+"""Deadlock detection integration tests (real threads)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.dimmunix.config import RECOVERY_NONE
+from repro.dimmunix.events import EventKind
+from repro.dimmunix.lock import DimmunixLock
+from repro.dimmunix.runtime import DimmunixRuntime
+from repro.sim.workloads import DiningPhilosophers, TwoLockProgram
+from repro.util.errors import DeadlockError
+from tests.conftest import make_fast_config
+
+
+class TestTwoThreadDeadlock:
+    def test_detects_and_extracts_signature(self, runtime):
+        program = TwoLockProgram(runtime, "d1")
+        result = program.run_once(collide=True)
+        assert result.deadlocked
+        assert len(result.deadlock_errors) == 1  # exactly one victim
+        assert runtime.stats.deadlocks_detected == 1
+        assert len(runtime.history) == 1
+
+    def test_signature_structure(self, runtime):
+        program = TwoLockProgram(runtime, "d2")
+        program.run_once(collide=True)
+        sig = runtime.history.snapshot()[0]
+        assert len(sig.threads) == 2
+        assert sig.origin == "local"
+        for t in sig.threads:
+            assert t.outer.depth >= 2
+            assert t.inner.depth >= 2
+            # Outer and inner lock statements live in the critical sections.
+            assert "critical" in t.outer.top.method
+            assert "critical" in t.inner.top.method
+
+    def test_victim_error_carries_signature(self, runtime):
+        program = TwoLockProgram(runtime, "d3")
+        result = program.run_once(collide=True)
+        err = result.deadlock_errors[0]
+        assert err.signature is not None
+        assert err.signature.sig_id == runtime.history.snapshot()[0].sig_id
+
+    def test_same_deadlock_not_saved_twice(self, runtime):
+        program = TwoLockProgram(runtime, "d4")
+        # Clear history between runs so avoidance does not engage, but keep
+        # runs colliding: the second deadlock has the same signature.
+        first = program.run_once(collide=True)
+        assert first.deadlocked
+        saved = runtime.history.snapshot()
+        runtime.history.clear()
+        second = program.run_once(collide=True)
+        assert second.deadlocked
+        assert runtime.history.snapshot()[0].sig_id == saved[0].sig_id
+
+    def test_events_emitted(self, runtime):
+        program = TwoLockProgram(runtime, "d5")
+        program.run_once(collide=True)
+        assert runtime.events.count(EventKind.DEADLOCK_DETECTED) == 1
+        assert runtime.events.count(EventKind.SIGNATURE_SAVED) == 1
+        assert runtime.events.count(EventKind.VICTIM_RAISED) == 1
+
+
+class TestRecoveryPolicies:
+    def test_recovery_none_leaves_threads_blocked(self):
+        config = make_fast_config(recovery_policy=RECOVERY_NONE)
+        runtime = DimmunixRuntime(config=config)
+        runtime.start()
+        try:
+            program = TwoLockProgram(runtime, "dn")
+            result = program.run_once(collide=True, join_timeout=0.8)
+            # Signature captured, but nobody is killed: threads stay stuck.
+            assert result.timed_out
+            assert not result.deadlock_errors
+            assert len(runtime.history) == 1
+        finally:
+            runtime.stop()
+            # Unblock the stuck threads so the process can exit cleanly:
+            # re-enable recovery and run one detection pass manually.
+            runtime.config.recovery_policy = "raise"
+            runtime._active_incidents.clear()
+            runtime.detect_now()
+            time.sleep(0.2)
+
+
+class TestMultiWayDeadlock:
+    def test_three_philosophers_detected(self, runtime):
+        table = DiningPhilosophers(runtime, seats=3)
+        result = table.run_once(collide=True)
+        assert result.deadlocked or result.completed
+        if result.deadlock_errors:
+            sig = runtime.history.snapshot()[0]
+            assert 2 <= len(sig.threads) <= 3
+
+    def test_detect_now_idempotent_per_incident(self, runtime):
+        program = TwoLockProgram(runtime, "d6")
+        result = program.run_once(collide=True)
+        assert result.deadlocked
+        # Extra passes must not double-count or designate more victims.
+        runtime.detect_now()
+        runtime.detect_now()
+        assert runtime.stats.deadlocks_detected == 1
+        assert runtime.stats.victims_designated == 1
+
+
+class TestSelfDeadlock:
+    def test_self_deadlock_detected_and_raised(self, runtime):
+        lock = DimmunixLock(runtime, "self")
+        caught = []
+
+        def worker():
+            lock.acquire()
+            try:
+                lock.acquire()  # non-reentrant: blocks on itself
+            except DeadlockError as exc:
+                caught.append(exc)
+            finally:
+                lock.release()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert caught
+        assert caught[0].signature is None  # no multi-thread signature
+        assert runtime.stats.self_deadlocks == 1
+        assert runtime.events.count(EventKind.SELF_DEADLOCK) == 1
+
+
+class TestNestedSiteDiscovery:
+    def test_nested_sites_recorded(self, runtime):
+        outer = DimmunixLock(runtime, "outer")
+        inner = DimmunixLock(runtime, "inner")
+
+        def op():
+            with outer:
+                with inner:
+                    pass
+
+        thread = threading.Thread(target=op)
+        thread.start()
+        thread.join(2.0)
+        sites = runtime.nested_sites
+        assert len(sites) == 1
+        ((module, method, line),) = sites
+        assert method == "op"  # the *outer* acquisition site is nested

@@ -1,0 +1,54 @@
+"""Event log tests."""
+
+from repro.dimmunix.events import EventKind, EventLog
+
+
+class TestEmitSubscribe:
+    def test_emit_returns_event(self):
+        log = EventLog()
+        event = log.emit(EventKind.SIGNATURE_SAVED, sig_id="x")
+        assert event.kind is EventKind.SIGNATURE_SAVED
+        assert event.payload == {"sig_id": "x"}
+
+    def test_subscribers_called(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(EventKind.AVOIDANCE_BLOCK, tid=1)
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        log = EventLog()
+        seen = []
+        unsubscribe = log.subscribe(seen.append)
+        unsubscribe()
+        log.emit(EventKind.AVOIDANCE_BLOCK)
+        assert seen == []
+
+    def test_count_per_kind(self):
+        log = EventLog()
+        log.emit(EventKind.AVOIDANCE_BLOCK)
+        log.emit(EventKind.AVOIDANCE_BLOCK)
+        log.emit(EventKind.AVOIDANCE_RESUME)
+        assert log.count(EventKind.AVOIDANCE_BLOCK) == 2
+        assert log.count(EventKind.AVOIDANCE_RESUME) == 1
+        assert log.count(EventKind.SELF_DEADLOCK) == 0
+
+
+class TestRingBuffer:
+    def test_recent_filtered_by_kind(self):
+        log = EventLog()
+        log.emit(EventKind.AVOIDANCE_BLOCK, tid=1)
+        log.emit(EventKind.AVOIDANCE_RESUME, tid=1)
+        blocks = log.recent(EventKind.AVOIDANCE_BLOCK)
+        assert len(blocks) == 1
+
+    def test_capacity_bounds_buffer(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit(EventKind.AVOIDANCE_BLOCK, i=i)
+        recent = log.recent()
+        assert len(recent) == 4
+        assert recent[-1].payload["i"] == 9
+        # Counts are not truncated by the ring buffer.
+        assert log.count(EventKind.AVOIDANCE_BLOCK) == 10

@@ -1,0 +1,91 @@
+"""False-positive detector tests (§III-C1) under a manual clock."""
+
+from repro.dimmunix.config import DimmunixConfig
+from repro.dimmunix.events import EventKind, EventLog
+from repro.dimmunix.fp import FalsePositiveDetector
+from repro.util.clock import ManualClock
+
+
+def make_fp(clock, **config_overrides):
+    config = DimmunixConfig(**config_overrides)
+    events = EventLog()
+    return FalsePositiveDetector(config, clock, events), events
+
+
+def burst(fp, clock, sig_id, count, spacing=0.01):
+    for _ in range(count):
+        fp.record_instantiation(sig_id)
+        clock.advance(spacing)
+
+
+class TestWarningCondition:
+    def test_warns_after_threshold_with_burst(self):
+        clock = ManualClock()
+        fp, events = make_fp(clock)
+        burst(fp, clock, "sig", 100, spacing=0.05)  # 20/sec: bursty
+        assert fp.is_warned("sig")
+        assert events.count(EventKind.FALSE_POSITIVE_WARNING) == 1
+
+    def test_no_warning_without_burst(self):
+        clock = ManualClock()
+        fp, events = make_fp(clock)
+        # 150 instantiations but spread out: never >10 in any 1s window.
+        burst(fp, clock, "sig", 150, spacing=0.2)
+        assert not fp.is_warned("sig")
+
+    def test_no_warning_below_threshold(self):
+        clock = ManualClock()
+        fp, events = make_fp(clock)
+        burst(fp, clock, "sig", 99, spacing=0.01)
+        assert not fp.is_warned("sig")
+
+    def test_burst_remembered_across_quiet_period(self):
+        clock = ManualClock()
+        fp, events = make_fp(clock)
+        burst(fp, clock, "sig", 20, spacing=0.01)  # early burst
+        clock.advance(100.0)
+        burst(fp, clock, "sig", 80, spacing=5.0)  # slow tail to 100 total
+        assert fp.is_warned("sig")
+
+    def test_warning_emitted_once(self):
+        clock = ManualClock()
+        fp, events = make_fp(clock)
+        burst(fp, clock, "sig", 200, spacing=0.01)
+        assert events.count(EventKind.FALSE_POSITIVE_WARNING) == 1
+
+
+class TestTruePositivesAndKeep:
+    def test_true_positive_suppresses_warning(self):
+        clock = ManualClock()
+        fp, events = make_fp(clock)
+        fp.record_true_positive("sig")
+        burst(fp, clock, "sig", 200, spacing=0.01)
+        assert not fp.is_warned("sig")
+
+    def test_user_keep_suppresses_warning(self):
+        clock = ManualClock()
+        fp, events = make_fp(clock)
+        fp.keep("sig")
+        burst(fp, clock, "sig", 200, spacing=0.01)
+        assert not fp.is_warned("sig")
+        assert events.count(EventKind.FALSE_POSITIVE_WARNING) == 0
+
+
+class TestAccounting:
+    def test_instantiation_counts_per_signature(self):
+        clock = ManualClock()
+        fp, _ = make_fp(clock)
+        burst(fp, clock, "a", 5)
+        burst(fp, clock, "b", 3)
+        assert fp.instantiations("a") == 5
+        assert fp.instantiations("b") == 3
+        assert fp.instantiations("missing") == 0
+
+    def test_custom_thresholds(self):
+        clock = ManualClock()
+        fp, events = make_fp(
+            clock, fp_instantiation_threshold=5, fp_burst_count=2,
+            fp_burst_window=10.0,
+        )
+        burst(fp, clock, "sig", 5, spacing=0.5)
+        assert fp.is_warned("sig")

@@ -1,0 +1,71 @@
+"""Stack capture tests."""
+
+from repro.dimmunix.frames import capture_stack, python_code_hash
+
+
+def _inner(depth_limit=32, blacklist=()):
+    return capture_stack(skip=0, limit=depth_limit, blacklist=blacklist)
+
+
+def _outer(**kwargs):
+    return _inner(**kwargs)
+
+
+class TestCaptureStack:
+    def test_top_frame_is_capture_site(self):
+        stack = _inner()
+        assert stack.top.method == "_inner"
+
+    def test_bottom_to_top_order(self):
+        stack = _outer()
+        methods = [f.method for f in stack]
+        assert methods.index("_outer") < methods.index("_inner")
+
+    def test_limit_respected(self):
+        stack = _outer(depth_limit=2)
+        assert stack.depth == 2
+        assert stack.top.method == "_inner"
+
+    def test_blacklist_filters_modules(self):
+        stack = _outer(blacklist=("tests.dimmunix",))
+        assert all(not f.class_name.startswith("tests.dimmunix") for f in stack)
+
+    def test_frames_carry_code_hashes(self):
+        stack = _inner()
+        assert all(f.code_hash for f in stack)
+
+    def test_lines_are_call_sites(self):
+        stack = _outer()
+        inner_frame = next(f for f in stack if f.method == "_inner")
+        assert inner_frame.line > 0
+
+    def test_same_call_path_same_locations(self):
+        # Both captures must start from the same call site (one line).
+        a, b = [_outer() for _ in range(2)]
+        assert a.locations() == b.locations()
+
+
+class TestCodeHash:
+    def test_stable_per_code_object(self):
+        code = _inner.__code__
+        assert python_code_hash(code) == python_code_hash(code)
+
+    def test_different_functions_differ(self):
+        def f():
+            return 1
+
+        def g():
+            return 2
+
+        assert python_code_hash(f.__code__) != python_code_hash(g.__code__)
+
+    def test_identical_bodies_share_hash(self):
+        # The hash covers co_code only: two functions compiled from the same
+        # body hash equal, which is fine (same "bytecode").
+        def f():
+            return 42
+
+        def g():
+            return 42
+
+        assert python_code_hash(f.__code__) == python_code_hash(g.__code__)

@@ -1,0 +1,88 @@
+"""CLI smoke tests: the server and client entry points as real processes."""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.client.endpoints import TcpEndpoint
+
+
+@pytest.fixture
+def live_server_process(tmp_path):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The server prints "communix-server listening on host:port ..."
+    line = proc.stdout.readline()
+    assert "listening on" in line, line
+    address = line.split("listening on", 1)[1].split()[0]
+    host, _, port = address.partition(":")
+    yield proc, host, int(port)
+    proc.terminate()
+    proc.wait(timeout=10)
+
+
+class TestServerCli:
+    def test_serves_real_clients(self, live_server_process, shared_factory):
+        _, host, port = live_server_process
+        endpoint = TcpEndpoint(host, port)
+        try:
+            token = endpoint.issue_token()
+            sig = shared_factory.make_valid()
+            assert endpoint.add(sig.to_bytes(), token)
+            next_index, blobs = endpoint.get(0)
+            assert next_index == 1 and len(blobs) == 1
+        finally:
+            endpoint.close()
+
+    def test_client_cli_once_mode(self, live_server_process, shared_factory,
+                                  tmp_path):
+        _, host, port = live_server_process
+        # Seed one signature through a direct endpoint first.
+        endpoint = TcpEndpoint(host, port)
+        try:
+            endpoint.add(shared_factory.make_valid().to_bytes(),
+                         endpoint.issue_token())
+        finally:
+            endpoint.close()
+
+        repo_path = tmp_path / "repo.json"
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro.client",
+                "--server", f"{host}:{port}",
+                "--repository", str(repo_path),
+                "--once",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "stored 1" in completed.stdout
+        assert repo_path.exists()
+
+    def test_bad_server_argument(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.client", "--server", "nonsense",
+             "--once"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert completed.returncode != 0
+
+
+class TestFalsePositiveUserActions:
+    def test_keep_and_discard(self, runtime, shared_factory):
+        sig = shared_factory.make_valid()
+        runtime.history.add(sig)
+        runtime.keep_signature(sig.sig_id)  # suppresses future warnings
+        assert runtime.discard_signature(sig.sig_id)
+        assert len(runtime.history) == 0
+        assert not runtime.discard_signature(sig.sig_id)

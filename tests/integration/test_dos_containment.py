@@ -1,0 +1,121 @@
+"""DoS containment integration tests (§III-C1, §IV-B).
+
+The attacker tries to flood the pipeline with malicious signatures; every
+layer (server quota, adjacency, client-side depth/nesting/hash checks) must
+hold the line as the paper claims.
+"""
+
+import random
+
+import pytest
+
+from repro.appmodel import SignatureFactory
+from repro.client.client import CommunixClient
+from repro.client.endpoints import InProcessEndpoint
+from repro.core.agent import CommunixAgent
+from repro.core.history import DeadlockHistory
+from repro.core.repository import LocalRepository
+from repro.crypto.userid import UserIdAuthority
+from repro.server.server import CommunixServer
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def server(manual_clock):
+    return CommunixServer(
+        authority=UserIdAuthority(rng=random.Random(31)), clock=manual_clock
+    )
+
+
+class TestServerSideContainment:
+    def test_flood_bounded_by_quota(self, server, shared_factory):
+        """100 attackers x 5 ids can force at most 5,000 adds per day; with
+        a scaled-down attack (5 attackers x 2 ids) the bound is 100."""
+        accepted = 0
+        for _ in range(5):  # attackers
+            for _ in range(2):  # stolen ids each
+                token = server.issue_user_token()
+                for _ in range(30):  # spam far beyond the quota
+                    sig = shared_factory.make_foreign()
+                    if server.process_add(sig.to_bytes(), token).accepted:
+                        accepted += 1
+        assert accepted <= 5 * 2 * 10
+
+    def test_forged_tokens_all_rejected(self, server, shared_factory):
+        rng = random.Random(3)
+        for _ in range(20):
+            fake = "".join(rng.choice("0123456789abcdef") for _ in range(96))
+            sig = shared_factory.make_valid()
+            assert not server.process_add(sig.to_bytes(), fake).accepted
+        assert len(server.database) == 0
+
+    def test_adjacent_fakes_from_one_id_rejected(self, server, shared_factory):
+        token = server.issue_user_token()
+        base, adj = shared_factory.make_adjacent_pair()
+        assert server.process_add(base.to_bytes(), token).accepted
+        assert not server.process_add(adj.to_bytes(), token).accepted
+
+
+class TestClientSideContainment:
+    def test_malicious_batch_mostly_rejected(self, shared_app, manual_clock, server):
+        """Even fakes that the server accepted (valid tokens, within quota,
+        non-adjacent) die at the agent unless they satisfy hash + depth +
+        nesting — and those that survive are bounded by the nested sites."""
+        factory = SignatureFactory(shared_app, seed=77)
+        attack = (
+            [factory.make_shallow(depth=random.Random(1).randrange(1, 5))
+             for _ in range(10)]
+            + [factory.make_foreign() for _ in range(10)]
+            + [factory.make_non_nested() for _ in range(10)]
+        )
+        # Deliver through the real pipeline: server -> client -> repository.
+        endpoint = InProcessEndpoint(server)
+        for sig in attack:
+            token = server.issue_user_token()  # attacker with many ids
+            server.process_add(sig.to_bytes(), token)
+        repo = LocalRepository()
+        client = CommunixClient(endpoint=endpoint, repository=repo,
+                                clock=manual_clock)
+        client.poll_once()
+
+        history = DeadlockHistory()
+        agent = CommunixAgent(shared_app, history, repo)
+        report = agent.on_application_start()
+        assert report.accepted == 0
+        assert len(history) == 0
+
+    def test_accepted_signatures_bounded_by_nested_sites(self, shared_app):
+        """§III-C1: with N nested blocks, an attacker cannot force more than
+        N distinct outer-top locations into the history."""
+        factory = SignatureFactory(shared_app, seed=13)
+        history = DeadlockHistory()
+        repo = LocalRepository()
+        agent = CommunixAgent(shared_app, history, repo)
+        repo.append_from_server([factory.make_valid() for _ in range(50)])
+        agent.on_application_start()
+        nested = shared_app.nested_sync_sites()
+        outer_tops = {
+            t.outer.top.location for s in history.snapshot() for t in s.threads
+        }
+        assert outer_tops <= nested
+        assert len(outer_tops) <= len(nested)
+
+
+class TestGeneralizationAbuse:
+    def test_remote_merge_cannot_undercut_depth_floor(self, shared_app):
+        """§III-C1: 'the agent does not merge signatures below depth 5, for
+        the outer call stacks' — an attacker cannot generalize an existing
+        signature down to depth < 5."""
+        from repro.core.generalization import Generalizer
+
+        factory = SignatureFactory(shared_app, seed=21)
+        history = DeadlockHistory()
+        gen = Generalizer(history)
+        a, b = factory.make_mergeable_pair(depth_a=10, depth_b=8, common=3)
+        gen.incorporate(a)
+        result = gen.incorporate(b)
+        # common suffix is 3 < 5: the merge must be refused; both coexist.
+        assert result.outcome == "added"
+        assert all(
+            t.outer.depth >= 5 for s in history.snapshot() for t in s.threads
+        )

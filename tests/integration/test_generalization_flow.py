@@ -1,0 +1,88 @@
+"""Integration: generalization across the community (§III-D).
+
+Different users experience different *manifestations* of the same deadlock
+bug; the agent merges them into one compact signature whose stacks are the
+longest common suffixes — "the role of signature generalization is to keep
+few signatures per deadlock bug".
+"""
+
+import random
+
+import pytest
+
+from repro.appmodel import SignatureFactory
+from repro.client.client import CommunixClient
+from repro.client.endpoints import InProcessEndpoint
+from repro.core.agent import CommunixAgent
+from repro.core.history import DeadlockHistory
+from repro.core.repository import LocalRepository
+from repro.crypto.userid import UserIdAuthority
+from repro.server.server import CommunixServer
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def world(fresh_app, manual_clock):
+    server = CommunixServer(
+        authority=UserIdAuthority(rng=random.Random(41)), clock=manual_clock
+    )
+    endpoint = InProcessEndpoint(server)
+    repo = LocalRepository()
+    client = CommunixClient(endpoint=endpoint, repository=repo,
+                            clock=manual_clock)
+    history = DeadlockHistory()
+    agent = CommunixAgent(fresh_app, history, repo)
+    factory = SignatureFactory(fresh_app, seed=8)
+    return server, client, repo, history, agent, factory
+
+
+class TestCommunityGeneralization:
+    def test_manifestations_from_different_users_merge(self, world):
+        server, client, repo, history, agent, factory = world
+        a, b = factory.make_mergeable_pair(depth_a=11, depth_b=9, common=6)
+        # Two different users report the two manifestations.
+        for sig in (a, b):
+            token = server.issue_user_token()
+            assert server.process_add(sig.to_bytes(), token).accepted
+        client.poll_once()
+        report = agent.on_application_start()
+        assert report.accepted == 2
+        assert len(history) == 1  # one compact signature per bug
+        merged = history.snapshot()[0]
+        assert all(t.outer.depth == 6 for t in merged.threads)
+        # The generalized signature still matches both manifestations.
+        for original in (a, b):
+            for mt, ot in zip(
+                sorted(merged.threads, key=lambda t: t.bug_key),
+                sorted(original.threads, key=lambda t: t.bug_key),
+            ):
+                assert mt.outer.matches(ot.outer)
+
+    def test_incremental_merge_across_days(self, world):
+        server, client, repo, history, agent, factory = world
+        a, b = factory.make_mergeable_pair(depth_a=12, depth_b=10, common=7)
+        server.process_add(a.to_bytes(), server.issue_user_token())
+        client.poll_once()
+        agent.on_application_start()
+        assert len(history) == 1
+        first = history.snapshot()[0]
+        assert all(t.outer.depth == 12 for t in first.threads)
+
+        # Day 2: the second manifestation arrives and generalizes day 1's.
+        server.process_add(b.to_bytes(), server.issue_user_token())
+        client.clock.advance(86_400.0)
+        client.poll_once()
+        report = agent.on_application_start()
+        assert report.merged == 1
+        assert len(history) == 1
+        assert all(t.outer.depth == 7 for t in history.snapshot()[0].threads)
+
+    def test_distinct_bugs_do_not_merge(self, world):
+        server, client, repo, history, agent, factory = world
+        for _ in range(3):
+            sig = factory.make_valid()
+            server.process_add(sig.to_bytes(), server.issue_user_token())
+        client.poll_once()
+        agent.on_application_start()
+        keys = {s.bug_key for s in history.snapshot()}
+        assert len(keys) == len(history)  # one entry per distinct bug

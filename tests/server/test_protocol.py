@@ -1,0 +1,165 @@
+"""Wire protocol unit tests: framing and GET response layout."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.server.protocol import (
+    count_get_response,
+    decode_add_signature,
+    decode_get_response,
+    decode_request,
+    encode_add_request,
+    encode_get_response,
+    encode_request,
+    read_frame,
+    write_frame,
+)
+from repro.util.errors import ProtocolError
+
+
+def socket_pair():
+    a, b = socket.socketpair()
+    a.settimeout(2.0)
+    b.settimeout(2.0)
+    return a, b
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket_pair()
+        try:
+            write_frame(a, b"hello world")
+            assert read_frame(b) == b"hello world"
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = socket_pair()
+        try:
+            for payload in (b"one", b"two", b"three"):
+                write_frame(a, payload)
+            assert read_frame(b) == b"one"
+            assert read_frame(b) == b"two"
+            assert read_frame(b) == b"three"
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket_pair()
+        a.close()
+        try:
+            assert read_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_header_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(b"\x00\x00")  # half a header
+            a.close()
+            with pytest.raises(ProtocolError):
+                read_frame(b)
+        finally:
+            b.close()
+
+    def test_truncated_body_raises(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b"short")
+            a.close()
+            with pytest.raises(ProtocolError):
+                read_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_declared_length_rejected(self):
+        a, b = socket_pair()
+        try:
+            a.sendall(struct.pack(">I", 1 << 31))
+            with pytest.raises(ProtocolError):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_frame_round_trip(self):
+        a, b = socket_pair()
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        received = {}
+
+        def reader():
+            received["data"] = read_frame(b)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            write_frame(a, payload)
+            thread.join(5.0)
+            assert received["data"] == payload
+        finally:
+            a.close()
+            b.close()
+
+
+class TestRequests:
+    def test_request_round_trip(self):
+        payload = encode_request({"op": "GET", "from_index": 7})
+        assert decode_request(payload) == {"op": "GET", "from_index": 7}
+
+    def test_add_request_carries_blob(self):
+        blob = b"\x00\x01binary"
+        request = decode_request(encode_add_request(blob, "tok"))
+        assert request["op"] == "ADD"
+        assert request["token"] == "tok"
+        assert decode_add_signature(request) == blob
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"{nope")
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"from_index": 0}')
+
+    def test_bad_base64_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_add_signature({"op": "ADD", "signature": "!!!not-base64!!!"})
+
+
+class TestGetResponse:
+    def test_round_trip(self):
+        blobs = [b"alpha", b"", b"gamma" * 100]
+        payload = encode_get_response(42, blobs)
+        next_index, decoded = decode_get_response(payload)
+        assert next_index == 42
+        assert decoded == blobs
+
+    def test_count_without_materializing(self):
+        payload = encode_get_response(7, [b"a", b"b"])
+        assert count_get_response(payload) == (7, 2)
+
+    def test_empty_response(self):
+        payload = encode_get_response(0, [])
+        assert decode_get_response(payload) == (0, [])
+
+    @pytest.mark.parametrize(
+        "mutation",
+        ["magic", "truncate_length", "truncate_body", "trailing"],
+    )
+    def test_corruption_detected(self, mutation):
+        payload = bytearray(encode_get_response(3, [b"abc", b"defg"]))
+        if mutation == "magic":
+            payload[0] ^= 0xFF
+        elif mutation == "truncate_length":
+            payload = payload[:14]
+        elif mutation == "truncate_body":
+            payload = payload[:-2]
+        elif mutation == "trailing":
+            payload += b"junk"
+        with pytest.raises(ProtocolError):
+            decode_get_response(bytes(payload))

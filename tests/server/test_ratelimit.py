@@ -1,0 +1,56 @@
+"""Daily quota tests (§III-C1: at most 10 signatures per user per day)."""
+
+from repro.server.ratelimit import SECONDS_PER_DAY, DailyQuota
+from repro.util.clock import ManualClock
+
+
+class TestQuota:
+    def test_limit_enforced(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=10)
+        assert all(quota.try_consume(1) for _ in range(10))
+        assert not quota.try_consume(1)
+        assert quota.used_today(1) == 10
+
+    def test_per_user_isolation(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=2)
+        assert quota.try_consume(1)
+        assert quota.try_consume(1)
+        assert not quota.try_consume(1)
+        assert quota.try_consume(2)  # other users unaffected
+
+    def test_resets_next_day(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=3)
+        for _ in range(3):
+            quota.try_consume(7)
+        assert not quota.try_consume(7)
+        manual_clock.advance(SECONDS_PER_DAY)
+        assert quota.try_consume(7)
+        assert quota.used_today(7) == 1
+
+    def test_partial_day_does_not_reset(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=1)
+        quota.try_consume(1)
+        manual_clock.advance(SECONDS_PER_DAY / 2)
+        # Still the same calendar day bucket unless the boundary is crossed.
+        if int(manual_clock.now() // SECONDS_PER_DAY) == int(
+            (manual_clock.now() - SECONDS_PER_DAY / 2) // SECONDS_PER_DAY
+        ):
+            assert not quota.try_consume(1)
+
+    def test_custom_limit(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=1)
+        assert quota.limit == 1
+        assert quota.try_consume(5)
+        assert not quota.try_consume(5)
+
+    def test_attack_model_bound(self, manual_clock):
+        """§IV-B: 100 attackers x 5 ids x 10/day => at most 5,000 accepted."""
+        quota = DailyQuota(manual_clock, limit_per_day=10)
+        accepted = 0
+        for attacker in range(100):
+            for id_index in range(5):
+                uid = attacker * 10 + id_index
+                for _ in range(50):  # each tries to spam far beyond quota
+                    if quota.try_consume(uid):
+                        accepted += 1
+        assert accepted == 5_000

@@ -1,0 +1,103 @@
+"""Server-side validator unit tests (§III-C2)."""
+
+import random
+
+import pytest
+
+from repro.crypto.userid import UserIdAuthority
+from repro.server.database import SignatureDatabase
+from repro.server.ratelimit import DailyQuota
+from repro.server.validation import ServerSideValidator, ServerVerdict, adjacent
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def validator(manual_clock):
+    authority = UserIdAuthority(rng=random.Random(4))
+    database = SignatureDatabase()
+    quota = DailyQuota(manual_clock, limit_per_day=10)
+    return ServerSideValidator(authority, quota, database), authority, database
+
+
+class TestAdjacentPredicate:
+    def test_partial_overlap(self):
+        a = frozenset({("c", "m", 1), ("c", "m", 2)})
+        b = frozenset({("c", "m", 2), ("c", "m", 3)})
+        assert adjacent(a, b)
+
+    def test_equal_sets_not_adjacent(self):
+        a = frozenset({("c", "m", 1)})
+        assert not adjacent(a, frozenset(a))
+
+    def test_disjoint_not_adjacent(self):
+        a = frozenset({("c", "m", 1)})
+        b = frozenset({("c", "m", 2)})
+        assert not adjacent(a, b)
+
+    def test_subset_is_adjacent(self):
+        a = frozenset({("c", "m", 1)})
+        b = frozenset({("c", "m", 1), ("c", "m", 2)})
+        assert adjacent(a, b)
+
+
+class TestTokenResolution:
+    def test_valid_token_resolved(self, validator):
+        val, authority, _ = validator
+        token = authority.issue_for(77)
+        assert val.resolve_uid(token) == 77
+
+    def test_cache_hit_consistent(self, validator):
+        val, authority, _ = validator
+        token = authority.issue_for(5)
+        assert val.resolve_uid(token) == val.resolve_uid(token) == 5
+
+    def test_forged_token_none(self, validator):
+        val, _, _ = validator
+        assert val.resolve_uid("00" * 48) is None
+
+    def test_garbage_token_none(self, validator):
+        val, _, _ = validator
+        assert val.resolve_uid("not hex at all") is None
+
+
+class TestCheckAdd:
+    def test_ok_path(self, validator, shared_factory):
+        val, authority, _ = validator
+        token = authority.issue_for(1)
+        verdict, uid = val.check_add(shared_factory.make_valid(), token)
+        assert verdict is ServerVerdict.OK
+        assert uid == 1
+
+    def test_bad_token(self, validator, shared_factory):
+        val, _, _ = validator
+        verdict, uid = val.check_add(shared_factory.make_valid(), "zz")
+        assert verdict is ServerVerdict.BAD_TOKEN
+        assert uid is None
+
+    def test_quota_verdict(self, validator, shared_factory):
+        val, authority, _ = validator
+        token = authority.issue_for(2)
+        for _ in range(10):
+            val.check_add(shared_factory.make_valid(), token)
+        verdict, _ = val.check_add(shared_factory.make_valid(), token)
+        assert verdict is ServerVerdict.QUOTA_EXCEEDED
+
+    def test_adjacent_same_user(self, validator, shared_factory):
+        val, authority, database = validator
+        token = authority.issue_for(3)
+        a, b = shared_factory.make_adjacent_pair()
+        verdict, uid = val.check_add(a, token)
+        assert verdict is ServerVerdict.OK
+        database.append(a, a.to_bytes(), uid)
+        verdict, _ = val.check_add(b, token)
+        assert verdict is ServerVerdict.ADJACENT
+
+    def test_adjacent_across_users_allowed(self, validator, shared_factory):
+        val, authority, database = validator
+        a, b = shared_factory.make_adjacent_pair()
+        token_a = authority.issue_for(10)
+        token_b = authority.issue_for(11)
+        verdict, uid = val.check_add(a, token_a)
+        database.append(a, a.to_bytes(), uid)
+        verdict, _ = val.check_add(b, token_b)
+        assert verdict is ServerVerdict.OK

@@ -1,0 +1,150 @@
+"""TCP transport integration tests (server + TcpEndpoint)."""
+
+import random
+import threading
+
+import pytest
+
+from repro.client.endpoints import TcpEndpoint
+from repro.core.signature import DeadlockSignature
+from repro.crypto.userid import UserIdAuthority
+from repro.server.server import CommunixServer
+from repro.server.transport import ServerTransport
+from repro.util.clock import ManualClock
+from repro.util.errors import ProtocolError
+
+
+@pytest.fixture
+def live_server():
+    server = CommunixServer(
+        authority=UserIdAuthority(rng=random.Random(2)),
+        clock=ManualClock(start=1_000_000.0),
+    )
+    transport = ServerTransport(server)
+    host, port = transport.start()
+    yield server, host, port
+    transport.stop()
+
+
+class TestEndToEnd:
+    def test_issue_add_get_cycle(self, live_server, shared_factory):
+        server, host, port = live_server
+        endpoint = TcpEndpoint(host, port)
+        try:
+            token = endpoint.issue_token()
+            sig = shared_factory.make_valid()
+            assert endpoint.add(sig.to_bytes(), token)
+            next_index, blobs = endpoint.get(0)
+            assert next_index == 1
+            assert DeadlockSignature.from_bytes(blobs[0]).sig_id == sig.sig_id
+        finally:
+            endpoint.close()
+
+    def test_rejection_propagates(self, live_server, shared_factory):
+        server, host, port = live_server
+        endpoint = TcpEndpoint(host, port)
+        try:
+            sig = shared_factory.make_valid()
+            assert endpoint.add(sig.to_bytes(), "bogus-token") is False
+        finally:
+            endpoint.close()
+
+    def test_persistent_connection_many_requests(self, live_server, shared_factory):
+        server, host, port = live_server
+        endpoint = TcpEndpoint(host, port)
+        try:
+            # Fresh token per add: adjacency is per-user and must not bite.
+            for _ in range(5):
+                token = endpoint.issue_token()
+                assert endpoint.add(shared_factory.make_valid().to_bytes(), token)
+            next_index, blobs = endpoint.get(0)
+            assert next_index == 5
+            assert len(blobs) == 5
+        finally:
+            endpoint.close()
+
+    def test_concurrent_clients(self, live_server, shared_factory):
+        server, host, port = live_server
+        sigs = [shared_factory.make_valid() for _ in range(12)]
+        failures = []
+
+        def client(batch):
+            endpoint = TcpEndpoint(host, port)
+            try:
+                for sig in batch:
+                    token = endpoint.issue_token()
+                    if not endpoint.add(sig.to_bytes(), token):
+                        failures.append(sig.sig_id)
+                endpoint.get(0)
+            except Exception as exc:  # pragma: no cover
+                failures.append(exc)
+            finally:
+                endpoint.close()
+
+        threads = [
+            threading.Thread(target=client, args=(sigs[i::3],)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert not failures
+        unique = len({s.sig_id for s in sigs})
+        assert len(server.database) == unique
+
+    def test_unknown_op_returns_error(self, live_server):
+        import socket as socket_module
+
+        from repro.server.protocol import read_frame, write_frame
+        from repro.util.encoding import canonical_json, from_canonical_json
+
+        _, host, port = live_server
+        sock = socket_module.create_connection((host, port), timeout=2.0)
+        try:
+            write_frame(sock, canonical_json({"op": "EXPLODE"}))
+            response = from_canonical_json(read_frame(sock))
+            assert response["ok"] is False
+            assert "EXPLODE" in response["error"]
+        finally:
+            sock.close()
+
+    def test_malformed_frame_closes_cleanly(self, live_server):
+        import socket as socket_module
+
+        _, host, port = live_server
+        sock = socket_module.create_connection((host, port), timeout=2.0)
+        try:
+            sock.sendall(b"\xff\xff\xff\xff")  # absurd length header
+            sock.settimeout(2.0)
+            # Server drops the connection; recv returns EOF eventually.
+            assert sock.recv(4096) == b""
+        finally:
+            sock.close()
+
+    def test_stats_op(self, live_server, shared_factory):
+        server, host, port = live_server
+        endpoint = TcpEndpoint(host, port)
+        try:
+            token = endpoint.issue_token()
+            endpoint.add(shared_factory.make_valid().to_bytes(), token)
+            import socket as socket_module
+
+            from repro.server.protocol import read_frame, write_frame
+            from repro.util.encoding import canonical_json, from_canonical_json
+
+            sock = socket_module.create_connection((host, port), timeout=2.0)
+            try:
+                write_frame(sock, canonical_json({"op": "STATS"}))
+                stats = from_canonical_json(read_frame(sock))
+                assert stats["ok"] and stats["database_size"] == 1
+            finally:
+                sock.close()
+        finally:
+            endpoint.close()
+
+
+class TestEndpointRobustness:
+    def test_endpoint_raises_when_server_gone(self, shared_factory):
+        endpoint = TcpEndpoint("127.0.0.1", 1)  # nothing listens there
+        with pytest.raises(ProtocolError):
+            endpoint.get(0)

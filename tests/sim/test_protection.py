@@ -1,0 +1,90 @@
+"""Time-to-full-protection model tests (§IV-C)."""
+
+import pytest
+
+from repro.sim.protection import (
+    ProtectionParams,
+    analytic_estimate,
+    mean_protection_times,
+    simulate_protection,
+)
+
+
+class TestAnalyticEstimate:
+    def test_paper_formulas(self):
+        params = ProtectionParams(n_users=100, n_manifestations=10,
+                                  mean_days_per_manifestation=2.0)
+        dimmunix, communix = analytic_estimate(params)
+        assert dimmunix == pytest.approx(20.0)
+        assert communix == pytest.approx(0.2)
+
+    def test_single_user_no_gain(self):
+        params = ProtectionParams(n_users=1, n_manifestations=5)
+        dimmunix, communix = analytic_estimate(params)
+        assert dimmunix == communix * 1  # t*Nd == t*Nd/1
+
+
+class TestSimulation:
+    def test_communix_never_slower_than_users(self):
+        params = ProtectionParams(n_users=10, n_manifestations=8, seed=3)
+        outcome = simulate_protection(params)
+        # Union coverage happens no later than any single user's coverage
+        # (minus distribution latency).
+        assert (
+            outcome.communix_days - params.distribution_latency_days
+            <= outcome.dimmunix_alone_worst_days
+        )
+
+    def test_single_user_equivalence(self):
+        params = ProtectionParams(n_users=1, n_manifestations=6, seed=5,
+                                  distribution_latency_days=0.0)
+        outcome = simulate_protection(params)
+        assert outcome.communix_days == pytest.approx(outcome.dimmunix_alone_days)
+
+    def test_more_users_faster_protection(self):
+        slow = mean_protection_times(
+            ProtectionParams(n_users=1, n_manifestations=10, seed=1), runs=5
+        )
+        fast = mean_protection_times(
+            ProtectionParams(n_users=50, n_manifestations=10, seed=1), runs=5
+        )
+        assert fast[1] < slow[1]
+
+    def test_inverse_scaling_shape(self):
+        """The paper's 1/Nu claim: tenfold users => roughly tenfold faster
+        (allow generous tolerance; the union-coverage process is coupon-
+        collector-ish, not exactly linear)."""
+        ten = mean_protection_times(
+            ProtectionParams(n_users=10, n_manifestations=20, seed=2,
+                             distribution_latency_days=0.0), runs=8
+        )[1]
+        hundred = mean_protection_times(
+            ProtectionParams(n_users=100, n_manifestations=20, seed=2,
+                             distribution_latency_days=0.0), runs=8
+        )[1]
+        ratio = ten / hundred
+        assert 4.0 <= ratio <= 25.0
+
+    def test_deterministic_per_seed(self):
+        params = ProtectionParams(n_users=5, n_manifestations=5, seed=11)
+        a = simulate_protection(params)
+        b = simulate_protection(params)
+        assert a.communix_days == b.communix_days
+        assert a.dimmunix_alone_days == b.dimmunix_alone_days
+
+    def test_event_accounting(self):
+        outcome = simulate_protection(
+            ProtectionParams(n_users=3, n_manifestations=4, seed=7)
+        )
+        # Every user must see every manifestation: at least Nd draws each.
+        assert outcome.events_simulated >= 3 * 4
+
+    def test_distribution_latency_added(self):
+        base = ProtectionParams(n_users=5, n_manifestations=5, seed=9,
+                                distribution_latency_days=0.0)
+        delayed = ProtectionParams(n_users=5, n_manifestations=5, seed=9,
+                                   distribution_latency_days=1.0)
+        assert (
+            simulate_protection(delayed).communix_days
+            == pytest.approx(simulate_protection(base).communix_days + 1.0)
+        )

@@ -1,0 +1,48 @@
+"""Workload program tests (beyond the detection tests that reuse them)."""
+
+import pytest
+
+from repro.sim.workloads import DiningPhilosophers, TwoLockProgram
+
+
+class TestTwoLockProgram:
+    def test_non_colliding_run_completes(self, runtime):
+        program = TwoLockProgram(runtime, "w1")
+        result = program.run_once(collide=False)
+        assert not result.deadlocked
+        assert sorted(result.completed) == ["t1", "t2"]
+
+    def test_collide_produces_deadlock(self, runtime):
+        program = TwoLockProgram(runtime, "w2")
+        result = program.run_once(collide=True)
+        assert result.deadlocked
+
+    def test_acquisition_stacks_deep_enough_for_validation(self, runtime):
+        # The distributed-validation depth floor is 5; local captures must
+        # leave at least 5 hashable application frames after trimming.
+        program = TwoLockProgram(runtime, "w3")
+        program.run_once(collide=True)
+        sig = runtime.history.snapshot()[0]
+        for thread in sig.threads:
+            app_frames = [
+                f for f in thread.outer
+                if f.class_name.startswith("repro.sim.workloads")
+            ]
+            assert len(app_frames) >= 5
+
+
+class TestDiningPhilosophers:
+    def test_requires_two_seats(self, runtime):
+        with pytest.raises(ValueError):
+            DiningPhilosophers(runtime, seats=1)
+
+    def test_non_colliding_run_completes(self, runtime):
+        table = DiningPhilosophers(runtime, seats=3)
+        result = table.run_once(collide=False)
+        assert not result.deadlocked
+        assert len(result.completed) == 3
+
+    def test_five_seats_supported(self, runtime):
+        table = DiningPhilosophers(runtime, seats=5)
+        result = table.run_once(collide=False)
+        assert len(result.completed) == 5

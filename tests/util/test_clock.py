@@ -1,0 +1,73 @@
+"""Tests for the clock abstraction."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.clock import ManualClock, SystemClock
+
+
+class TestSystemClock:
+    def test_now_tracks_wall_clock(self):
+        clock = SystemClock()
+        before = time.time()
+        now = clock.now()
+        after = time.time()
+        assert before <= now <= after
+
+    def test_sleep_blocks_roughly(self):
+        clock = SystemClock()
+        started = time.monotonic()
+        clock.sleep(0.02)
+        assert time.monotonic() - started >= 0.015
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(start=123.0).now() == 123.0
+
+    def test_advance_moves_time(self):
+        clock = ManualClock()
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+        clock.advance(0.5)
+        assert clock.now() == 5.5
+
+    def test_advance_rejects_negative(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = ManualClock()
+        started = time.monotonic()
+        clock.sleep(3600.0)
+        assert time.monotonic() - started < 0.5
+        assert clock.now() == 3600.0
+
+    def test_sleep_zero_is_noop(self):
+        clock = ManualClock(start=10.0)
+        clock.sleep(0.0)
+        clock.sleep(-1.0)
+        assert clock.now() == 10.0
+
+    def test_wait_until_releases_on_advance(self):
+        clock = ManualClock()
+        reached = threading.Event()
+
+        def waiter():
+            if clock.wait_until(10.0, timeout=5.0):
+                reached.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not reached.is_set()
+        clock.advance(10.0)
+        thread.join(timeout=2.0)
+        assert reached.is_set()
+
+    def test_wait_until_times_out_in_real_time(self):
+        clock = ManualClock()
+        assert clock.wait_until(10.0, timeout=0.05) is False

@@ -1,0 +1,59 @@
+"""Tests for canonical JSON encoding and stable hashing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.encoding import canonical_json, from_canonical_json, stable_hash
+
+
+class TestCanonicalJson:
+    def test_sorted_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+    def test_compact_separators(self):
+        assert b" " not in canonical_json({"a": [1, 2, 3], "b": {"c": 4}})
+
+    def test_unicode_passthrough(self):
+        data = canonical_json({"name": "Tözün"})
+        assert from_canonical_json(data) == {"name": "Tözün"}
+
+    def test_representation_independence(self):
+        # Same logical object, different insertion orders -> same bytes.
+        a = {"x": 1, "y": [1, 2], "z": {"k": True}}
+        b = {"z": {"k": True}, "y": [1, 2], "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_decode_accepts_str(self):
+        assert from_canonical_json('{"a":1}') == {"a": 1}
+
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-(2**31), 2**31) | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestEncodingProperties:
+    @given(json_values)
+    @settings(max_examples=100)
+    def test_round_trip(self, value):
+        assert from_canonical_json(canonical_json(value)) == value
+
+    @given(json_values)
+    @settings(max_examples=100)
+    def test_deterministic(self, value):
+        assert canonical_json(value) == canonical_json(value)
+
+
+class TestStableHash:
+    def test_known_prefix_length(self):
+        assert len(stable_hash(b"hello")) == 16
+        assert len(stable_hash(b"hello", length=8)) == 8
+
+    def test_str_and_bytes_agree(self):
+        assert stable_hash("data") == stable_hash(b"data")
+
+    def test_different_inputs_differ(self):
+        assert stable_hash(b"a") != stable_hash(b"b")

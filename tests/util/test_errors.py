@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    CommunixError,
+    CryptoError,
+    DeadlockError,
+    HistoryError,
+    ProtocolError,
+    RateLimitExceeded,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [CryptoError, DeadlockError, HistoryError, ProtocolError,
+         RateLimitExceeded, ValidationError],
+    )
+    def test_all_derive_from_communix_error(self, exc_type):
+        assert issubclass(exc_type, CommunixError)
+
+    def test_rate_limit_is_validation_error(self):
+        assert issubclass(RateLimitExceeded, ValidationError)
+
+    def test_deadlock_error_carries_signature(self):
+        marker = object()
+        err = DeadlockError("boom", signature=marker)
+        assert err.signature is marker
+        assert "boom" in str(err)
+
+    def test_deadlock_error_signature_defaults_none(self):
+        assert DeadlockError("x").signature is None

@@ -1,0 +1,26 @@
+"""Tests for library logging helpers."""
+
+import logging
+
+from repro.util.logging import enable_console_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced(self):
+        assert get_logger("server").name == "repro.server"
+
+    def test_qualified_name_unchanged(self):
+        assert get_logger("repro.core.agent").name == "repro.core.agent"
+
+    def test_root_has_null_handler(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_enable_console_idempotent(self):
+        root = logging.getLogger("repro")
+        before = len(root.handlers)
+        enable_console_logging()
+        first = len(root.handlers)
+        enable_console_logging()
+        assert len(root.handlers) == first
+        assert first <= before + 1
