@@ -28,12 +28,19 @@ log = get_logger("client")
 DEFAULT_PERIOD = 86_400.0  # once a day
 
 
+#: Signatures requested per page; the server may clamp this further.  At
+#: ~1.7 KB per signature (paper §IV-A) a page is a few MB — bounded frames
+#: instead of one response holding the whole database.
+DEFAULT_PAGE_SIZE = 2048
+
+
 @dataclass
 class DownloadReport:
     requested_from: int
     received: int = 0
     stored: int = 0
     malformed: int = 0
+    pages: int = 0
     failed: bool = False
     error: str = ""
 
@@ -44,6 +51,7 @@ class CommunixClient:
     repository: LocalRepository
     clock: Clock = field(default_factory=SystemClock)
     period: float = DEFAULT_PERIOD
+    page_size: int = DEFAULT_PAGE_SIZE
 
     def __post_init__(self):
         self._thread: threading.Thread | None = None
@@ -53,34 +61,54 @@ class CommunixClient:
 
     # ------------------------------------------------------------- polling
     def poll_once(self) -> DownloadReport:
-        """One incremental download: ``GET(n+1)`` in the paper's terms."""
+        """One incremental download: ``GET(n+1)`` in the paper's terms.
+
+        With a paginated endpoint the download streams page by page until
+        the server reports no more; each page is stored before the next is
+        requested, so an interrupted download resumes from the page
+        boundary rather than from scratch.  Endpoints without ``get_page``
+        (old servers, test doubles) fall back to one unpaginated GET.
+        """
         start = self.repository.server_index
         report = DownloadReport(requested_from=start)
-        try:
-            next_index, blobs = self.endpoint.get(start)
-        except CommunixError as exc:
-            report.failed = True
-            report.error = str(exc)
-            log.warning("download failed: %s", exc)
-            self.reports.append(report)
-            return report
-        report.received = len(blobs)
-        signatures: list[DeadlockSignature] = []
-        for blob in blobs:
+        get_page = getattr(self.endpoint, "get_page", None)
+        cursor = start
+        while True:
             try:
-                signatures.append(
-                    DeadlockSignature.from_bytes(blob, origin=ORIGIN_REMOTE)
-                )
-            except ValidationError:
-                # A hostile or buggy server cannot corrupt the repository.
-                report.malformed += 1
-        report.stored = self.repository.append_from_server(
-            signatures, next_server_index=next_index
-        )
+                if get_page is not None:
+                    next_index, blobs, more = get_page(cursor, self.page_size)
+                else:
+                    next_index, blobs = self.endpoint.get(cursor)
+                    more = False
+            except CommunixError as exc:
+                report.failed = True
+                report.error = str(exc)
+                log.warning("download failed: %s", exc)
+                self.reports.append(report)
+                return report
+            report.pages += 1
+            report.received += len(blobs)
+            signatures: list[DeadlockSignature] = []
+            for blob in blobs:
+                try:
+                    signatures.append(
+                        DeadlockSignature.from_bytes(blob, origin=ORIGIN_REMOTE)
+                    )
+                except ValidationError:
+                    # A hostile or buggy server cannot corrupt the repository.
+                    report.malformed += 1
+            report.stored += self.repository.append_from_server(
+                signatures, next_server_index=next_index
+            )
+            if not more or next_index <= cursor:  # no forward progress
+                break
+            cursor = next_index
         self.reports.append(report)
         log.info(
-            "downloaded %d signatures (stored %d, malformed %d) from index %d",
-            report.received, report.stored, report.malformed, start,
+            "downloaded %d signatures (stored %d, malformed %d) "
+            "in %d page(s) from index %d",
+            report.received, report.stored, report.malformed,
+            report.pages, start,
         )
         return report
 

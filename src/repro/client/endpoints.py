@@ -1,7 +1,11 @@
 """Server endpoints: how client-side components reach the Communix server.
 
-Both endpoints expose the same three calls (the :class:`ServerEndpoint`
-protocol): ``add(blob, token)``, ``get(from_index)`` and ``issue_token()``.
+Both endpoints expose the same calls (the :class:`ServerEndpoint`
+protocol): ``add(blob, token)``, ``get(from_index)``,
+``get_page(from_index, max_count)`` and ``issue_token()``.  ``get`` is the
+legacy unpaginated download (the whole tail in one response); ``get_page``
+is the paginated form the client daemon loops over, bounded per response
+by ``max_count`` and resumable via the returned ``more`` flag.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ import threading
 from typing import Protocol
 
 from repro.server.protocol import (
+    decode_get_page,
     decode_get_response,
     encode_add_request,
     encode_request,
@@ -26,6 +31,9 @@ class ServerEndpoint(Protocol):
     def add(self, blob: bytes, token: str) -> bool: ...
 
     def get(self, from_index: int) -> tuple[int, list[bytes]]: ...
+
+    def get_page(self, from_index: int, max_count: int
+                 ) -> tuple[int, list[bytes], bool]: ...
 
     def issue_token(self) -> str: ...
 
@@ -45,6 +53,10 @@ class InProcessEndpoint:
 
     def get(self, from_index: int) -> tuple[int, list[bytes]]:
         return self._server.process_get(from_index)
+
+    def get_page(self, from_index: int, max_count: int
+                 ) -> tuple[int, list[bytes], bool]:
+        return self._server.process_get_page(from_index, max_count)
 
     def issue_token(self) -> str:
         return self._server.issue_user_token()
@@ -119,12 +131,24 @@ class TcpEndpoint:
         )
         return decode_get_response(response)
 
-    def get_raw(self, from_index: int) -> bytes:
+    def get_page(self, from_index: int, max_count: int
+                 ) -> tuple[int, list[bytes], bool]:
+        """One bounded page: ``(next_index, blobs, more)``.  The server
+        clamps ``max_count`` to its own page cap; loop while ``more``."""
+        response = self._roundtrip(
+            encode_request(
+                {"op": "GET", "from_index": from_index, "max_count": max_count}
+            )
+        )
+        return decode_get_page(response)
+
+    def get_raw(self, from_index: int, max_count: int | None = None) -> bytes:
         """The raw GET response — lets callers count signatures without
         materializing them (what the downloader does for accounting)."""
-        return self._roundtrip(
-            encode_request({"op": "GET", "from_index": from_index})
-        )
+        request: dict = {"op": "GET", "from_index": from_index}
+        if max_count is not None:
+            request["max_count"] = max_count
+        return self._roundtrip(encode_request(request))
 
     def issue_token(self) -> str:
         response = self._roundtrip(encode_request({"op": "ISSUE_ID"}))

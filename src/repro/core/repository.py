@@ -11,6 +11,14 @@ startup.  Two invariants from the paper:
   each application key, plus the set of signatures that passed the hash
   check but failed the nesting check (those are re-checked when the
   application loads new classes).
+
+Persistence is split into two files so the two update rates never pay for
+each other: the main file holds the (append-only, potentially large)
+signature list and is rewritten only when new signatures arrive, while a
+small *sidecar* (``<path>.state``) holds the server index, per-app cursors
+and pending-nesting sets — so a cursor bump after an agent inspection
+serializes a few dozen bytes, not the whole repository.  Legacy
+single-file (version-1) repositories still load.
 """
 
 from __future__ import annotations
@@ -29,6 +37,10 @@ class LocalRepository:
 
     def __init__(self, path: str | os.PathLike | None = None):
         self._path = Path(path) if path is not None else None
+        self._state_path = (
+            self._path.with_suffix(self._path.suffix + ".state")
+            if self._path is not None else None
+        )
         self._lock = threading.RLock()
         self._signatures: list[DeadlockSignature] = []
         self._ids: set[str] = set()
@@ -66,7 +78,8 @@ class LocalRepository:
             else:
                 self._server_index += len(signatures)
         if added:
-            self._save()
+            self._save_signatures()
+        self._save_state()  # server_index moves even on all-duplicate batches
         return added
 
     def signature_at(self, index: int) -> DeadlockSignature:
@@ -87,7 +100,7 @@ class LocalRepository:
     def advance_cursor(self, app_key: str, new_cursor: int) -> None:
         with self._lock:
             self._cursors[app_key] = max(self._cursors.get(app_key, 0), new_cursor)
-        self._save()
+        self._save_state()
 
     def get_cursor(self, app_key: str) -> int:
         with self._lock:
@@ -102,27 +115,42 @@ class LocalRepository:
     def set_pending_nesting(self, app_key: str, indices: list[int]) -> None:
         with self._lock:
             self._pending_nesting[app_key] = sorted(set(indices))
-        self._save()
+        self._save_state()
 
     # --------------------------------------------------------- persistence
-    def _save(self) -> None:
+    @staticmethod
+    def _write_atomic(path: Path, payload: dict) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+    def _save_signatures(self) -> None:
+        """Rewrite the (large) signature file — only when signatures arrive."""
         if self._path is None:
+            return
+        with self._lock:
+            payload = {
+                "version": 2,
+                "signatures": [s.encode() for s in self._signatures],
+            }
+        self._write_atomic(self._path, payload)
+
+    def _save_state(self) -> None:
+        """Rewrite only the small sidecar: server index, cursors, pending."""
+        if self._state_path is None:
             return
         with self._lock:
             payload = {
                 "version": 1,
                 "server_index": self._server_index,
-                "signatures": [s.encode() for s in self._signatures],
                 "cursors": dict(self._cursors),
                 "pending_nesting": {
                     k: list(v) for k, v in self._pending_nesting.items()
                 },
             }
-        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
-        tmp.parent.mkdir(parents=True, exist_ok=True)
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, self._path)
+        self._write_atomic(self._state_path, payload)
 
     def _load(self) -> None:
         try:
@@ -130,16 +158,41 @@ class LocalRepository:
                 payload = json.load(fh)
         except (OSError, ValueError) as exc:
             raise HistoryError(f"cannot read repository {self._path}: {exc}") from exc
-        if payload.get("version") != 1:
+        version = payload.get("version")
+        if version not in (1, 2):
             raise HistoryError(f"unsupported repository format in {self._path}")
         for encoded in payload.get("signatures", []):
             sig = DeadlockSignature.decode(encoded, origin=ORIGIN_REMOTE)
             if sig.sig_id not in self._ids:
                 self._signatures.append(sig)
                 self._ids.add(sig.sig_id)
-        self._server_index = int(payload.get("server_index", len(self._signatures)))
-        self._cursors = {k: int(v) for k, v in payload.get("cursors", {}).items()}
+        if version == 1:
+            # Legacy single-file layout: state lives inline — but if a
+            # sidecar exists it is newer (every state change writes it),
+            # so it wins.  Migrate to the split layout right away so the
+            # inline copy can never shadow later sidecar updates again.
+            sidecar = self._read_state_file()
+            self._restore_state(payload if sidecar is None else sidecar)
+            self._save_signatures()
+            self._save_state()
+            return
+        self._restore_state(self._read_state_file() or {})
+
+    def _read_state_file(self) -> dict | None:
+        if self._state_path is None or not self._state_path.exists():
+            return None
+        try:
+            with open(self._state_path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise HistoryError(
+                f"cannot read repository state {self._state_path}: {exc}"
+            ) from exc
+
+    def _restore_state(self, state: dict) -> None:
+        self._server_index = int(state.get("server_index", len(self._signatures)))
+        self._cursors = {k: int(v) for k, v in state.get("cursors", {}).items()}
         self._pending_nesting = {
             k: [int(i) for i in v]
-            for k, v in payload.get("pending_nesting", {}).items()
+            for k, v in state.get("pending_nesting", {}).items()
         }

@@ -1,11 +1,22 @@
-"""The server's signature database.
+"""The server's signature database — sharded, append-only, index-addressed.
 
-Append-only and index-addressed: ``GET(k)`` returns every signature from
-database index ``k`` on, which is what makes client downloads incremental
-(§III-B).  Entries are kept as *serialized blobs*: an append-only store never
-re-serializes, so a ``GET`` is a list slice of references — the cheap
-iteration the paper's Fig. 2 numbers rely on — and the transport can splice
-blobs straight onto the wire.
+``GET(k)`` returns signatures from database index ``k`` on, which is what
+makes client downloads incremental (§III-B).  Entries are kept as
+*serialized blobs*: an append-only store never re-serializes.
+
+The store is split into fixed-size **segments** (lock striping).  Each
+segment caches two immutable views of its contents:
+
+* a *snapshot* tuple of blobs, for in-process readers;
+* a *wire cache* — the segment's blobs already composed into the GET
+  response record layout (``len:u32 | blob`` per signature) — so a hot
+  ``GET`` over a warm database is O(segments) cache lookups and one join,
+  not an O(n) list copy plus per-blob packing.
+
+Appends touch only the tail segment (invalidating only its caches); sealed
+segments are effectively frozen, so their caches live forever.  A global
+monotonic count is published *after* the blob is in place, so readers that
+snapshot the count never observe a missing entry.
 
 A per-user side index of top-frame sets supports the adjacency check
 (§III-C2) without deserializing history.
@@ -17,6 +28,12 @@ import threading
 from dataclasses import dataclass
 
 from repro.core.signature import DeadlockSignature
+from repro.server.protocol import pack_signature_record
+
+#: Signatures per segment.  A 2-thread signature is ~1.7 KB (paper §IV-A),
+#: so a sealed segment's wire cache is ~1.7 MB — large enough that a full
+#: GET is a handful of chunks, small enough that tail invalidation is cheap.
+DEFAULT_SEGMENT_SIZE = 1024
 
 
 @dataclass(frozen=True)
@@ -28,21 +45,84 @@ class StoredSignature:
     top_frames: frozenset
 
 
+class _Segment:
+    """One stripe of the database: its own lock and cached read views."""
+
+    __slots__ = ("base", "lock", "blobs", "_snapshot", "_wire")
+
+    def __init__(self, base: int):
+        self.base = base
+        self.lock = threading.Lock()
+        self.blobs: list[bytes] = []
+        self._snapshot: tuple[bytes, ...] | None = None
+        self._wire: bytes | None = None  # records for the snapshot's blobs
+
+    def append(self, blob: bytes) -> None:
+        with self.lock:
+            self.blobs.append(blob)
+            self._snapshot = None
+            self._wire = None
+
+    def snapshot(self, upto: int) -> tuple[bytes, ...]:
+        """An immutable view of this segment's first ``upto`` blobs."""
+        snap = self._snapshot
+        if snap is None or len(snap) < upto:
+            with self.lock:
+                snap = self._snapshot
+                if snap is None or len(snap) < upto:
+                    snap = tuple(self.blobs)
+                    self._snapshot = snap
+        return snap if len(snap) == upto else snap[:upto]
+
+    def wire(self, upto: int) -> bytes:
+        """The first ``upto`` blobs in GET record layout; cached when
+        ``upto`` covers the whole cached snapshot (always true for sealed
+        segments, and for the tail between appends)."""
+        snap = self.snapshot(upto)
+        wire = self._wire
+        if wire is not None and self._snapshot is snap and len(snap) == upto:
+            return wire
+        data = b"".join(pack_signature_record(blob) for blob in snap)
+        with self.lock:
+            if self._snapshot is snap:
+                self._wire = data
+        return data
+
+    def wire_slice(self, lo: int, hi: int) -> bytes:
+        """Records for blobs[lo:hi] — the uncached partial-segment path,
+        used only at the boundaries of a range."""
+        if lo == 0:
+            return self.wire(hi)
+        snap = self.snapshot(hi)
+        return b"".join(pack_signature_record(blob) for blob in snap[lo:hi])
+
+
 class SignatureDatabase:
-    def __init__(self):
-        self._lock = threading.RLock()
+    def __init__(self, segment_size: int = DEFAULT_SEGMENT_SIZE):
+        if segment_size < 1:
+            raise ValueError("segment_size must be positive")
+        self._segment_size = segment_size
+        self._append_lock = threading.Lock()
+        self._segments: list[_Segment] = [_Segment(0)]
+        self._count = 0  # published last; readers snapshot it lock-free
         self._entries: list[StoredSignature] = []
-        self._blobs: list[bytes] = []  # parallel list for cheap GET slices
         self._by_sig_id: dict[str, int] = {}
         self._by_user: dict[int, list[int]] = {}  # uid -> entry indices
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return self._count
 
     @property
     def next_index(self) -> int:
-        return len(self)
+        return self._count
+
+    @property
+    def segment_size(self) -> int:
+        return self._segment_size
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
 
     # ------------------------------------------------------------- writing
     def append(self, signature: DeadlockSignature, blob: bytes,
@@ -53,11 +133,15 @@ class SignatureDatabase:
         existing index is returned — many users reporting the same deadlock
         is the expected steady state.
         """
-        with self._lock:
+        with self._append_lock:
             existing = self._by_sig_id.get(signature.sig_id)
             if existing is not None:
                 return self._entries[existing].index
-            index = len(self._entries)
+            index = self._count
+            tail = self._segments[-1]
+            if len(tail.blobs) >= self._segment_size:
+                tail = _Segment(index)
+                self._segments.append(tail)
             entry = StoredSignature(
                 index=index,
                 blob=blob,
@@ -65,28 +149,75 @@ class SignatureDatabase:
                 sender_uid=sender_uid,
                 top_frames=signature.top_frames,
             )
+            tail.append(blob)
             self._entries.append(entry)
-            self._blobs.append(blob)
             self._by_sig_id[signature.sig_id] = index
             self._by_user.setdefault(sender_uid, []).append(index)
+            self._count = index + 1  # publish: readers may now see it
             return index
 
     # ------------------------------------------------------------- reading
+    def _range(self, start: int, max_count: int | None) -> tuple[int, int, int]:
+        """(start, end, next_index) for a read of ``max_count`` from
+        ``start`` against the current published count."""
+        n = self._count
+        start = min(max(0, start), n)
+        if max_count is None:
+            end = n
+        else:
+            end = min(n, start + max(0, max_count))
+        return start, end, n
+
+    def _segments_for(self, start: int, end: int):
+        """Yield (segment, lo, hi) triples covering [start, end)."""
+        size = self._segment_size
+        for seg_index in range(start // size, (end - 1) // size + 1):
+            seg = self._segments[seg_index]
+            lo = max(0, start - seg.base)
+            hi = min(size, end - seg.base)
+            yield seg, lo, hi
+
     def blobs_from(self, start: int) -> tuple[int, list[bytes]]:
-        """(next_index, blobs) for ``GET(start)``."""
-        with self._lock:
-            start = max(0, start)
-            return len(self._blobs), self._blobs[start:]
+        """(next_index, blobs) for an unpaginated ``GET(start)``."""
+        next_index, blobs, _ = self.blobs_page(start, None)
+        return next_index, blobs
+
+    def blobs_page(self, start: int, max_count: int | None
+                   ) -> tuple[int, list[bytes], bool]:
+        """(next_index, blobs, more) for ``GET(start, max_count)``.
+
+        ``next_index`` is the resume point (index just past the last blob
+        returned); ``more`` says whether the database held further entries
+        at read time.
+        """
+        start, end, n = self._range(start, max_count)
+        if start >= end:
+            return end, [], end < n
+        blobs: list[bytes] = []
+        for seg, lo, hi in self._segments_for(start, end):
+            blobs.extend(seg.snapshot(hi)[lo:hi])
+        return end, blobs, end < n
+
+    def wire_from(self, start: int, max_count: int | None = None
+                  ) -> tuple[int, int, list[bytes], bool]:
+        """(next_index, count, chunks, more): the GET response body as
+        precomposed record chunks — one cached chunk per fully-covered
+        segment, so a warm full-database read costs O(segments)."""
+        start, end, n = self._range(start, max_count)
+        if start >= end:
+            return end, 0, [], end < n
+        chunks: list[bytes] = []
+        for seg, lo, hi in self._segments_for(start, end):
+            chunks.append(seg.wire(hi) if lo == 0 else seg.wire_slice(lo, hi))
+        return end, end - start, chunks, end < n
 
     def user_top_frames(self, uid: int) -> list[frozenset]:
         """Top-frame sets of every signature this user previously sent."""
-        with self._lock:
-            return [self._entries[i].top_frames for i in self._by_user.get(uid, [])]
+        entries = self._entries
+        return [entries[i].top_frames for i in self._by_user.get(uid, [])]
 
     def entry(self, index: int) -> StoredSignature:
-        with self._lock:
-            return self._entries[index]
+        return self._entries[index]
 
     def contains(self, sig_id: str) -> bool:
-        with self._lock:
-            return sig_id in self._by_sig_id
+        return sig_id in self._by_sig_id

@@ -4,15 +4,24 @@ Every message is one *frame*: a 4-byte big-endian length followed by that
 many payload bytes.  Requests are canonical-JSON frames::
 
     {"op": "ADD", "token": "<hex>", "signature": "<base64 blob>"}
-    {"op": "GET", "from_index": k}
+    {"op": "GET", "from_index": k}                     # unpaginated (legacy)
+    {"op": "GET", "from_index": k, "max_count": m}     # paginated
     {"op": "ISSUE_ID"}
     {"op": "STATS"}
 
 ``ADD``/``ISSUE_ID``/``STATS`` responses are JSON frames.  ``GET`` responses
 use a binary layout so the client can store and count signatures without
-JSON-decoding each one (the agent parses them later, once, at startup)::
+JSON-decoding each one (the agent parses them later, once, at startup).
+An unpaginated request is answered in the legacy layout, so pre-pagination
+clients keep working unchanged::
 
     b"SIGS" | next_index:u32 | count:u32 | (len:u32 | blob)*count
+
+A paginated request (``max_count`` present) is answered with a ``more``
+flag, so a cold client can stream the database in bounded frames and loop
+until drained::
+
+    b"SIG2" | next_index:u32 | count:u32 | more:u8 | (len:u32 | blob)*count
 
 Truncated or oversized frames raise :class:`ProtocolError`.
 """
@@ -22,13 +31,14 @@ from __future__ import annotations
 import base64
 import socket
 import struct
-from typing import Any
+from typing import Any, Iterable
 
 from repro.util.encoding import canonical_json, from_canonical_json
 from repro.util.errors import ProtocolError
 
 MAX_FRAME = 256 * 1024 * 1024  # GET(0) of a large database can be big
 _GET_MAGIC = b"SIGS"
+_GET_PAGE_MAGIC = b"SIG2"
 
 
 # ----------------------------------------------------------------- framing
@@ -101,6 +111,16 @@ def decode_add_signature(request: dict[str, Any]) -> bytes:
 
 
 # ------------------------------------------------------------ GET response
+def pack_signature_record(blob: bytes) -> bytes:
+    """One ``len:u32 | blob`` record of a GET response body.
+
+    The database precomposes these per segment, so the transport can splice
+    cached byte runs straight into a response instead of re-packing every
+    blob on every request.
+    """
+    return struct.pack(">I", len(blob)) + blob
+
+
 def encode_get_response(next_index: int, blobs: list[bytes]) -> bytes:
     parts = [_GET_MAGIC, struct.pack(">II", next_index, len(blobs))]
     for blob in blobs:
@@ -109,12 +129,36 @@ def encode_get_response(next_index: int, blobs: list[bytes]) -> bytes:
     return b"".join(parts)
 
 
-def decode_get_response(payload: bytes) -> tuple[int, list[bytes]]:
-    if len(payload) < 12 or payload[:4] != _GET_MAGIC:
-        raise ProtocolError("malformed GET response header")
-    next_index, count = struct.unpack(">II", payload[4:12])
+def get_response_parts(next_index: int, count: int,
+                       chunks: Iterable[bytes]) -> list[bytes]:
+    """Legacy-layout GET response as a parts list (header + precomposed
+    record chunks).  The transport writes parts with vectored I/O, so a
+    cache-hit GET never copies the payload into one buffer."""
+    return [_GET_MAGIC, struct.pack(">II", next_index, count), *chunks]
+
+
+def get_page_response_parts(next_index: int, count: int,
+                            chunks: Iterable[bytes], more: bool) -> list[bytes]:
+    """Paginated GET response (``SIG2``) as a parts list."""
+    return [_GET_PAGE_MAGIC,
+            struct.pack(">IIB", next_index, count, 1 if more else 0),
+            *chunks]
+
+
+def encode_get_response_chunks(next_index: int, count: int,
+                               chunks: Iterable[bytes]) -> bytes:
+    """Legacy-layout GET response from precomposed record chunks."""
+    return b"".join(get_response_parts(next_index, count, chunks))
+
+
+def encode_get_page_response(next_index: int, count: int,
+                             chunks: Iterable[bytes], more: bool) -> bytes:
+    """Paginated GET response (``SIG2``) from precomposed record chunks."""
+    return b"".join(get_page_response_parts(next_index, count, chunks, more))
+
+
+def _decode_records(payload: bytes, offset: int, count: int) -> list[bytes]:
     blobs: list[bytes] = []
-    offset = 12
     for _ in range(count):
         if offset + 4 > len(payload):
             raise ProtocolError("truncated GET response (length field)")
@@ -126,12 +170,35 @@ def decode_get_response(payload: bytes) -> tuple[int, list[bytes]]:
         offset += length
     if offset != len(payload):
         raise ProtocolError("trailing bytes in GET response")
-    return next_index, blobs
+    return blobs
+
+
+def decode_get_response(payload: bytes) -> tuple[int, list[bytes]]:
+    if len(payload) < 12 or payload[:4] != _GET_MAGIC:
+        raise ProtocolError("malformed GET response header")
+    next_index, count = struct.unpack(">II", payload[4:12])
+    return next_index, _decode_records(payload, 12, count)
+
+
+def decode_get_page(payload: bytes) -> tuple[int, list[bytes], bool]:
+    """(next_index, blobs, more) from either GET response layout.
+
+    Accepts the paginated ``SIG2`` layout and the legacy ``SIGS`` layout
+    (``more`` is then False: an unpaginated response is always complete).
+    """
+    if len(payload) >= 13 and payload[:4] == _GET_PAGE_MAGIC:
+        next_index, count, more = struct.unpack(">IIB", payload[4:13])
+        return next_index, _decode_records(payload, 13, count), bool(more)
+    next_index, blobs = decode_get_response(payload)
+    return next_index, blobs, False
 
 
 def count_get_response(payload: bytes) -> tuple[int, int]:
     """(next_index, count) without materializing the blobs — what the
     Communix client uses to account for a download cheaply."""
+    if len(payload) >= 13 and payload[:4] == _GET_PAGE_MAGIC:
+        next_index, count = struct.unpack(">II", payload[4:12])
+        return next_index, count
     if len(payload) < 12 or payload[:4] != _GET_MAGIC:
         raise ProtocolError("malformed GET response header")
     next_index, count = struct.unpack(">II", payload[4:12])

@@ -4,6 +4,10 @@
 beyond this threshold, the signatures from that user are ignored."  With the
 encrypted-ID requirement this bounds a flood: 100 attackers with 5 IDs each
 can force at most 5,000 signatures per day into the pipeline (§IV-B).
+
+Counts are bucketed by day (``day -> uid -> count``), so expiring history
+is dropping whole day buckets — an O(stale days) dict pop the first time a
+new day is seen, never a rebuild of every (uid, day) entry on the hot path.
 """
 
 from __future__ import annotations
@@ -20,30 +24,41 @@ class DailyQuota:
         self._clock = clock
         self._limit = limit_per_day
         self._lock = threading.Lock()
-        self._counts: dict[tuple[int, int], int] = {}  # (uid, day) -> count
+        self._days: dict[int, dict[int, int]] = {}  # day -> uid -> count
 
     def _day(self) -> int:
         return int(self._clock.now() // SECONDS_PER_DAY)
 
+    def _bucket(self, day: int) -> dict[int, int]:
+        """Today's bucket, creating it and dropping stale days (past days
+        can never be consulted again — ``_day`` is monotonic in practice)."""
+        bucket = self._days.get(day)
+        if bucket is None:
+            bucket = self._days[day] = {}
+            for stale in [d for d in self._days if d < day]:
+                del self._days[stale]
+        return bucket
+
     def try_consume(self, uid: int) -> bool:
         """Record one signature from ``uid``; False if today's quota is spent."""
-        key = (uid, self._day())
+        day = self._day()
         with self._lock:
-            used = self._counts.get(key, 0)
+            bucket = self._bucket(day)
+            used = bucket.get(uid, 0)
             if used >= self._limit:
                 return False
-            self._counts[key] = used + 1
-            # Opportunistically drop stale days to bound memory.
-            if len(self._counts) > 100_000:
-                today = key[1]
-                self._counts = {
-                    k: v for k, v in self._counts.items() if k[1] >= today
-                }
+            bucket[uid] = used + 1
             return True
 
     def used_today(self, uid: int) -> int:
         with self._lock:
-            return self._counts.get((uid, self._day()), 0)
+            return self._days.get(self._day(), {}).get(uid, 0)
+
+    @property
+    def tracked_days(self) -> int:
+        """How many day buckets are held in memory (stale days drop)."""
+        with self._lock:
+            return len(self._days)
 
     @property
     def limit(self) -> int:

@@ -5,6 +5,9 @@ invokes "from 1,000-100,000 simultaneous threads"; they are fully
 thread-safe and independent of any transport.  :class:`ServerTransport`
 wraps them for the network (Fig. 3); benchmarks and tests may call them
 directly.
+
+Request accounting uses :class:`ShardedCounter` — per-thread counter shards
+aggregated on read — so the hot path takes no stats lock at all.
 """
 
 from __future__ import annotations
@@ -32,6 +35,9 @@ class ServerConfig:
     #: Upper bound on accepted signature blob size; a 2-thread signature is
     #: ~1.7 KB (paper §IV-A), so this is generous while bounding abuse.
     max_signature_bytes: int = 64 * 1024
+    #: Hard cap on one paginated GET page; an oversized ``max_count`` from a
+    #: client is clamped here.  Unpaginated (legacy) GETs are never clamped.
+    max_get_page: int = 4096
 
 
 @dataclass
@@ -41,8 +47,37 @@ class AddOutcome:
     index: int | None = None
 
 
+class ShardedCounter:
+    """A counter each thread bumps in its own dict slot (no shared lock).
+
+    Under the GIL a single ``d[key] = d.get(key, 0) + n`` with a key only
+    this thread writes is free of lost updates; ``value()`` aggregates all
+    shards on read.  Writers never contend, which is what lets Fig. 2's
+    thousands of simultaneous request threads count without serializing.
+    """
+
+    __slots__ = ("_shards",)
+
+    def __init__(self) -> None:
+        self._shards: dict[int, int] = {}
+
+    def add(self, n: int = 1) -> None:
+        shards = self._shards
+        ident = threading.get_ident()
+        shards[ident] = shards.get(ident, 0) + n
+
+    def value(self) -> int:
+        while True:
+            try:
+                return sum(self._shards.values())
+            except RuntimeError:  # a new shard appeared mid-sum; retry
+                continue
+
+
 @dataclass
 class ServerStats:
+    """A point-in-time aggregation of the server's sharded counters."""
+
     adds_accepted: int = 0
     adds_rejected: dict[str, int] = field(default_factory=dict)
     gets_served: int = 0
@@ -50,6 +85,36 @@ class ServerStats:
 
     def note_rejection(self, verdict: str) -> None:
         self.adds_rejected[verdict] = self.adds_rejected.get(verdict, 0) + 1
+
+
+class _StatsCounters:
+    """Lock-free request accounting; ``snapshot()`` builds a ServerStats."""
+
+    def __init__(self) -> None:
+        self.adds_accepted = ShardedCounter()
+        self.gets_served = ShardedCounter()
+        self.signatures_served = ShardedCounter()
+        self._rejections: dict[str, ShardedCounter] = {}
+        self._rejections_lock = threading.Lock()  # rare path: new verdicts
+
+    def note_rejection(self, verdict: str) -> None:
+        counter = self._rejections.get(verdict)
+        if counter is None:
+            with self._rejections_lock:
+                counter = self._rejections.setdefault(verdict, ShardedCounter())
+        counter.add()
+
+    def snapshot(self) -> ServerStats:
+        return ServerStats(
+            adds_accepted=self.adds_accepted.value(),
+            adds_rejected={
+                verdict: counter.value()
+                for verdict, counter in self._rejections.items()
+                if counter.value()
+            },
+            gets_served=self.gets_served.value(),
+            signatures_served=self.signatures_served.value(),
+        )
 
 
 class CommunixServer:
@@ -66,8 +131,12 @@ class CommunixServer:
         self.validator = ServerSideValidator(
             self.authority, self.quota, self.database
         )
-        self.stats = ServerStats()
-        self._stats_lock = threading.Lock()
+        self._counters = _StatsCounters()
+
+    @property
+    def stats(self) -> ServerStats:
+        """A consistent-enough snapshot of the sharded request counters."""
+        return self._counters.snapshot()
 
     # ----------------------------------------------------------- user ids
     def issue_user_token(self) -> str:
@@ -97,23 +166,48 @@ class CommunixServer:
         else:
             uid = 0
         index = self.database.append(signature, blob, uid)
-        with self._stats_lock:
-            self.stats.adds_accepted += 1
+        self._counters.adds_accepted.add()
         return AddOutcome(accepted=True, verdict="ok", index=index)
 
-    def process_get(self, from_index: int) -> tuple[int, list[bytes]]:
-        """Handle ``GET(k)``: all blobs from database index ``k`` on.
+    def _clamp_page(self, max_count: int | None) -> int | None:
+        if max_count is None:
+            return None
+        return min(max(0, max_count), self.config.max_get_page)
+
+    def process_get(self, from_index: int,
+                    max_count: int | None = None) -> tuple[int, list[bytes]]:
+        """Handle ``GET(k)``: blobs from database index ``k`` on.
 
         Returns ``(next_index, blobs)`` so the client can resume
-        incrementally with ``GET(next_index)`` tomorrow.
+        incrementally with ``GET(next_index)`` tomorrow.  With ``max_count``
+        the page is bounded (and clamped to ``config.max_get_page``); use
+        :meth:`process_get_page` when the ``more`` flag is needed too.
         """
-        next_index, blobs = self.database.blobs_from(from_index)
-        with self._stats_lock:
-            self.stats.gets_served += 1
-            self.stats.signatures_served += len(blobs)
+        next_index, blobs, _ = self.process_get_page(from_index, max_count)
         return next_index, blobs
 
+    def process_get_page(self, from_index: int, max_count: int | None = None
+                         ) -> tuple[int, list[bytes], bool]:
+        """Paginated GET: ``(next_index, blobs, more)``."""
+        next_index, blobs, more = self.database.blobs_page(
+            from_index, self._clamp_page(max_count)
+        )
+        self._counters.gets_served.add()
+        self._counters.signatures_served.add(len(blobs))
+        return next_index, blobs, more
+
+    def process_get_wire(self, from_index: int, max_count: int | None = None
+                         ) -> tuple[int, int, list[bytes], bool]:
+        """GET for the transport hot path: ``(next_index, count, chunks,
+        more)`` where ``chunks`` are the database's precomposed response
+        records (cache hits are O(segments), no per-blob work)."""
+        next_index, count, chunks, more = self.database.wire_from(
+            from_index, self._clamp_page(max_count)
+        )
+        self._counters.gets_served.add()
+        self._counters.signatures_served.add(count)
+        return next_index, count, chunks, more
+
     def _rejected(self, verdict: str) -> AddOutcome:
-        with self._stats_lock:
-            self.stats.note_rejection(verdict)
+        self._counters.note_rejection(verdict)
         return AddOutcome(accepted=False, verdict=verdict)

@@ -1,23 +1,43 @@
-"""TCP transport for the Communix server.
+"""Event-driven TCP transport for the Communix server.
 
-A classic thread-per-connection accept loop: each client connection gets a
-handler thread that reads request frames and writes response frames until
-the peer disconnects.  Connections are persistent — a Communix client (or a
-benchmark thread) issues its whole ``ADD, GET(0)`` sequence over one
-connection, as the paper's end-to-end setup does.
+One ``selectors``-based event-loop thread owns every socket: it accepts,
+reads, frames, and writes without ever blocking, so the server sustains
+thousands of simultaneous persistent connections without spawning one
+thread per connection (the paper's Fig. 2/Fig. 3 regime).  Request
+*processing* — token decryption, validation, database access — runs on a
+small worker pool so a slow ADD never stalls the loop; completed responses
+are handed back to the loop over a self-pipe.
+
+Per-connection guarantees:
+
+* requests on one connection are answered in order (one in flight at a
+  time; further pipelined frames queue on the connection);
+* a connection idle longer than ``idle_timeout`` is closed;
+* writes are buffered with a high/low watermark — a connection that cannot
+  drain its responses stops being read until it catches up.
+
+``stop()`` drains gracefully: in-flight requests finish, their responses
+are flushed (bounded by ``drain_timeout``), then every registered
+connection, the listener, the wakeup pipe, and the selector are closed —
+no leaked file descriptors.
 """
 
 from __future__ import annotations
 
+import collections
+import selectors
 import socket
+import struct
 import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.server.protocol import (
+    MAX_FRAME,
     decode_add_signature,
     decode_request,
-    encode_get_response,
-    read_frame,
-    write_frame,
+    get_page_response_parts,
+    get_response_parts,
 )
 from repro.server.server import CommunixServer
 from repro.util.encoding import canonical_json
@@ -26,19 +46,112 @@ from repro.util.logging import get_logger
 
 log = get_logger("server.transport")
 
+_RECV_CHUNK = 256 * 1024
+_SEND_CHUNK = 1024 * 1024
+#: Stop reading a connection whose unsent responses exceed this...
+_HIGH_WATERMARK = 8 * 1024 * 1024
+#: ...and resume once they drain below this.
+_LOW_WATERMARK = 1 * 1024 * 1024
+#: Stop reading a connection with this many parsed-but-unserved requests
+#: queued (one is in flight at a time); the thread-per-connection model
+#: had this flow control for free — one frame read per frame served.
+_MAX_PENDING = 32
+
+_LISTENER = "listener"
+_WAKEUP = "wakeup"
+
+
+class _OutputQueue:
+    """Pending response bytes as a queue of buffer views.
+
+    Responses are enqueued as *parts* (frame header, response header,
+    cached segment chunks) and written with vectored I/O — a cache-hit GET
+    of a large database is never copied into one contiguous buffer.
+    """
+
+    __slots__ = ("parts", "size")
+
+    #: sendmsg is capped at IOV_MAX buffers per call; stay well under it.
+    MAX_VECTORS = 64
+
+    def __init__(self) -> None:
+        self.parts: collections.deque[memoryview] = collections.deque()
+        self.size = 0
+
+    def push(self, buffers) -> None:
+        for buffer in buffers:
+            if buffer:
+                self.parts.append(memoryview(buffer))
+                self.size += len(buffer)
+
+    def head(self) -> list[memoryview]:
+        parts = self.parts
+        return [parts[i] for i in range(min(len(parts), self.MAX_VECTORS))]
+
+    def advance(self, n: int) -> None:
+        self.size -= n
+        parts = self.parts
+        while n:
+            head = parts[0]
+            if n >= len(head):
+                n -= len(head)
+                parts.popleft()
+            else:
+                parts[0] = head[n:]
+                n = 0
+
+    def clear(self) -> None:
+        self.parts.clear()
+        self.size = 0
+
+
+class _Connection:
+    """Loop-thread-owned state for one client socket.
+
+    Only the event loop mutates a connection; workers see just the payload
+    bytes and post results back through the completion queue.
+    """
+
+    __slots__ = ("sock", "fd", "peer", "inbuf", "out", "pending", "busy",
+                 "paused", "events", "last_activity")
+
+    def __init__(self, sock: socket.socket, peer, now: float):
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.peer = peer
+        self.inbuf = bytearray()
+        self.out = _OutputQueue()
+        self.pending: collections.deque[bytes] = collections.deque()
+        self.busy = False  # one request in flight on the worker pool
+        self.paused = False  # read interest dropped (backpressure)
+        self.events = selectors.EVENT_READ
+        self.last_activity = now
+
 
 class ServerTransport:
     def __init__(self, server: CommunixServer, host: str = "127.0.0.1",
-                 port: int = 0, accept_backlog: int = 512):
+                 port: int = 0, accept_backlog: int = 512,
+                 workers: int = 8, idle_timeout: float = 60.0,
+                 drain_timeout: float = 2.0):
         self._server = server
         self._host = host
         self._port = port
         self._backlog = accept_backlog
+        self._workers = max(1, workers)
+        self._idle_timeout = idle_timeout
+        self._drain_timeout = drain_timeout
         self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
+        self._selector: selectors.BaseSelector | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._wakeup_recv: socket.socket | None = None
+        self._wakeup_send: socket.socket | None = None
         self._stop = threading.Event()
-        self._handlers: set[threading.Thread] = set()
-        self._handlers_lock = threading.Lock()
+        self._conns: dict[int, _Connection] = {}
+        self._completions: collections.deque[
+            tuple[_Connection, list[bytes]]
+        ] = collections.deque()
+        self._last_sweep = 0.0
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> tuple[str, int]:
@@ -46,77 +159,339 @@ class ServerTransport:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self._host, self._port))
         listener.listen(self._backlog)
-        listener.settimeout(0.2)
+        listener.setblocking(False)
         self._listener = listener
         self._port = listener.getsockname()[1]
-        self._stop.clear()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="communix-server-accept", daemon=True
+
+        self._wakeup_recv, self._wakeup_send = socket.socketpair()
+        self._wakeup_recv.setblocking(False)
+        self._wakeup_send.setblocking(False)
+
+        selector = selectors.DefaultSelector()
+        selector.register(listener, selectors.EVENT_READ, _LISTENER)
+        selector.register(self._wakeup_recv, selectors.EVENT_READ, _WAKEUP)
+        self._selector = selector
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="communix-worker"
         )
-        self._accept_thread.start()
-        log.info("server listening on %s:%d", self._host, self._port)
+        self._stop.clear()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="communix-server-loop", daemon=True
+        )
+        self._loop_thread.start()
+        log.info("server listening on %s:%d (event loop, %d workers)",
+                 self._host, self._port, self._workers)
         return self._host, self._port
 
     def stop(self) -> None:
+        """Drain in-flight requests, close every connection and FD."""
+        if self._loop_thread is None:
+            return
         self._stop.set()
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
-        with self._handlers_lock:
-            handlers = list(self._handlers)
-        for handler in handlers:
-            handler.join(timeout=1.0)
+        self._wake()
+        self._loop_thread.join(timeout=self._drain_timeout + 5.0)
+        if self._loop_thread.is_alive():  # pragma: no cover - last resort
+            log.error("event loop failed to exit; forcing FD cleanup")
+            self._force_close_all()
+        self._loop_thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        self._listener = None
+        self._selector = None
+        self._wakeup_recv = None
+        self._wakeup_send = None
 
     @property
     def address(self) -> tuple[str, int]:
         return self._host, self._port
 
-    # ---------------------------------------------------------------- loops
-    def _accept_loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                conn, peer = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break
-            handler = threading.Thread(
-                target=self._serve_connection,
-                args=(conn, peer),
-                name=f"communix-conn-{peer[1]}",
-                daemon=True,
-            )
-            with self._handlers_lock:
-                self._handlers.add(handler)
-            handler.start()
+    @property
+    def connection_count(self) -> int:
+        """Registered client connections (0 after a clean ``stop()``)."""
+        return len(self._conns)
 
-    def _serve_connection(self, conn: socket.socket, peer) -> None:
+    def open_fds(self) -> list[int]:
+        """File descriptors this transport currently holds open — the FD
+        leak regression check; empty after a clean ``stop()``."""
+        fds = []
+        for sock in (self._listener, self._wakeup_recv, self._wakeup_send):
+            if sock is not None and sock.fileno() >= 0:
+                fds.append(sock.fileno())
+        fds.extend(conn.fd for conn in self._conns.values()
+                   if conn.sock.fileno() >= 0)
+        return fds
+
+    def _wake(self) -> None:
+        send = self._wakeup_send
+        if send is None:
+            return
         try:
-            conn.settimeout(30.0)
+            send.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe full (wakeup already pending) or already closed
+
+    # ---------------------------------------------------------------- loop
+    def _run_loop(self) -> None:
+        selector = self._selector
+        try:
             while not self._stop.is_set():
-                try:
-                    payload = read_frame(conn)
-                except (ProtocolError, OSError):
-                    break
-                if payload is None:
-                    break
-                try:
-                    response = self._dispatch(payload)
-                except ProtocolError as exc:
-                    response = canonical_json({"ok": False, "error": str(exc)})
-                try:
-                    write_frame(conn, response)
-                except OSError:
-                    break
+                for key, mask in selector.select(timeout=0.2):
+                    if key.data is _LISTENER:
+                        self._on_accept()
+                    elif key.data is _WAKEUP:
+                        self._drain_wakeup()
+                    else:
+                        conn: _Connection = key.data
+                        if mask & selectors.EVENT_WRITE:
+                            self._flush(conn)
+                        if (mask & selectors.EVENT_READ
+                                and self._conns.get(conn.fd) is conn):
+                            self._on_readable(conn)
+                self._drain_completions()
+                self._sweep_idle()
+            self._drain_on_stop()
+        except Exception:  # pragma: no cover - loop must never die silently
+            log.exception("event loop crashed")
         finally:
-            conn.close()
-            with self._handlers_lock:
-                self._handlers.discard(threading.current_thread())
+            self._force_close_all()
+
+    # -------------------------------------------------------------- accept
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            conn = _Connection(sock, peer, time.monotonic())
+            self._conns[conn.fd] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    # ---------------------------------------------------------------- read
+    def _on_readable(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not data:
+            self._close_conn(conn)  # peer gone; drop any queued work
+            return
+        conn.last_activity = time.monotonic()
+        conn.inbuf += data
+        if not self._parse_frames(conn):
+            return
+        self._pump(conn)
+        self._update_events(conn)
+
+    def _parse_frames(self, conn: _Connection) -> bool:
+        """Split complete frames off the input buffer; False if the
+        connection was closed for a protocol violation."""
+        buf = conn.inbuf
+        while True:
+            if len(buf) < 4:
+                return True
+            (length,) = struct.unpack_from(">I", buf)
+            if length > MAX_FRAME:
+                log.warning("dropping %s: declared frame of %d bytes",
+                            conn.peer, length)
+                self._close_conn(conn)
+                return False
+            if len(buf) < 4 + length:
+                return True
+            conn.pending.append(bytes(buf[4:4 + length]))
+            del buf[:4 + length]
+
+    # ------------------------------------------------------------ dispatch
+    def _pump(self, conn: _Connection) -> None:
+        """Submit the connection's next queued request (one in flight)."""
+        if conn.busy or not conn.pending:
+            return
+        conn.busy = True
+        self._executor.submit(self._work, conn, conn.pending.popleft())
+
+    def _work(self, conn: _Connection, payload: bytes) -> None:
+        """Worker-pool entry: compute a response, post it to the loop.
+
+        A response is a parts list — ``[frame header, part, ...]`` — so
+        large GET payloads stay as references to the database's cached
+        segment chunks all the way to the socket.
+        """
+        try:
+            response = self._dispatch(payload)
+        except ProtocolError as exc:
+            response = canonical_json({"ok": False, "error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            log.exception("unexpected dispatch failure")
+            response = canonical_json(
+                {"ok": False, "error": f"internal server error: {exc}"}
+            )
+        if isinstance(response, bytes):
+            response = [response]
+        length = sum(len(part) for part in response)
+        if length > MAX_FRAME:  # mirrors the framing contract clients enforce
+            response = [canonical_json(
+                {"ok": False, "error": "response exceeds maximum frame size"}
+            )]
+            length = len(response[0])
+        response.insert(0, struct.pack(">I", length))
+        self._completions.append((conn, response))
+        self._wake()
+
+    def _drain_wakeup(self) -> None:
+        try:
+            while self._wakeup_recv.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            pass
+
+    def _drain_completions(self) -> None:
+        completions = self._completions
+        while completions:
+            try:
+                conn, response_parts = completions.popleft()
+            except IndexError:  # pragma: no cover - single consumer
+                break
+            conn.busy = False
+            if self._conns.get(conn.fd) is not conn:
+                continue  # connection closed while the request ran
+            conn.out.push(response_parts)
+            conn.last_activity = time.monotonic()
+            self._flush(conn)
+            if self._conns.get(conn.fd) is conn:
+                self._pump(conn)
+                self._update_events(conn)
+
+    # --------------------------------------------------------------- write
+    def _flush(self, conn: _Connection) -> None:
+        out = conn.out
+        sendmsg = getattr(conn.sock, "sendmsg", None)
+        while out.size:
+            try:
+                if sendmsg is not None:
+                    sent = sendmsg(out.head())
+                else:  # pragma: no cover - platforms without sendmsg
+                    sent = conn.sock.send(out.parts[0][:_SEND_CHUNK])
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_conn(conn)
+                return
+            if not sent:
+                break
+            out.advance(sent)
+            conn.last_activity = time.monotonic()
+        self._update_events(conn)
+
+    def _update_events(self, conn: _Connection) -> None:
+        if self._conns.get(conn.fd) is not conn:
+            return
+        backlog = conn.out.size
+        queued = len(conn.pending)
+        if conn.paused:
+            if backlog < _LOW_WATERMARK and queued <= _MAX_PENDING // 2:
+                conn.paused = False
+        elif backlog > _HIGH_WATERMARK or queued > _MAX_PENDING:
+            conn.paused = True
+        mask = 0
+        if not conn.paused:
+            mask |= selectors.EVENT_READ
+        if conn.out.size:
+            mask |= selectors.EVENT_WRITE
+        if mask == conn.events:
+            return
+        # A fully paused connection (reads paused, nothing to write) must
+        # leave the selector entirely — a zero mask is not registrable.
+        if mask == 0:
+            self._selector.unregister(conn.sock)
+        elif conn.events == 0:
+            self._selector.register(conn.sock, mask, conn)
+        else:
+            self._selector.modify(conn.sock, mask, conn)
+        conn.events = mask
+
+    # ------------------------------------------------------------- closing
+    def _close_conn(self, conn: _Connection) -> None:
+        if self._conns.pop(conn.fd, None) is not conn:
+            return
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        conn.pending.clear()
+        conn.inbuf.clear()
+        conn.out.clear()
+
+    def _sweep_idle(self) -> None:
+        if not self._idle_timeout:
+            return
+        now = time.monotonic()
+        if now - self._last_sweep < 1.0:
+            return
+        self._last_sweep = now
+        for conn in list(self._conns.values()):
+            if conn.busy:
+                continue  # a request is being processed on its behalf
+            # last_activity advances on reads AND on write progress, so
+            # this also reaps a peer that requested a big response and
+            # then stopped reading it — the old transport's 30 s socket
+            # timeout bounded that; this sweep is its replacement.
+            if now - conn.last_activity > self._idle_timeout:
+                log.info("closing idle connection %s", conn.peer)
+                self._close_conn(conn)
+
+    def _drain_on_stop(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        flush their responses, then close everything."""
+        if self._listener is not None:
+            try:
+                self._selector.unregister(self._listener)
+            except (KeyError, ValueError, OSError):
+                pass
+            self._listener.close()
+        deadline = time.monotonic() + self._drain_timeout
+        while time.monotonic() < deadline:
+            self._drain_completions()
+            live = [c for c in self._conns.values()
+                    if c.busy or c.out.size]
+            if not live:
+                break
+            for key, mask in self._selector.select(timeout=0.05):
+                if key.data is _WAKEUP:
+                    self._drain_wakeup()
+                elif isinstance(key.data, _Connection):
+                    if mask & selectors.EVENT_WRITE:
+                        self._flush(key.data)
+
+    def _force_close_all(self) -> None:
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        for sock in (self._listener, self._wakeup_recv, self._wakeup_send):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------- dispatch
-    def _dispatch(self, payload: bytes) -> bytes:
+    def _dispatch(self, payload: bytes) -> bytes | list[bytes]:
         request = decode_request(payload)
         op = request["op"]
         if op == "ADD":
@@ -135,8 +510,23 @@ class ServerTransport:
                 from_index = int(request.get("from_index", 0))
             except (TypeError, ValueError) as exc:
                 raise ProtocolError("GET from_index must be an integer") from exc
-            next_index, blobs = self._server.process_get(from_index)
-            return encode_get_response(next_index, blobs)
+            raw_max = request.get("max_count")
+            if raw_max is None:
+                # Legacy unpaginated GET: the whole tail in one frame.
+                next_index, count, chunks, _ = self._server.process_get_wire(
+                    from_index
+                )
+                return get_response_parts(next_index, count, chunks)
+            try:
+                max_count = int(raw_max)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError("GET max_count must be an integer") from exc
+            if max_count < 0:
+                raise ProtocolError("GET max_count must be non-negative")
+            next_index, count, chunks, more = self._server.process_get_wire(
+                from_index, max_count
+            )
+            return get_page_response_parts(next_index, count, chunks, more)
         if op == "ISSUE_ID":
             return canonical_json({"ok": True, "token": self._server.issue_user_token()})
         if op == "STATS":

@@ -97,6 +97,105 @@ class TestPollOnce:
         assert len(repo) == 0
 
 
+class TestPaginatedDownload:
+    def test_cold_download_pages_until_drained(self, deployment, shared_factory):
+        server, endpoint, repo, client = deployment
+        client.page_size = 2
+        sigs = upload(server, shared_factory, 7)
+        report = client.poll_once()
+        assert report.pages == 4  # 2+2+2+1
+        assert report.received == 7
+        assert report.stored == 7
+        assert repo.server_index == 7
+        assert [repo.signature_at(i).sig_id for i in range(7)] == [
+            s.sig_id for s in sigs
+        ]
+
+    def test_resume_mid_stream_every_signature_exactly_once(
+            self, deployment, shared_factory):
+        """A client whose download dies mid-stream resumes from the page
+        boundary and ends with every signature exactly once."""
+        server, endpoint, repo, client = deployment
+        upload(server, shared_factory, 6)
+
+        class FlakyEndpoint:
+            """Delivers one page, then dies; recovers on the next poll."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.pages_served = 0
+                self.fail_after = 1
+
+            def get_page(self, from_index, max_count):
+                from repro.util.errors import ProtocolError
+
+                if self.pages_served >= self.fail_after:
+                    raise ProtocolError("connection lost mid-stream")
+                self.pages_served += 1
+                return self.inner.get_page(from_index, max_count)
+
+        flaky = FlakyEndpoint(endpoint)
+        client.endpoint = flaky
+        client.page_size = 2
+        first = client.poll_once()
+        assert first.failed
+        assert first.received == 2  # one page landed before the failure
+        assert repo.server_index == 2  # progress survived the failure
+        flaky.fail_after = 1_000
+        second = client.poll_once()
+        assert second.requested_from == 2
+        assert not second.failed
+        assert len(repo) == 6
+        ids = [repo.signature_at(i).sig_id for i in range(len(repo))]
+        assert len(set(ids)) == 6  # exactly once: no duplicates, no gaps
+        assert repo.server_index == 6
+
+    def test_adds_between_pages_are_picked_up(self, deployment, shared_factory):
+        """Signatures appended while a paginated download is in flight are
+        served before the stream reports 'drained'."""
+        server, endpoint, repo, client = deployment
+        upload(server, shared_factory, 3)
+
+        class TrickleEndpoint:
+            def __init__(self, inner, server_, factory):
+                self.inner = inner
+                self.server = server_
+                self.factory = factory
+                self.injected = False
+
+            def get_page(self, from_index, max_count):
+                page = self.inner.get_page(from_index, max_count)
+                if not self.injected:
+                    self.injected = True
+                    upload(self.server, self.factory, 2)
+                return page
+
+        client.endpoint = TrickleEndpoint(endpoint, server, shared_factory)
+        client.page_size = 2
+        report = client.poll_once()
+        assert report.received == 5
+        assert len(repo) == 5
+        assert repo.server_index == 5
+
+    def test_legacy_endpoint_without_get_page_still_works(
+            self, deployment, shared_factory):
+        server, endpoint, repo, client = deployment
+        upload(server, shared_factory, 4)
+
+        class LegacyEndpoint:
+            def get(self, from_index):
+                return endpoint.get(from_index)
+
+        legacy_client = CommunixClient(
+            endpoint=LegacyEndpoint(), repository=repo,
+            clock=client.clock, period=86_400.0,
+        )
+        report = legacy_client.poll_once()
+        assert report.received == 4
+        assert report.pages == 1
+        assert len(repo) == 4
+
+
 class TestBackgroundDaemon:
     def _wait_for(self, predicate, timeout=3.0):
         deadline = time.monotonic() + timeout

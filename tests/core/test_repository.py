@@ -94,6 +94,78 @@ class TestPersistence:
         assert reloaded.pending_nesting("appX") == [1]
         assert reloaded.signature_at(0).sig_id == sigs[0].sig_id
 
+    def test_cursor_bump_does_not_rewrite_signatures(self, tmp_path, sigs):
+        """Regression for O(n) persistence: advance_cursor / pending-nesting
+        updates must only touch the small sidecar, never re-encode the
+        signature list."""
+        path = tmp_path / "repo.json"
+        repo = LocalRepository(path=path)
+        repo.append_from_server(sigs, next_server_index=5)
+        stat_before = path.stat()
+        marker = (stat_before.st_mtime_ns, stat_before.st_ino, path.read_bytes())
+        repo.advance_cursor("appX", 3)
+        repo.set_pending_nesting("appX", [1, 2])
+        stat_after = path.stat()
+        assert (stat_after.st_mtime_ns, stat_after.st_ino,
+                path.read_bytes()) == marker
+        sidecar = tmp_path / "repo.json.state"
+        assert sidecar.exists()
+        reloaded = LocalRepository(path=path)
+        assert reloaded.get_cursor("appX") == 3
+        assert reloaded.pending_nesting("appX") == [1, 2]
+        assert reloaded.server_index == 5
+
+    def test_legacy_v1_file_loads(self, tmp_path, sigs):
+        """Repositories written by the single-file format keep working."""
+        import json
+
+        path = tmp_path / "repo.json"
+        payload = {
+            "version": 1,
+            "server_index": 9,
+            "signatures": [s.encode() for s in sigs[:2]],
+            "cursors": {"appX": 2},
+            "pending_nesting": {"appX": [0]},
+        }
+        path.write_text(json.dumps(payload))
+        repo = LocalRepository(path=path)
+        assert len(repo) == 2
+        assert repo.server_index == 9
+        assert repo.get_cursor("appX") == 2
+        assert repo.pending_nesting("appX") == [0]
+
+    def test_v1_state_survives_restart_after_cursor_bump(self, tmp_path, sigs):
+        """Regression: a cursor bump on a v1-loaded repository must not be
+        shadowed by the stale inline state on the next load."""
+        import json
+
+        path = tmp_path / "repo.json"
+        payload = {
+            "version": 1,
+            "server_index": 3,
+            "signatures": [s.encode() for s in sigs[:3]],
+            "cursors": {"app": 1},
+            "pending_nesting": {},
+        }
+        path.write_text(json.dumps(payload))
+        repo = LocalRepository(path=path)
+        repo.advance_cursor("app", 3)
+        reloaded = LocalRepository(path=path)
+        assert reloaded.get_cursor("app") == 3
+        assert reloaded.server_index == 3
+        # The file was migrated to the split layout on first load.
+        assert json.loads(path.read_text())["version"] == 2
+
+    def test_missing_sidecar_defaults_to_signature_count(self, tmp_path, sigs):
+        path = tmp_path / "repo.json"
+        repo = LocalRepository(path=path)
+        repo.append_from_server(sigs[:3])
+        (tmp_path / "repo.json.state").unlink()
+        reloaded = LocalRepository(path=path)
+        assert len(reloaded) == 3
+        assert reloaded.server_index == 3
+        assert reloaded.get_cursor("appX") == 0
+
     def test_corrupt_file_raises(self, tmp_path):
         path = tmp_path / "repo.json"
         path.write_text("not json at all {")

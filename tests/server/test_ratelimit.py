@@ -43,6 +43,23 @@ class TestQuota:
         assert quota.try_consume(5)
         assert not quota.try_consume(5)
 
+    def test_stale_days_dropped_in_day_buckets(self, manual_clock):
+        """Counts are bucketed per day; rolling to a new day drops every
+        stale bucket instead of rebuilding the whole table."""
+        quota = DailyQuota(manual_clock, limit_per_day=10)
+        for uid in range(500):
+            quota.try_consume(uid)
+        assert quota.tracked_days == 1
+        manual_clock.advance(SECONDS_PER_DAY)
+        quota.try_consume(1)  # first touch of the new day prunes yesterday
+        assert quota.tracked_days == 1
+        assert quota.used_today(1) == 1
+        assert quota.used_today(499) == 0
+
+    def test_used_today_before_any_consume(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=10)
+        assert quota.used_today(42) == 0
+
     def test_attack_model_bound(self, manual_clock):
         """§IV-B: 100 attackers x 5 ids x 10/day => at most 5,000 accepted."""
         quota = DailyQuota(manual_clock, limit_per_day=10)

@@ -1,7 +1,9 @@
 """TCP transport integration tests (server + TcpEndpoint)."""
 
 import random
+import socket
 import threading
+import time
 
 import pytest
 
@@ -148,3 +150,188 @@ class TestEndpointRobustness:
         endpoint = TcpEndpoint("127.0.0.1", 1)  # nothing listens there
         with pytest.raises(ProtocolError):
             endpoint.get(0)
+
+
+def _open_fd_count() -> int | None:
+    import os
+
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # non-Linux fallback: rely on transport.open_fds()
+        return None
+
+
+class TestShutdown:
+    def test_stop_closes_open_connections_no_fd_leak(self, shared_factory):
+        """Regression for the thread-per-connection stop() leak: every
+        registered connection and internal FD must be closed on stop()."""
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(4)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        before = _open_fd_count()
+        transport = ServerTransport(server)
+        host, port = transport.start()
+        endpoints = [TcpEndpoint(host, port) for _ in range(20)]
+        try:
+            for endpoint in endpoints:
+                endpoint.issue_token()  # forces the connection open
+            deadline = time.monotonic() + 5.0
+            while (transport.connection_count < 20
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert transport.connection_count == 20
+            transport.stop()
+            assert transport.connection_count == 0
+            assert transport.open_fds() == []
+            # Server side hung up: clients observe EOF, not a hang.
+            with pytest.raises(ProtocolError):
+                endpoints[0].get(0)
+        finally:
+            for endpoint in endpoints:
+                endpoint.close()
+        after = _open_fd_count()
+        if before is not None and after is not None:
+            assert after <= before
+
+    def test_stop_drains_in_flight_response(self, live_server, shared_factory):
+        server, host, port = live_server
+        endpoint = TcpEndpoint(host, port)
+        try:
+            token = endpoint.issue_token()
+            assert endpoint.add(shared_factory.make_valid().to_bytes(), token)
+        finally:
+            endpoint.close()
+
+    def test_stop_idempotent(self):
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(5)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        transport = ServerTransport(server)
+        transport.stop()  # never started: no-op
+        transport.start()
+        transport.stop()
+        transport.stop()
+        assert transport.open_fds() == []
+
+    def test_restart_after_stop(self, shared_factory):
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(6)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        transport = ServerTransport(server)
+        transport.start()
+        transport.stop()
+        host, port = transport.start()
+        endpoint = TcpEndpoint(host, port)
+        try:
+            token = endpoint.issue_token()
+            assert endpoint.add(shared_factory.make_valid().to_bytes(), token)
+        finally:
+            endpoint.close()
+            transport.stop()
+
+
+class TestEventLoopConcurrency:
+    def test_many_persistent_connections_without_thread_per_conn(
+            self, shared_factory):
+        """128 simultaneous persistent connections must not cost 128 server
+        threads — the event loop plus a bounded worker pool serves them."""
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(7)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        transport = ServerTransport(server, workers=4)
+        host, port = transport.start()
+        threads_before = threading.active_count()
+        endpoints = [TcpEndpoint(host, port) for _ in range(128)]
+        try:
+            for endpoint in endpoints:
+                endpoint.issue_token()
+            assert transport.connection_count == 128
+            # Every connection stays open; requests still get answered.
+            for endpoint in endpoints[::8]:
+                next_index, blobs = endpoint.get(0)
+                assert next_index == len(server.database)
+            # Thread growth is the worker pool (<=4), not one per conn.
+            assert threading.active_count() - threads_before <= 8
+        finally:
+            for endpoint in endpoints:
+                endpoint.close()
+            transport.stop()
+
+    def test_idle_connections_reaped(self):
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(8)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        transport = ServerTransport(server, idle_timeout=0.3)
+        host, port = transport.start()
+        try:
+            sock = socket.create_connection((host, port), timeout=2.0)
+            try:
+                deadline = time.monotonic() + 1.0
+                while (transport.connection_count == 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert transport.connection_count == 1
+                sock.settimeout(5.0)
+                assert sock.recv(1) == b""  # server closed the idle conn
+                assert transport.connection_count == 0
+            finally:
+                sock.close()
+        finally:
+            transport.stop()
+
+    def test_stalled_reader_is_reaped(self, shared_factory):
+        """A peer that requests a response and then never reads it must
+        not hold its connection (and buffered bytes) forever — write
+        stalls count as idleness."""
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(9)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        for _ in range(200):
+            sig = shared_factory.make_valid()
+            server.process_add(sig.to_bytes(), server.issue_user_token())
+        transport = ServerTransport(server, idle_timeout=0.5)
+        host, port = transport.start()
+        try:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            # Tiny receive buffer: the response cannot fit in kernel
+            # buffers, so the server's send stalls while we don't read.
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+            sock.connect((host, port))
+            from repro.server.protocol import write_frame
+            from repro.util.encoding import canonical_json
+
+            write_frame(sock, canonical_json({"op": "GET", "from_index": 0}))
+            deadline = time.monotonic() + 10.0
+            while (transport.connection_count > 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert transport.connection_count == 0
+            sock.close()
+        finally:
+            transport.stop()
+
+    def test_pipelined_requests_answered_in_order(self, live_server):
+        """Multiple frames sent before reading any response come back in
+        request order (per-connection serialization)."""
+        from repro.server.protocol import read_frame, write_frame
+        from repro.util.encoding import canonical_json, from_canonical_json
+
+        _, host, port = live_server
+        sock = socket.create_connection((host, port), timeout=5.0)
+        try:
+            for _ in range(5):
+                write_frame(sock, canonical_json({"op": "ISSUE_ID"}))
+            write_frame(sock, canonical_json({"op": "STATS"}))
+            for _ in range(5):
+                response = from_canonical_json(read_frame(sock))
+                assert response["ok"] and "token" in response
+            stats = from_canonical_json(read_frame(sock))
+            assert stats["ok"] and "database_size" in stats
+        finally:
+            sock.close()
