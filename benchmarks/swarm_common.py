@@ -1,0 +1,91 @@
+"""Shared machinery for swarm-driven benchmarks.
+
+The big sweeps put the server in a **child process** (mirroring the
+paper's server-on-one-machine / clients-on-another setup) for an FD
+reason too: this container caps a process at 20,000 descriptors, and a
+10,000-client point needs ~10k sockets on *each* side of the loopback —
+they only fit if the two sides are separate processes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+
+
+@contextlib.contextmanager
+def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
+                 backlog: int = 4096, workers: int = 4,
+                 startup_timeout: float = 30.0):
+    """A ``python -m repro.server`` child; yields ``(host, port)``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.server",
+            "--host", "127.0.0.1", "--port", "0",
+            "--quota-per-day", str(quota_per_day),
+            "--idle-timeout", str(idle_timeout),
+            "--backlog", str(backlog),
+            "--workers", str(workers),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + startup_timeout
+        line = ""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError("server did not report its address in time")
+            # readline() would block past the deadline on a silent child;
+            # poll the pipe so a wedged server fails fast instead.
+            ready, _, _ = select.select([proc.stdout], [], [],
+                                        min(remaining, 0.5))
+            if not ready:
+                if proc.poll() is not None:
+                    raise RuntimeError("server process exited during startup")
+                continue
+            line = proc.stdout.readline()
+            if "listening on" in line:
+                break
+            if not line and proc.poll() is not None:
+                raise RuntimeError("server process exited during startup")
+        address = line.split("listening on", 1)[1].split()[0]
+        host, _, port = address.rpartition(":")
+        yield host, int(port)
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=15.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=5.0)
+        proc.stdout.close()
+
+
+def wait_for_barrier(engine, expected: int, timeout: float) -> None:
+    """Block until every live client is parked at the start barrier."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if engine.parked_count + engine.finished_count >= expected:
+            return
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"only {engine.parked_count}/{expected} clients reached the barrier"
+    )

@@ -1,0 +1,184 @@
+"""Latency and throughput accounting for the client swarm.
+
+The engine calls :meth:`Metrics.record` once per completed operation and
+:meth:`Metrics.record_error` once per failed one — every issued request
+lands in exactly one of the two, so ``completed + errors`` always equals
+the number of operations the scenarios issued (the invariant the swarm
+tests assert).
+
+Latencies go into :class:`LatencyHistogram` — geometric buckets from 1 µs
+to ~2 minutes (±~9 % resolution), so recording is O(1), memory is a few
+hundred ints regardless of run length, and percentiles (p50/p95/p99) come
+from a cumulative walk.  Throughput is a per-second series of completion
+counts keyed by whole seconds since the collector was created.
+
+Each event-loop shard owns a private ``Metrics`` (single-writer, no lock);
+:meth:`Metrics.merge` folds shard collectors into one for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Smallest representable latency (seconds); anything faster lands in
+#: bucket 0.
+_MIN_LATENCY = 1e-6
+#: Each bucket's upper bound is ``_GROWTH`` times the previous one.
+_GROWTH = 2 ** 0.25
+_LOG_GROWTH = math.log(_GROWTH)
+#: Enough buckets to reach ~130 s; slower ops saturate the last bucket.
+_BUCKETS = 108
+
+
+def _bucket_index(seconds: float) -> int:
+    if seconds <= _MIN_LATENCY:
+        return 0
+    index = int(math.log(seconds / _MIN_LATENCY) / _LOG_GROWTH) + 1
+    return min(index, _BUCKETS - 1)
+
+
+def _bucket_upper_bound(index: int) -> float:
+    return _MIN_LATENCY * _GROWTH ** index
+
+
+class LatencyHistogram:
+    """Counts per geometric latency bucket; totals are exact, values ±9 %."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * _BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.counts[_bucket_index(seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Latency at percentile ``p`` (0..100): the upper bound of the
+        bucket holding the p-th sample, clamped to the observed max."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        seen = 0
+        for index, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank:
+                return min(_bucket_upper_bound(index), self.max)
+        return self.max  # pragma: no cover - rank <= count by construction
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1e3, 3),
+            "min_ms": round(self.min * 1e3, 3) if self.count else 0.0,
+            "max_ms": round(self.max * 1e3, 3),
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p95_ms": round(self.percentile(95) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
+        }
+
+
+@dataclass
+class MetricsSnapshot:
+    """A merged, read-only view of one or more collectors."""
+
+    histograms: dict[str, LatencyHistogram] = field(default_factory=dict)
+    errors: dict[str, int] = field(default_factory=dict)
+    series: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return sum(h.count for h in self.histograms.values())
+
+    @property
+    def error_count(self) -> int:
+        return sum(self.errors.values())
+
+    def count(self, op: str) -> int:
+        histogram = self.histograms.get(op)
+        return histogram.count if histogram else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "errors": dict(self.errors),
+            "ops": {op: h.summary() for op, h in sorted(self.histograms.items())},
+            "throughput_series": {
+                str(sec): n for sec, n in sorted(self.series.items())
+            },
+        }
+
+
+def _stable_copy(source: dict) -> dict:
+    """Copy a dict a single writer thread may be inserting into."""
+    while True:
+        try:
+            return dict(source)
+        except RuntimeError:  # a key appeared mid-copy; retry
+            continue
+
+
+class Metrics:
+    """Single-writer collector: one per event-loop shard."""
+
+    def __init__(self, epoch: float | None = None) -> None:
+        #: Second-zero reference for the throughput series; shards created
+        #: by one engine share the engine's epoch so their series align.
+        self.epoch = time.monotonic() if epoch is None else epoch
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._errors: dict[str, int] = {}
+        self._series: dict[int, int] = {}
+
+    def record(self, op: str, seconds: float, now: float | None = None) -> None:
+        histogram = self._histograms.get(op)
+        if histogram is None:
+            histogram = self._histograms[op] = LatencyHistogram()
+        histogram.record(seconds)
+        second = int((time.monotonic() if now is None else now) - self.epoch)
+        self._series[second] = self._series.get(second, 0) + 1
+
+    def record_error(self, op: str) -> None:
+        self._errors[op] = self._errors.get(op, 0) + 1
+
+    @staticmethod
+    def merge(collectors: Iterable["Metrics"]) -> MetricsSnapshot:
+        """Fold collectors into one snapshot.  Safe to call while shard
+        threads are still recording (live telemetry): dicts are copied
+        with a retry against concurrent key insertion, so the result is a
+        consistent-enough point-in-time view."""
+        snapshot = MetricsSnapshot()
+        for collector in collectors:
+            for op, histogram in _stable_copy(collector._histograms).items():
+                into = snapshot.histograms.get(op)
+                if into is None:
+                    into = snapshot.histograms[op] = LatencyHistogram()
+                into.merge(histogram)
+            for op, n in _stable_copy(collector._errors).items():
+                snapshot.errors[op] = snapshot.errors.get(op, 0) + n
+            for second, n in _stable_copy(collector._series).items():
+                snapshot.series[second] = snapshot.series.get(second, 0) + n
+        return snapshot

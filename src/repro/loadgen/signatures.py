@@ -1,0 +1,111 @@
+"""Signature-blob generators for swarm scenarios.
+
+The benign generator is the paper's Fig. 2 load shape — random two-thread
+signatures, each unique, so the database really grows under load.  The
+adversarial generators reuse the §IV-B attacker from :mod:`repro.sim.attack`
+so the swarm's attack mixes send exactly the signatures the paper's threat
+model describes: forged critical-path pairs whose suffixes overlap (what
+the server's adjacency check §III-C2 exists to reject) and off-path
+phantoms (the flooding control).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.signature import (
+    CallStack,
+    DeadlockSignature,
+    Frame,
+    ThreadSignature,
+)
+from repro.sim.attack import (
+    forge_critical_path_signatures,
+    forge_off_path_signatures,
+)
+
+
+def random_signature(rng: random.Random) -> DeadlockSignature:
+    """A random two-thread signature (what the paper's load generator sends)."""
+
+    def stack(tag: int) -> CallStack:
+        return CallStack(
+            Frame(
+                class_name=f"load.C{rng.randrange(10_000)}",
+                method=f"m{rng.randrange(100)}",
+                line=rng.randrange(1, 5_000),
+                code_hash=f"{rng.getrandbits(64):016x}",
+            )
+            for _ in range(6)
+        )
+
+    threads = (
+        ThreadSignature(outer=stack(0), inner=stack(1)),
+        ThreadSignature(outer=stack(2), inner=stack(3)),
+    )
+    return DeadlockSignature(threads=threads, origin="remote")
+
+
+def random_signature_blobs(count: int, seed: int = 0) -> list[bytes]:
+    """``count`` serialized random signatures (benign steady-state load)."""
+    rng = random.Random(seed)
+    return [random_signature(rng).to_bytes() for _ in range(count)]
+
+
+def _sample_stacks(rng: random.Random, count: int, depth: int) -> list[CallStack]:
+    """Acquisition stacks "sampled from the victim workload": distinct
+    stacks that share a common tail, so their depth-``depth`` suffixes
+    overlap pairwise — the §III-C2 adjacency shape."""
+    shared_tail = [
+        Frame(
+            class_name="victim.app.Service",
+            method=f"critical_{rng.randrange(1_000_000)}",
+            line=rng.randrange(1, 5_000),
+            code_hash=f"{rng.getrandbits(64):016x}",
+        )
+        for _ in range(depth - 1)
+    ]
+    stacks = []
+    for i in range(count):
+        top = Frame(
+            class_name="victim.app.Handler",
+            method=f"handle_{i}",
+            line=rng.randrange(1, 5_000),
+            code_hash=f"{rng.getrandbits(64):016x}",
+        )
+        stacks.append(CallStack([*shared_tail, top]))
+    return stacks
+
+
+def adjacent_spam_blobs(count: int, seed: int = 0, depth: int = 5) -> list[bytes]:
+    """Forged critical-path signatures built from the *fewest* sample
+    stacks that yield ``count`` pairs.  Each signature's top-frame set is a
+    2-subset of ``k`` sampled tops, so any two signatures that share a
+    sampled stack are mutually adjacent (§III-C2): of everything one user
+    sends, the server can accept at most ``k // 2`` (a disjoint pairing)
+    and must reject the rest as ``adjacent``."""
+    rng = random.Random(seed)
+    k = 3
+    while k * (k - 1) // 2 < count:
+        k += 1
+    stacks = _sample_stacks(rng, k, depth)
+    signatures = forge_critical_path_signatures(
+        stacks, count=count, depth=depth, seed=seed
+    )
+    return [signature.to_bytes() for signature in signatures]
+
+
+def off_path_flood_blobs(count: int, seed: int = 0, depth: int = 5) -> list[bytes]:
+    """Distinct phantom signatures (locations the app never runs): the
+    quota-flooding payload — each one validates, so only the per-user
+    daily quota (§III-C1) stops the flood."""
+    signatures = forge_off_path_signatures(count=count, depth=depth, seed=seed)
+    return [signature.to_bytes() for signature in signatures]
+
+
+def forged_tokens(count: int, seed: int = 0) -> list[str]:
+    """Well-formed-looking but undecryptable user-ID tokens."""
+    rng = random.Random(seed)
+    # Token ciphertext is AES-block-aligned hex; 48 random bytes parse as
+    # ciphertext but fail authentication/padding on decryption.
+    return [rng.getrandbits(48 * 8).to_bytes(48, "big").hex() for _ in range(count)]

@@ -36,6 +36,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-adjacency-check", action="store_true",
         help="disable the same-user adjacency rejection (testing only)",
     )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=60.0,
+        help="close connections idle longer than this many seconds",
+    )
+    parser.add_argument(
+        "--backlog", type=int, default=512,
+        help="listen backlog (raise for large client ramps)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8,
+        help="request-processing worker threads",
+    )
     return parser
 
 
@@ -47,7 +59,11 @@ def main(argv: list[str] | None = None) -> int:
         adjacency_check=not args.no_adjacency_check,
     )
     server = CommunixServer(config=config)
-    transport = ServerTransport(server, host=args.host, port=args.port)
+    transport = ServerTransport(
+        server, host=args.host, port=args.port,
+        accept_backlog=args.backlog, workers=args.workers,
+        idle_timeout=args.idle_timeout,
+    )
     host, port = transport.start()
     print(f"communix-server listening on {host}:{port} "
           f"(quota {config.max_signatures_per_user_per_day}/user/day)")

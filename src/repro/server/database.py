@@ -18,6 +18,13 @@ segments are effectively frozen, so their caches live forever.  A global
 monotonic count is published *after* the blob is in place, so readers that
 snapshot the count never observe a missing entry.
 
+On top of the segment caches sits a **response-level page cache**
+(:class:`_PageCache`): the complete answer to a paginated
+``GET(from_index, max_count)`` keyed by the request arguments.  Cold-sync
+clients all walk the same segment-aligned page sequence, so a hot page is
+a single dict lookup; every append invalidates the whole page cache (the
+tail page and ``more`` flags may have changed) and pages rebuild lazily.
+
 A per-user side index of top-frame sets supports the adjacency check
 (§III-C2) without deserializing history.
 """
@@ -97,8 +104,62 @@ class _Segment:
         return b"".join(pack_signature_record(blob) for blob in snap[lo:hi])
 
 
+class _PageCache:
+    """Response-level cache for hot paginated GET pages.
+
+    Keyed by the request's ``(from_index, max_count)``; the value is the
+    complete precomputed answer ``(next_index, count, chunks, more)``, so a
+    hot page — every cold-syncing client walks the same segment-aligned
+    page sequence — costs one dict lookup instead of a segment walk plus
+    boundary packing.  An append can change any page's answer (the tail
+    gains records, ``more`` can flip), so appends invalidate the whole
+    cache; entries are rebuilt lazily on the next request.  A version
+    stamp taken *before* a page is computed keeps a concurrent append from
+    letting a stale page be inserted after the invalidation.
+    """
+
+    __slots__ = ("_lock", "_entries", "_capacity", "_version",
+                 "hits", "misses")
+
+    def __init__(self, capacity: int = 128):
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[int, int], tuple] = {}
+        self._capacity = capacity
+        self._version = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def get(self, key: tuple[int, int]):
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
+
+    def put(self, key: tuple[int, int], value: tuple, version: int) -> None:
+        with self._lock:
+            if version != self._version:
+                return  # an append landed while this page was computed
+            entries = self._entries
+            if key not in entries and len(entries) >= self._capacity:
+                entries.pop(next(iter(entries)))  # FIFO eviction
+            entries[key] = value
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._version += 1
+            self._entries.clear()
+
+
 class SignatureDatabase:
-    def __init__(self, segment_size: int = DEFAULT_SEGMENT_SIZE):
+    def __init__(self, segment_size: int = DEFAULT_SEGMENT_SIZE,
+                 page_cache_capacity: int = 128):
         if segment_size < 1:
             raise ValueError("segment_size must be positive")
         self._segment_size = segment_size
@@ -108,6 +169,7 @@ class SignatureDatabase:
         self._entries: list[StoredSignature] = []
         self._by_sig_id: dict[str, int] = {}
         self._by_user: dict[int, list[int]] = {}  # uid -> entry indices
+        self._page_cache = _PageCache(page_cache_capacity)
 
     def __len__(self) -> int:
         return self._count
@@ -154,6 +216,7 @@ class SignatureDatabase:
             self._by_sig_id[signature.sig_id] = index
             self._by_user.setdefault(sender_uid, []).append(index)
             self._count = index + 1  # publish: readers may now see it
+            self._page_cache.invalidate()
             return index
 
     # ------------------------------------------------------------- reading
@@ -199,17 +262,41 @@ class SignatureDatabase:
         return end, blobs, end < n
 
     def wire_from(self, start: int, max_count: int | None = None
-                  ) -> tuple[int, int, list[bytes], bool]:
+                  ) -> tuple[int, int, tuple[bytes, ...], bool]:
         """(next_index, count, chunks, more): the GET response body as
         precomposed record chunks — one cached chunk per fully-covered
-        segment, so a warm full-database read costs O(segments)."""
+        segment, so a warm full-database read costs O(segments).
+
+        Paginated reads (``max_count`` given) additionally go through the
+        response-level page cache: a hot page is one dict lookup."""
+        if max_count is None:
+            return self._wire_range(start, None)
+        key = (start, max_count)
+        cached = self._page_cache.get(key)
+        if cached is not None:
+            return cached
+        version = self._page_cache.version
+        result = self._wire_range(start, max_count)
+        self._page_cache.put(key, result, version)
+        return result
+
+    def _wire_range(self, start: int, max_count: int | None
+                    ) -> tuple[int, int, tuple[bytes, ...], bool]:
         start, end, n = self._range(start, max_count)
         if start >= end:
-            return end, 0, [], end < n
+            return end, 0, (), end < n
         chunks: list[bytes] = []
         for seg, lo, hi in self._segments_for(start, end):
             chunks.append(seg.wire(hi) if lo == 0 else seg.wire_slice(lo, hi))
-        return end, end - start, chunks, end < n
+        return end, end - start, tuple(chunks), end < n
+
+    @property
+    def page_cache_hits(self) -> int:
+        return self._page_cache.hits
+
+    @property
+    def page_cache_misses(self) -> int:
+        return self._page_cache.misses
 
     def user_top_frames(self, uid: int) -> list[frozenset]:
         """Top-frame sets of every signature this user previously sent."""

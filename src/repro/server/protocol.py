@@ -110,6 +110,31 @@ def decode_add_signature(request: dict[str, Any]) -> bytes:
         raise ProtocolError(f"malformed ADD signature field: {exc}") from exc
 
 
+def _checked_int(value: Any, field: str, *, minimum: int = 0) -> int:
+    # bool is an int subclass; a client sending ``true`` is malformed.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"GET {field} must be an integer")
+    if value < minimum:
+        raise ProtocolError(f"GET {field} must be non-negative")
+    return value
+
+
+def decode_get_args(request: dict[str, Any]) -> tuple[int, int | None]:
+    """Validated ``(from_index, max_count)`` of a GET request.
+
+    Anything that is not a non-negative JSON integer — floats, strings,
+    booleans, negatives — raises :class:`ProtocolError`, so a malformed
+    request becomes a clean protocol-level error frame instead of an
+    exception inside the server's worker pool.  ``max_count`` is ``None``
+    when absent (the legacy unpaginated form).
+    """
+    from_index = _checked_int(request.get("from_index", 0), "from_index")
+    raw_max = request.get("max_count")
+    if raw_max is None:
+        return from_index, None
+    return from_index, _checked_int(raw_max, "max_count")
+
+
 # ------------------------------------------------------------ GET response
 def pack_signature_record(blob: bytes) -> bytes:
     """One ``len:u32 | blob`` record of a GET response body.
@@ -191,6 +216,16 @@ def decode_get_page(payload: bytes) -> tuple[int, list[bytes], bool]:
         return next_index, _decode_records(payload, 13, count), bool(more)
     next_index, blobs = decode_get_response(payload)
     return next_index, blobs, False
+
+
+def count_get_page(payload: bytes) -> tuple[int, int, bool]:
+    """(next_index, count, more) without materializing the blobs — what a
+    load-generation client uses to follow a paginated drain cheaply."""
+    if len(payload) >= 13 and payload[:4] == _GET_PAGE_MAGIC:
+        next_index, count, more = struct.unpack(">IIB", payload[4:13])
+        return next_index, count, bool(more)
+    next_index, count = count_get_response(payload)
+    return next_index, count, False
 
 
 def count_get_response(payload: bytes) -> tuple[int, int]:

@@ -12,6 +12,7 @@ aggregated on read — so the hot path takes no stats lock at all.
 
 from __future__ import annotations
 
+import operator
 import threading
 from dataclasses import dataclass, field
 
@@ -21,7 +22,7 @@ from repro.server.database import SignatureDatabase
 from repro.server.ratelimit import DailyQuota
 from repro.server.validation import ServerSideValidator, ServerVerdict
 from repro.util.clock import Clock, SystemClock
-from repro.util.errors import ValidationError
+from repro.util.errors import ProtocolError, ValidationError
 from repro.util.logging import get_logger
 
 log = get_logger("server")
@@ -174,6 +175,18 @@ class CommunixServer:
             return None
         return min(max(0, max_count), self.config.max_get_page)
 
+    @staticmethod
+    def _checked_index(from_index) -> int:
+        """Reject non-integral ``from_index`` before it reaches the
+        database (a float or string from a caller must surface as a clean
+        protocol error, not a ``TypeError`` inside the worker pool).
+        Negative indices are tolerated here and clamped by the database;
+        the wire layer (``decode_get_args``) is stricter."""
+        try:
+            return operator.index(from_index)
+        except TypeError as exc:
+            raise ProtocolError("GET from_index must be an integer") from exc
+
     def process_get(self, from_index: int,
                     max_count: int | None = None) -> tuple[int, list[bytes]]:
         """Handle ``GET(k)``: blobs from database index ``k`` on.
@@ -190,19 +203,19 @@ class CommunixServer:
                          ) -> tuple[int, list[bytes], bool]:
         """Paginated GET: ``(next_index, blobs, more)``."""
         next_index, blobs, more = self.database.blobs_page(
-            from_index, self._clamp_page(max_count)
+            self._checked_index(from_index), self._clamp_page(max_count)
         )
         self._counters.gets_served.add()
         self._counters.signatures_served.add(len(blobs))
         return next_index, blobs, more
 
     def process_get_wire(self, from_index: int, max_count: int | None = None
-                         ) -> tuple[int, int, list[bytes], bool]:
+                         ) -> tuple[int, int, tuple[bytes, ...], bool]:
         """GET for the transport hot path: ``(next_index, count, chunks,
         more)`` where ``chunks`` are the database's precomposed response
         records (cache hits are O(segments), no per-blob work)."""
         next_index, count, chunks, more = self.database.wire_from(
-            from_index, self._clamp_page(max_count)
+            self._checked_index(from_index), self._clamp_page(max_count)
         )
         self._counters.gets_served.add()
         self._counters.signatures_served.add(count)

@@ -35,6 +35,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.server.protocol import (
     MAX_FRAME,
     decode_add_signature,
+    decode_get_args,
     decode_request,
     get_page_response_parts,
     get_response_parts,
@@ -506,23 +507,13 @@ class ServerTransport:
                 }
             )
         if op == "GET":
-            try:
-                from_index = int(request.get("from_index", 0))
-            except (TypeError, ValueError) as exc:
-                raise ProtocolError("GET from_index must be an integer") from exc
-            raw_max = request.get("max_count")
-            if raw_max is None:
+            from_index, max_count = decode_get_args(request)
+            if max_count is None:
                 # Legacy unpaginated GET: the whole tail in one frame.
                 next_index, count, chunks, _ = self._server.process_get_wire(
                     from_index
                 )
                 return get_response_parts(next_index, count, chunks)
-            try:
-                max_count = int(raw_max)
-            except (TypeError, ValueError) as exc:
-                raise ProtocolError("GET max_count must be an integer") from exc
-            if max_count < 0:
-                raise ProtocolError("GET max_count must be non-negative")
             next_index, count, chunks, more = self._server.process_get_wire(
                 from_index, max_count
             )

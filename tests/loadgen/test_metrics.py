@@ -1,0 +1,82 @@
+"""Latency histograms and collector merging."""
+
+import pytest
+
+from repro.loadgen.metrics import LatencyHistogram, Metrics
+
+
+class TestLatencyHistogram:
+    def test_totals_are_exact(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 1001):
+            histogram.record(i / 1000.0)
+        assert histogram.count == 1000
+        assert histogram.total == pytest.approx(sum(range(1, 1001)) / 1000.0)
+
+    def test_percentiles_within_bucket_resolution(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 1001):
+            histogram.record(i / 1000.0)  # 1ms .. 1s uniform
+        # Geometric buckets grow by 2**0.25 (~19%); the reported value is
+        # the bucket's upper bound, so it is within one growth factor.
+        assert 0.5 <= histogram.percentile(50) <= 0.5 * 2 ** 0.25
+        assert 0.95 <= histogram.percentile(95) <= 0.95 * 2 ** 0.25
+        assert histogram.percentile(99) <= histogram.max
+        assert histogram.percentile(100) == histogram.max
+
+    def test_single_sample(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.25)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["p50_ms"] == summary["p99_ms"] == summary["max_ms"]
+
+    def test_extremes_clamp_to_terminal_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.0)       # below resolution
+        histogram.record(10_000.0)  # beyond the last bucket
+        assert histogram.count == 2
+        assert histogram.percentile(99) <= histogram.max
+
+    def test_merge_adds_counts(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for i in range(100):
+            a.record(0.001 * (i + 1))
+            b.record(0.010 * (i + 1))
+        merged = LatencyHistogram()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.count == 200
+        assert merged.min == a.min
+        assert merged.max == b.max
+
+
+class TestMetrics:
+    def test_every_op_lands_in_exactly_one_place(self):
+        metrics = Metrics(epoch=0.0)
+        for _ in range(5):
+            metrics.record("add", 0.01, now=1.0)
+        metrics.record_error("add")
+        snapshot = Metrics.merge([metrics])
+        assert snapshot.count("add") == 5
+        assert snapshot.errors == {"add": 1}
+        assert snapshot.completed == 5
+        assert snapshot.error_count == 1
+
+    def test_merge_across_shards(self):
+        shards = [Metrics(epoch=0.0) for _ in range(3)]
+        for i, shard in enumerate(shards):
+            for _ in range(10 * (i + 1)):
+                shard.record("get_page", 0.002, now=float(i))
+        snapshot = Metrics.merge(shards)
+        assert snapshot.count("get_page") == 60
+        assert sum(snapshot.series.values()) == 60
+        assert snapshot.series == {0: 10, 1: 20, 2: 30}
+
+    def test_to_dict_is_json_shaped(self):
+        metrics = Metrics(epoch=0.0)
+        metrics.record("add", 0.004, now=0.5)
+        payload = Metrics.merge([metrics]).to_dict()
+        assert payload["completed"] == 1
+        assert payload["ops"]["add"]["count"] == 1
+        assert payload["throughput_series"] == {"0": 1}

@@ -131,7 +131,7 @@ class TestDatabasePaging:
         db = SignatureDatabase(segment_size=4)
         fill(db, shared_factory, 2)
         next_index, count, chunks, more = db.wire_from(50, 10)
-        assert (next_index, count, chunks, more) == (2, 0, [], False)
+        assert (next_index, count, tuple(chunks), more) == (2, 0, (), False)
 
 
 @pytest.fixture
