@@ -6,54 +6,81 @@ random signature; the server validates every ADD (encrypted id, quota,
 adjacency).  Reported: requests/second versus the number of simultaneous
 sequences.  Paper shape: scales to ~30k sequences, peaking at ~9,000 req/s.
 
-Scaling substitution: the seed ran this 1:100 (10..1,000 OS threads — the
-thread-per-connection ceiling).  The ``repro.loadgen`` swarm multiplexes
-simulated clients over a few event loops, so the sweep now runs **1:10 —
-up to 10,000 concurrent clients in a single swarm process** — against a
-server child process (see ``swarm_common`` for the FD arithmetic), over
-real loopback TCP.
+Scaling substitution, in three tiers:
 
-Every client connects, obtains a token (untimed setup, as the paper's
-load generator pre-issues ids), parks at a start barrier, and on release
-performs the timed ``ADD(sig), GET(page)`` sequence.  Requests/second and
-p50/p95/p99 latency per op land in ``BENCH_fig2_swarm.json``.
+* **Single-process sweep** (1:10, up to 10,000 clients): one
+  ``repro.loadgen`` swarm process over loopback TCP against a server
+  child — PR 2's configuration, kept for series continuity.
+* **Federated sweep** (1:5, up to 20,000 *concurrently-held* clients):
+  the 20k-FD per-process cap makes one swarm process top out near 10k
+  sockets, so ``repro.loadgen.federation`` shards the swarm across worker
+  processes — each with its own FD budget — over a **UNIX-socket**
+  endpoint, barrier-released together, histograms merged by the
+  coordinator.  At the top point the *server* itself sits at its FD
+  ceiling: the last few dozen connections wait in the listen backlog
+  (established from the client's side, so they are really held) until
+  early finishers free descriptors.  Because clients park before token
+  issuance, the timed window covers the full ``ISSUE_ID, ADD, GET(page)``
+  session of every client.
+* **Rolling cohort** (the paper's full 100k x-axis, approximated):
+  ``waves`` disjoint cohorts of clients cycle through the federated
+  swarm — 100,000 distinct client sessions total, concurrency bounded by
+  one wave — merged into a single throughput/latency point.
 
-Set ``COMMUNIX_BENCH_SMOKE=1`` for a CI-sized run.
+Requests/second and merged p50/p95/p99 land in ``BENCH_fig2_swarm.json``
+(``BENCH_fig2_swarm.smoke.json`` under ``COMMUNIX_BENCH_SMOKE=1`` — smoke
+runs never overwrite the full series).
 """
 
 from __future__ import annotations
 
 import json
 import os
-from pathlib import Path
 
 import pytest
 
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import bench_json_path, write_artifact
 from benchmarks.swarm_common import swarm_server, wait_for_barrier
 from repro.loadgen.engine import SwarmEngine
-from repro.loadgen.scenarios import OP_ADD, OP_GET_PAGE, SteadyState
+from repro.loadgen.federation import federated_run
+from repro.loadgen.scenarios import (
+    OP_ADD,
+    OP_GET_PAGE,
+    OP_ISSUE_ID,
+    SteadyState,
+)
 #: Re-exported for the other benchmarks that import it from here.
 from repro.loadgen.signatures import random_signature  # noqa: F401
 from repro.loadgen.signatures import random_signature_blobs
 
 SMOKE = os.environ.get("COMMUNIX_BENCH_SMOKE") == "1"
-#: 1:10 scale of the paper's 1k..100k sweep (the seed managed 1:100).
+#: 1:10 scale of the paper's 1k..100k sweep in one swarm process.
 SWEEP = (50, 200) if SMOKE else (100, 1000, 2000, 5000, 10000)
+#: Federated (procs, clients) points over a UNIX socket: past one
+#: process's FD budget, up to the *server's* own 20k-FD ceiling.
+FED_SWEEP = ((2, 100),) if SMOKE else ((2, 14000), (2, 20000))
+#: Rolling cohort (procs, clients_per_wave, waves): distinct sessions =
+#: clients_per_wave x waves — 100k in the full run.
+ROLLING = (2, 60, 2) if SMOKE else (2, 10000, 10)
 PAGE_SIZE = 256
 LOOPS = 2
 
-_REPO_ROOT = Path(__file__).resolve().parent.parent
 _series: dict[int, dict] = {}
+_fed_series: list[dict] = []
+_rolling: dict = {}
+
+
+def _sock_path(tag: str) -> str:
+    return f"/tmp/communix-fig2-{tag}-{os.getpid()}.sock"
 
 
 def run_point(n_clients: int) -> dict:
-    """One sweep point: n swarm clients x (ADD, GET page); timed after the
-    connect-and-token ramp, behind a start barrier."""
+    """One single-process sweep point: n swarm clients x (ADD, GET page);
+    timed after the connect-and-token ramp, behind a start barrier."""
     blobs = random_signature_blobs(n_clients, seed=n_clients)
-    with swarm_server() as (host, port):
+    with swarm_server() as endpoint:
         engine = SwarmEngine(
-            host, port, loops=LOOPS, connect_burst=512, connect_timeout=60.0
+            endpoint, loops=LOOPS, connect_burst=512, connect_timeout=60.0
         )
         engine.add_clients(
             SteadyState([blob], page_size=PAGE_SIZE, park_after_setup=True)
@@ -88,24 +115,102 @@ def run_point(n_clients: int) -> dict:
     }
 
 
+def run_federated_point(procs: int, n_clients: int,
+                        waves: int = 1) -> dict:
+    """One federated point: ``n_clients`` split over ``procs`` worker
+    processes against a UNIX-socket server child; every client parks at
+    the cross-process barrier, then runs ``ISSUE_ID, ADD, GET(page)``."""
+    timeout = max(180.0, n_clients * waves * 0.05)
+    with swarm_server(addr=f"unix://{_sock_path(f'{procs}x{n_clients}')}",
+                      backlog=4096) as endpoint:
+        report = federated_run(
+            connect=endpoint.url(), procs=procs, clients=n_clients,
+            scenario="steady", rounds=1, page_size=PAGE_SIZE, loops=LOOPS,
+            connect_burst=512, timeout=timeout, seed=n_clients, waves=waves,
+        )
+    assert report.ok, report.failures
+    assert report.snapshot.errors == {}, report.snapshot.errors
+    assert report.held_peak >= n_clients
+    snapshot = report.snapshot
+    point = {
+        "clients": n_clients,
+        "procs": procs,
+        "transport": "unix",
+        "held_simultaneously": report.held_peak,
+        "timed_requests": snapshot.completed,
+        "elapsed_s": round(report.elapsed_s, 3),
+        "requests_per_second": report.requests_per_s,
+        "issue_id": snapshot.histograms[OP_ISSUE_ID].summary(),
+        "add": snapshot.histograms[OP_ADD].summary(),
+        "get_page": snapshot.histograms[OP_GET_PAGE].summary(),
+        "per_worker": [
+            {"clients": w.clients, "held": w.held, "elapsed_s": w.elapsed_s}
+            for w in report.workers
+        ],
+    }
+    if waves > 1:
+        point.update({
+            "mode": "rolling_cohort",
+            "waves": waves,
+            "clients_per_wave": n_clients,
+            "distinct_sessions": report.distinct_sessions,
+        })
+    return point
+
+
 @pytest.mark.parametrize("n_clients", SWEEP)
 def test_fig2_swarm_throughput(benchmark, n_clients, results_dir):
     point = benchmark.pedantic(
         run_point, args=(n_clients,), rounds=1, iterations=1
     )
     _series[n_clients] = point
+    # Rewrite the artifacts after every point: a later point failing (or
+    # a partial run) must not discard the sweep data measured so far.
+    _write_results(results_dir)
     benchmark.extra_info.update(
         {k: v for k, v in point.items() if not isinstance(v, dict)}
     )
     assert point["requests_per_second"] > 0
     assert point["held_simultaneously"] >= n_clients
-    if n_clients == SWEEP[-1]:
-        _write_results(results_dir)
+
+
+@pytest.mark.parametrize("procs,n_clients", FED_SWEEP)
+def test_fig2_federated_swarm(benchmark, procs, n_clients, results_dir):
+    point = benchmark.pedantic(
+        run_federated_point, args=(procs, n_clients), rounds=1, iterations=1
+    )
+    _fed_series.append(point)
+    _write_results(results_dir)
+    benchmark.extra_info.update(
+        {k: v for k, v in point.items()
+         if not isinstance(v, (dict, list))}
+    )
+    assert point["requests_per_second"] > 0
+    assert point["held_simultaneously"] >= n_clients
+
+
+def test_fig2_rolling_cohort(benchmark, results_dir):
+    """100k distinct client sessions cycled through the federated swarm
+    in disjoint waves (concurrency = one wave's clients)."""
+    procs, per_wave, waves = ROLLING
+    point = benchmark.pedantic(
+        run_federated_point, args=(procs, per_wave), kwargs={"waves": waves},
+        rounds=1, iterations=1,
+    )
+    _rolling.update(point)
+    _write_results(results_dir)
+    benchmark.extra_info.update(
+        {k: v for k, v in point.items()
+         if not isinstance(v, (dict, list))}
+    )
+    assert point["distinct_sessions"] == per_wave * waves
+    assert point["requests_per_second"] > 0
 
 
 def _write_results(results_dir) -> None:
     lines = [
-        "Figure 2 — Communix server throughput (swarm-driven, scaled 1:10)",
+        "Figure 2 — Communix server throughput (swarm-driven)",
+        "single swarm process, loopback TCP (1:10 of the paper's range):",
         "clients  paper_scale  req/s  add_p50/p95/p99_ms  get_p50/p95/p99_ms",
     ]
     for n in SWEEP:
@@ -118,20 +223,48 @@ def _write_results(results_dir) -> None:
             f"{add['p50_ms']:.0f}/{add['p95_ms']:.0f}/{add['p99_ms']:.0f}"
             f"{'':6}{get['p50_ms']:.0f}/{get['p95_ms']:.0f}/{get['p99_ms']:.0f}"
         )
-    peak = max(p["requests_per_second"] for p in _series.values())
-    lines.append(
-        f"peak requests/second: {peak:.0f} "
-        "(paper: ~9,000 on 8-core Xeon; this run: 1-core CPython, "
-        "swarm and server sharing it)"
-    )
+    lines.append("")
+    lines.append("federated swarm, UNIX socket (procs x clients; timed window"
+                 " includes ISSUE_ID):")
+    lines.append("held    procs  req/s  add_p50/p95/p99_ms  get_p50/p95/p99_ms")
+    for point in _fed_series:
+        add, get = point["add"], point["get_page"]
+        lines.append(
+            f"{point['held_simultaneously']:6d}  {point['procs']:5d}  "
+            f"{point['requests_per_second']:8.0f}  "
+            f"{add['p50_ms']:.0f}/{add['p95_ms']:.0f}/{add['p99_ms']:.0f}"
+            f"{'':6}{get['p50_ms']:.0f}/{get['p95_ms']:.0f}/{get['p99_ms']:.0f}"
+        )
+    if _rolling:
+        lines.append("")
+        lines.append(
+            f"rolling cohort: {_rolling['distinct_sessions']} distinct "
+            f"client sessions in {_rolling['waves']} waves of "
+            f"{_rolling['clients_per_wave']} "
+            f"({_rolling['requests_per_second']:.0f} req/s over the "
+            f"{_rolling['elapsed_s']:.0f}s active window)"
+        )
+    peaks = [p["requests_per_second"] for p in _series.values()]
+    peaks += [p["requests_per_second"] for p in _fed_series]
+    if _rolling:
+        peaks.append(_rolling["requests_per_second"])
+    if peaks:
+        lines.append(
+            f"peak requests/second: {max(peaks):.0f} "
+            "(paper: ~9,000 on 8-core Xeon; this run: 1-core CPython, "
+            "swarm and server sharing it)"
+        )
     write_artifact(results_dir, "fig2_swarm.txt", lines)
     payload = {
         "benchmark": "fig2_swarm",
         "smoke": SMOKE,
-        "scale": "1:10",
+        "scale": "1:10 single-process, 1:5 federated, 1:1 rolling-cohort "
+                 "sessions",
         "page_size": PAGE_SIZE,
         "swarm_loops": LOOPS,
         "points": [_series[n] for n in SWEEP if n in _series],
+        "federated_points": list(_fed_series),
+        "rolling_cohort": dict(_rolling),
     }
-    out = _REPO_ROOT / "BENCH_fig2_swarm.json"
+    out = bench_json_path("BENCH_fig2_swarm")
     out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -32,7 +32,7 @@ from pathlib import Path
 import pytest
 
 from benchmarks.bench_fig2_server_throughput import random_signature
-from benchmarks.conftest import write_artifact
+from benchmarks.conftest import bench_json_path, write_artifact
 from repro.client.endpoints import TcpEndpoint
 from repro.crypto.userid import UserIdAuthority
 from repro.server.database import SignatureDatabase
@@ -220,5 +220,5 @@ def test_write_results(results_dir):
         "smoke": SMOKE,
         **_results,
     }
-    out = _REPO_ROOT / "BENCH_get_scaling.json"
+    out = bench_json_path("BENCH_get_scaling")
     out.write_text(json.dumps(payload, indent=2) + "\n")

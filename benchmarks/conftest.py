@@ -5,20 +5,43 @@ writes a paper-style text artifact into ``benchmarks/results/`` (so the
 series survive the run) *and* registers with pytest-benchmark for timing
 stats.  Absolute numbers are not expected to match the paper (pure-Python
 substrate, scaled thread counts); EXPERIMENTS.md records the shape checks.
+
+Smoke runs (``COMMUNIX_BENCH_SMOKE=1``) write ``*.smoke`` artifacts —
+``BENCH_foo.smoke.json``, ``results/foo.smoke.txt`` — so a CI-sized run
+never clobbers the committed full-run series.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
-_SRC = Path(__file__).resolve().parent.parent / "src"
+_SRC = REPO_ROOT / "src"
 if str(_SRC) not in sys.path:  # allow running without installation
     sys.path.insert(0, str(_SRC))
+
+SMOKE = os.environ.get("COMMUNIX_BENCH_SMOKE") == "1"
+
+
+def artifact_name(name: str) -> str:
+    """``foo.txt`` → ``foo.smoke.txt`` under COMMUNIX_BENCH_SMOKE."""
+    if not SMOKE:
+        return name
+    stem, dot, ext = name.rpartition(".")
+    return f"{stem}.smoke.{ext}" if dot else f"{name}.smoke"
+
+
+def bench_json_path(stem: str) -> Path:
+    """Repo-root path for a ``BENCH_*.json`` artifact; smoke runs get
+    ``BENCH_*.smoke.json`` so they never overwrite the full-run series."""
+    suffix = ".smoke.json" if SMOKE else ".json"
+    return REPO_ROOT / f"{stem}{suffix}"
 
 
 @pytest.fixture(scope="session")
@@ -29,7 +52,7 @@ def results_dir() -> Path:
 
 def write_artifact(results_dir: Path, name: str, lines: list[str]) -> Path:
     """Write a paper-style table/series artifact and echo it to stdout."""
-    path = results_dir / name
+    path = results_dir / artifact_name(name)
     text = "\n".join(lines) + "\n"
     path.write_text(text)
     sys.stdout.write("\n" + text)

@@ -4,7 +4,10 @@ The big sweeps put the server in a **child process** (mirroring the
 paper's server-on-one-machine / clients-on-another setup) for an FD
 reason too: this container caps a process at 20,000 descriptors, and a
 10,000-client point needs ~10k sockets on *each* side of the loopback —
-they only fit if the two sides are separate processes.
+they only fit if the two sides are separate processes.  The federated
+sweeps go one step further and split the client side over several worker
+processes (see :mod:`repro.loadgen.federation`), with the server child on
+a ``unix://`` endpoint to skip loopback-TCP overhead.
 """
 
 from __future__ import annotations
@@ -18,6 +21,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro.net import Endpoint, parse_endpoint
+
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 _SRC = _REPO_ROOT / "src"
 
@@ -25,16 +30,20 @@ _SRC = _REPO_ROOT / "src"
 @contextlib.contextmanager
 def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
                  backlog: int = 4096, workers: int = 4,
-                 startup_timeout: float = 30.0):
-    """A ``python -m repro.server`` child; yields ``(host, port)``."""
+                 startup_timeout: float = 30.0, addr: str | None = None):
+    """A ``python -m repro.server`` child; yields its bound
+    :class:`~repro.net.Endpoint` (``tcp://127.0.0.1:0`` by default, or any
+    ``addr`` endpoint URL such as ``unix:///tmp/x.sock``)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(_SRC) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    address_args = (["--addr", addr] if addr
+                    else ["--host", "127.0.0.1", "--port", "0"])
     proc = subprocess.Popen(
         [
             sys.executable, "-u", "-m", "repro.server",
-            "--host", "127.0.0.1", "--port", "0",
+            *address_args,
             "--quota-per-day", str(quota_per_day),
             "--idle-timeout", str(idle_timeout),
             "--backlog", str(backlog),
@@ -61,13 +70,12 @@ def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
                     raise RuntimeError("server process exited during startup")
                 continue
             line = proc.stdout.readline()
-            if "listening on" in line:
+            if line.startswith("communix-server listening on"):
                 break
             if not line and proc.poll() is not None:
                 raise RuntimeError("server process exited during startup")
         address = line.split("listening on", 1)[1].split()[0]
-        host, _, port = address.rpartition(":")
-        yield host, int(port)
+        yield parse_endpoint(address)
     finally:
         if proc.poll() is None:
             proc.send_signal(signal.SIGTERM)
@@ -81,11 +89,4 @@ def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
 
 def wait_for_barrier(engine, expected: int, timeout: float) -> None:
     """Block until every live client is parked at the start barrier."""
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if engine.parked_count + engine.finished_count >= expected:
-            return
-        time.sleep(0.05)
-    raise TimeoutError(
-        f"only {engine.parked_count}/{expected} clients reached the barrier"
-    )
+    engine.wait_barrier(expected, timeout=timeout)

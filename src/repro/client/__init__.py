@@ -6,17 +6,25 @@ once a day ("a high frequency would overload the Communix server"); updates
 are incremental — only signatures the repository does not yet have are
 requested.
 
-:class:`TcpEndpoint` talks to a real :class:`ServerTransport`;
-:class:`InProcessEndpoint` invokes a server's request-processing routines
-directly (the Fig. 2 configuration, also convenient in tests).
+:class:`SocketEndpoint` talks to a real :class:`ServerTransport` over TCP
+or a UNIX-domain socket (:class:`TcpEndpoint` is its historical
+``(host, port)`` spelling); :class:`InProcessEndpoint` invokes a server's
+request-processing routines directly (the Fig. 2 configuration, also
+convenient in tests).
 """
 
 from repro.client.client import CommunixClient
-from repro.client.endpoints import InProcessEndpoint, ServerEndpoint, TcpEndpoint
+from repro.client.endpoints import (
+    InProcessEndpoint,
+    ServerEndpoint,
+    SocketEndpoint,
+    TcpEndpoint,
+)
 
 __all__ = [
     "CommunixClient",
     "InProcessEndpoint",
     "ServerEndpoint",
+    "SocketEndpoint",
     "TcpEndpoint",
 ]

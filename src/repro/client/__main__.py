@@ -2,8 +2,11 @@
 
 Usage::
 
-    python -m repro.client --server HOST:PORT [--repository PATH]
+    python -m repro.client --server tcp://HOST:PORT [--repository PATH]
         [--period-seconds 86400] [--once]
+
+``--server`` accepts any endpoint URL (``tcp://host:port``,
+``unix:///path``) or the legacy bare ``HOST:PORT``.
 
 The daemon downloads new signatures from the server into the machine-local
 repository (incrementally — only what is missing), once per period; the
@@ -18,8 +21,9 @@ import signal
 import threading
 
 from repro.client.client import CommunixClient, DEFAULT_PERIOD
-from repro.client.endpoints import TcpEndpoint
+from repro.client.endpoints import SocketEndpoint
 from repro.core.repository import LocalRepository
+from repro.net import EndpointError
 from repro.util.logging import enable_console_logging
 
 
@@ -28,7 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.client",
         description="Communix signature-download daemon",
     )
-    parser.add_argument("--server", required=True, metavar="HOST:PORT")
+    parser.add_argument(
+        "--server", required=True, metavar="URL",
+        help="server endpoint: tcp://HOST:PORT, unix:///PATH, or HOST:PORT",
+    )
     parser.add_argument(
         "--repository", default="communix-repository.json",
         help="local repository file (created if missing)",
@@ -47,10 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     enable_console_logging()
-    host, _, port_text = args.server.rpartition(":")
-    if not host or not port_text.isdigit():
-        raise SystemExit(f"--server must be HOST:PORT, got {args.server!r}")
-    endpoint = TcpEndpoint(host, int(port_text))
+    try:
+        endpoint = SocketEndpoint(args.server)
+    except EndpointError as exc:
+        raise SystemExit(f"--server: {exc}")
     repository = LocalRepository(path=args.repository)
     client = CommunixClient(
         endpoint=endpoint, repository=repository, period=args.period_seconds

@@ -1,11 +1,17 @@
 """Server endpoints: how client-side components reach the Communix server.
 
-Both endpoints expose the same calls (the :class:`ServerEndpoint`
+All endpoints expose the same calls (the :class:`ServerEndpoint`
 protocol): ``add(blob, token)``, ``get(from_index)``,
 ``get_page(from_index, max_count)`` and ``issue_token()``.  ``get`` is the
 legacy unpaginated download (the whole tail in one response); ``get_page``
 is the paginated form the client daemon loops over, bounded per response
 by ``max_count`` and resumable via the returned ``more`` flag.
+
+Addressing goes through :mod:`repro.net`: :class:`SocketEndpoint` takes
+any endpoint URL (``tcp://host:port``, ``unix:///path``, legacy
+``host:port``) and speaks the same framed protocol over either family;
+:class:`TcpEndpoint` remains as the historical ``(host, port)``
+constructor.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import socket
 import threading
 from typing import Protocol
 
+from repro.net import dial, parse_endpoint, tcp_endpoint
 from repro.server.protocol import (
     decode_get_page,
     decode_get_response,
@@ -62,29 +69,33 @@ class InProcessEndpoint:
         return self._server.issue_user_token()
 
 
-class TcpEndpoint:
-    """A persistent client connection to a :class:`ServerTransport`.
+class SocketEndpoint:
+    """A persistent client connection to a :class:`ServerTransport`,
+    over TCP or a UNIX-domain socket.
 
     Thread-safe by serializing requests on the single connection; separate
     client threads should each own their endpoint (as the Fig. 3 benchmark
     threads do) to get connection-level parallelism.
     """
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 5.0,
+    def __init__(self, target, connect_timeout: float = 5.0,
                  io_timeout: float = 30.0):
-        self._host = host
-        self._port = port
+        """``target`` is an endpoint URL, legacy ``host:port`` string,
+        ``(host, port)`` tuple, or :class:`repro.net.Endpoint`."""
+        self._endpoint = parse_endpoint(target)
         self._connect_timeout = connect_timeout
         self._io_timeout = io_timeout
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
 
+    @property
+    def endpoint(self):
+        return self._endpoint
+
     # ---------------------------------------------------------- connection
     def _connection(self) -> socket.socket:
         if self._sock is None:
-            sock = socket.create_connection(
-                (self._host, self._port), timeout=self._connect_timeout
-            )
+            sock = dial(self._endpoint, timeout=self._connect_timeout)
             sock.settimeout(self._io_timeout)
             self._sock = sock
         return self._sock
@@ -156,3 +167,13 @@ class TcpEndpoint:
         if not decoded.get("ok"):
             raise ProtocolError("server refused to issue a token")
         return str(decoded["token"])
+
+
+class TcpEndpoint(SocketEndpoint):
+    """Historical ``(host, port)`` constructor for a TCP connection."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0,
+                 io_timeout: float = 30.0):
+        super().__init__(tcp_endpoint(host, port),
+                         connect_timeout=connect_timeout,
+                         io_timeout=io_timeout)

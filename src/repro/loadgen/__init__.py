@@ -18,7 +18,13 @@ Command line: ``python -m repro.loadgen --help``.
 """
 
 from repro.loadgen.engine import SwarmEngine
-from repro.loadgen.metrics import LatencyHistogram, Metrics, MetricsSnapshot
+from repro.loadgen.federation import FederationReport, federated_run
+from repro.loadgen.metrics import (
+    LatencyHistogram,
+    Metrics,
+    MetricsSnapshot,
+    merge_snapshots,
+)
 from repro.loadgen.scenarios import (
     AdjacentSpam,
     Churn,
@@ -41,6 +47,7 @@ __all__ = [
     "AdjacentSpam",
     "Churn",
     "ColdSync",
+    "FederationReport",
     "ForgedTokens",
     "LatencyHistogram",
     "Metrics",
@@ -55,6 +62,8 @@ __all__ = [
     "Stop",
     "SwarmEngine",
     "build_mix",
+    "federated_run",
     "make_scenario",
+    "merge_snapshots",
     "parse_mix",
 ]

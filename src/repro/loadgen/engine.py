@@ -37,6 +37,7 @@ import threading
 import time
 
 from repro.loadgen.metrics import Metrics, MetricsSnapshot
+from repro.net import create_dial_socket, parse_endpoint, tcp_endpoint
 from repro.loadgen.scenarios import (
     Action,
     ClientContext,
@@ -164,11 +165,19 @@ class _Shard:
             client = self.backlog.popleft()
             if client.state is _DONE:
                 continue
-            self._dial(client)
+            if not self._dial(client):
+                # The server's listen backlog is full; every further dial
+                # this tick would fail the same way.  Requeue and let the
+                # next tick retry, so a saturated server sees one probe
+                # per shard tick instead of a socket-churn storm.
+                self.backlog.appendleft(client)
+                return
 
-    def _dial(self, client: _Client) -> None:
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setblocking(False)
+    def _dial(self, client: _Client) -> bool:
+        """Start a non-blocking connect; False if the server's listen
+        backlog is full (UNIX EAGAIN) and the dial should be retried."""
+        endpoint = self.engine.endpoint
+        sock = create_dial_socket(endpoint)
         client.sock = sock
         client.fd = sock.fileno()
         client.gen += 1
@@ -176,7 +185,13 @@ class _Shard:
         client.outbuf = b""
         client.outpos = 0
         client.awaiting = False
-        rc = sock.connect_ex(self.engine.address)
+        rc = sock.connect_ex(endpoint.sockaddr())
+        if endpoint.is_unix and rc == errno.EAGAIN:
+            # UNIX connect has no asynchronous mode: EAGAIN means the
+            # server's listen backlog is momentarily full.  Back off and
+            # redial instead of treating it as an in-flight connect.
+            self._drop_socket(client)
+            return False
         if rc == 0 or rc in _IN_PROGRESS:
             client.state = _CONNECTING
             self.connecting += 1
@@ -184,10 +199,11 @@ class _Shard:
             self.selector.register(sock, selectors.EVENT_WRITE, client)
             self._schedule(client, "connect_timeout",
                            self.engine.connect_timeout, gen=client.gen)
-            return
+            return True
         self._drop_socket(client)
         self._client_error(client, None, OSError(rc, "connect failed"),
                            label="connect")
+        return True
 
     def _finish_connect(self, client: _Client) -> None:
         self.connecting -= 1
@@ -459,11 +475,17 @@ class _Shard:
 class SwarmEngine:
     """Owns the shards, the start barrier, and the merged metrics."""
 
-    def __init__(self, host: str, port: int, *, loops: int = 2,
+    def __init__(self, target, port: int | None = None, *, loops: int = 2,
                  connect_burst: int = 128, connect_timeout: float = 20.0):
+        """``target`` is an endpoint URL / :class:`repro.net.Endpoint`; the
+        historical ``SwarmEngine(host, port)`` form still works."""
         if loops < 1:
             raise ValueError("loops must be positive")
-        self.address = (host, port)
+        if port is not None:
+            self.endpoint = tcp_endpoint(target, port)
+        else:
+            self.endpoint = parse_endpoint(target)
+        self.address = self.endpoint.sockaddr()
         self.connect_burst = max(1, connect_burst)
         self.connect_timeout = connect_timeout
         self.epoch = time.monotonic()
@@ -499,8 +521,8 @@ class SwarmEngine:
             return
         for shard in self._shards:
             shard.start()
-        log.info("swarm started: %d clients on %d loops -> %s:%d",
-                 len(self._scenarios), len(self._shards), *self.address)
+        log.info("swarm started: %d clients on %d loops -> %s",
+                 len(self._scenarios), len(self._shards), self.endpoint)
 
     def release(self) -> float:
         """Open the start barrier for parked clients; returns the release
@@ -512,6 +534,21 @@ class SwarmEngine:
     def wait(self, timeout: float | None = None) -> bool:
         """Block until every client finished; False on timeout."""
         return self._done_event.wait(timeout)
+
+    def wait_barrier(self, expected: int | None = None,
+                     timeout: float = 60.0) -> int:
+        """Block until ``expected`` clients (default: all of them) are
+        parked at the start barrier or already finished; returns the
+        number parked.  Raises :class:`TimeoutError` otherwise."""
+        expected = len(self._scenarios) if expected is None else expected
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.parked_count + self.finished_count >= expected:
+                return self.parked_count
+            time.sleep(0.05)
+        raise TimeoutError(
+            f"only {self.parked_count}/{expected} clients reached the barrier"
+        )
 
     def stop(self) -> None:
         """Join the shards and close every remaining socket and selector."""
@@ -571,7 +608,14 @@ class SwarmEngine:
 
     @property
     def parked_count(self) -> int:
-        return sum(len(shard.parked) for shard in self._shards)
+        # A parked client that subsequently died (reset, idle-reaped)
+        # stays in the shard's parked list until release but is no longer
+        # _PARKED — counting it would double-count against finished_count
+        # and open the barrier early.
+        return sum(
+            sum(1 for client in shard.parked if client.state is _PARKED)
+            for shard in self._shards
+        )
 
     @property
     def scenarios(self) -> list[Scenario]:

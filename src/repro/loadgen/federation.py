@@ -1,0 +1,459 @@
+"""Federated swarm: one coordinator, N worker processes, one report.
+
+A single swarm process tops out around 10k simulated clients: the
+container caps every process at 20,000 file descriptors and each held
+client costs one socket.  Federation shards the swarm across worker
+*processes*, each with its own FD budget, and keeps the benchmark
+semantics of the single-process engine:
+
+* the coordinator forks ``procs`` workers (``python -m repro.loadgen
+  --worker``), each running its share of the clients against the same
+  server endpoint (UNIX-socket transport for the big sweeps);
+* every worker ramps up and parks its clients at the engine's start
+  barrier, then reports ``ready`` on its stdout control channel;
+* once *all* workers are ready the coordinator writes ``release`` to
+  every worker's stdin — the whole federation starts its timed window
+  together (the same Park/release contract the in-process barrier has);
+* each worker streams back a ``result`` event carrying its merged metrics
+  snapshot in full-fidelity wire form (raw histogram buckets), and the
+  coordinator folds them with :func:`repro.loadgen.metrics.merge_snapshots`
+  — merged percentiles equal percentiles of the pooled samples.
+
+**Rolling cohorts** (``waves > 1``) rerun the spawn/park/release cycle
+with fresh worker processes and fresh scenario seeds per wave: every wave
+is a disjoint cohort of client identities (each session obtains its own
+server-issued token), so ``waves x clients`` distinct client sessions
+cycle through the sweep while concurrency stays bounded by one wave —
+how the Fig. 2 benchmark approximates the paper's 100k-client x-axis on
+a 20k-FD box.
+
+Control protocol (line-delimited JSON on the worker's stdout, bare
+commands on its stdin)::
+
+    worker  → {"event": "ready", "parked": N, "connected": N, ...}
+    coord   → release\\n
+    worker  → {"event": "result", "ok": true, "snapshot": {...}, ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.loadgen.metrics import MetricsSnapshot, merge_snapshots
+from repro.util.logging import get_logger
+
+log = get_logger("loadgen.federation")
+
+#: Directory to put on the workers' PYTHONPATH (wherever this ``repro``
+#: package was imported from, so coordinator and workers run the same code
+#: even without an installed package).
+_SRC_ROOT = str(Path(__file__).resolve().parent.parent.parent)
+
+_RELEASE = "release"
+#: Grace beyond the run timeout before a worker process is killed.
+_REAP_GRACE = 10.0
+
+
+def _emit(stream, payload: dict) -> None:
+    stream.write(json.dumps(payload, sort_keys=True) + "\n")
+    stream.flush()
+
+
+# --------------------------------------------------------------- worker side
+def worker_main(args) -> int:
+    """``python -m repro.loadgen --worker``: one federation worker.
+
+    Builds its scenario mix with the barrier enabled (every client parks
+    right after connecting), reports ``ready``, waits for ``release`` on
+    stdin, runs, and emits one ``result`` line.  Exit status mirrors the
+    result's ``ok``.
+    """
+    from repro.loadgen.engine import SwarmEngine
+    from repro.loadgen.scenarios import build_mix
+
+    out = sys.stdout
+    scenarios = build_mix(args.scenario_spec, args.clients, seed=args.seed,
+                          rounds=args.rounds, page_size=args.page_size,
+                          park=True)
+    engine = SwarmEngine(args.connect, loops=args.loops,
+                         connect_burst=args.connect_burst)
+    engine.add_clients(scenarios)
+    engine.start()
+    released_at = None
+    try:
+        try:
+            engine.wait_barrier(timeout=args.timeout)
+        except TimeoutError as exc:
+            _emit(out, {"event": "abort", "reason": str(exc)})
+            return 1
+        held = engine.connected_count
+        _emit(out, {
+            "event": "ready",
+            "parked": engine.parked_count,
+            "connected": held,
+            "finished": engine.finished_count,
+        })
+        command = sys.stdin.readline()
+        if command.strip() != _RELEASE:
+            _emit(out, {"event": "abort",
+                        "reason": f"expected release, got {command!r}"})
+            return 1
+        released_at = engine.release()
+        finished = engine.wait(timeout=args.timeout)
+    finally:
+        engine.stop()
+    completed_at = engine.completed_at or time.monotonic()
+    snapshot = engine.snapshot()
+    snapshot.rebase_series(int(released_at - engine.epoch))
+    aborted = sum(1 for scenario in scenarios if scenario.failed)
+    result = {
+        "event": "result",
+        "ok": bool(finished and not engine.crashed and not aborted
+                   and not snapshot.error_count),
+        "clients": engine.client_count,
+        "finished": engine.finished_count,
+        "held": held,
+        "elapsed_s": round(max(0.0, completed_at - released_at), 3),
+        "issued": engine.issued(),
+        "errors": snapshot.error_count,
+        "aborted": aborted,
+        "crashed": engine.crashed,
+        "timed_out": not finished,
+        "snapshot": snapshot.to_wire(),
+    }
+    _emit(out, result)
+    return 0 if result["ok"] else 1
+
+
+# ---------------------------------------------------------- coordinator side
+@dataclass
+class WorkerResult:
+    """One worker's contribution to a wave."""
+
+    index: int
+    ok: bool = False
+    clients: int = 0
+    finished: int = 0
+    held: int = 0
+    elapsed_s: float = 0.0
+    issued: dict = field(default_factory=dict)
+    errors: int = 0
+    aborted: int = 0
+    failure: str = ""
+    snapshot: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+
+
+@dataclass
+class FederationReport:
+    """The merged outcome of a federated run (all waves, all workers)."""
+
+    ok: bool
+    procs: int
+    waves: int
+    clients_per_wave: int
+    distinct_sessions: int
+    held_peak: int
+    elapsed_s: float
+    issued: dict
+    snapshot: MetricsSnapshot
+    workers: list[WorkerResult]
+    failures: list[str]
+
+    @property
+    def completed(self) -> int:
+        return self.snapshot.completed
+
+    @property
+    def requests_per_s(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return round(self.completed / self.elapsed_s, 1)
+
+    def to_payload(self) -> dict:
+        """The ``--json`` / benchmark artifact form."""
+        return {
+            "mode": "federated",
+            "procs": self.procs,
+            "waves": self.waves,
+            "clients_per_wave": self.clients_per_wave,
+            "distinct_sessions": self.distinct_sessions,
+            "held_peak": self.held_peak,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "requests_per_s": self.requests_per_s,
+            "issued": dict(self.issued),
+            **self.snapshot.to_dict(),
+            "workers": [
+                {
+                    "index": w.index,
+                    "ok": w.ok,
+                    "clients": w.clients,
+                    "finished": w.finished,
+                    "held": w.held,
+                    "elapsed_s": w.elapsed_s,
+                    "errors": w.errors,
+                    "aborted": w.aborted,
+                    **({"failure": w.failure} if w.failure else {}),
+                }
+                for w in self.workers
+            ],
+            **({"failures": list(self.failures)} if self.failures else {}),
+        }
+
+
+class _Worker:
+    """Coordinator-side handle for one worker process."""
+
+    def __init__(self, index: int, proc: subprocess.Popen):
+        self.index = index
+        self.proc = proc
+        self.events: dict[str, dict] = {}
+        self.eof = False
+        self.result = WorkerResult(index=index)
+
+    def deliver(self, message: dict) -> None:
+        self.events[str(message.get("event"))] = message
+
+    def failed(self, reason: str) -> None:
+        if not self.result.failure:
+            self.result.failure = reason
+
+
+def _split_clients(total: int, procs: int) -> list[int]:
+    base, remainder = divmod(total, procs)
+    return [base + (1 if i < remainder else 0) for i in range(procs)]
+
+
+def _worker_env() -> dict:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = _SRC_ROOT + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _spawn(index: int, clients: int, *, connect: str, scenario: str,
+           rounds: int, page_size: int, loops: int, connect_burst: int,
+           timeout: float, seed: int) -> _Worker:
+    command = [
+        sys.executable, "-u", "-m", "repro.loadgen",
+        "--connect", connect,
+        "--clients", str(clients),
+        "--scenario", scenario,
+        "--rounds", str(rounds),
+        "--page-size", str(page_size),
+        "--loops", str(loops),
+        "--connect-burst", str(connect_burst),
+        "--timeout", str(timeout),
+        "--seed", str(seed),
+        "--worker", "--quiet",
+    ]
+    proc = subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=None,  # worker tracebacks surface on the coordinator's stderr
+        text=True,
+        bufsize=1,
+        env=_worker_env(),
+    )
+    return _Worker(index, proc)
+
+
+def _pump_events(workers: list[_Worker], wanted: str, deadline: float) -> None:
+    """Read control lines until every live worker produced ``wanted`` (or
+    aborted/died) or the deadline passes."""
+    by_stream = {w.proc.stdout: w for w in workers}
+
+    def pending() -> list[_Worker]:
+        return [w for w in workers
+                if not w.eof and wanted not in w.events
+                and "abort" not in w.events]
+
+    while pending() and time.monotonic() < deadline:
+        streams = [w.proc.stdout for w in pending()]
+        ready, _, _ = select.select(streams, [], [],
+                                    min(0.5, max(0.01, deadline - time.monotonic())))
+        for stream in ready:
+            worker = by_stream[stream]
+            line = stream.readline()
+            if not line:
+                worker.eof = True
+                worker.failed("worker exited before reporting "
+                              f"{wanted!r} (rc={worker.proc.poll()})")
+                continue
+            try:
+                message = json.loads(line)
+            except ValueError:
+                continue  # stray non-protocol output
+            worker.deliver(message)
+
+
+def _reap(workers: list[_Worker]) -> None:
+    for worker in workers:
+        proc = worker.proc
+        try:
+            if proc.stdin:
+                proc.stdin.close()
+        except OSError:
+            pass
+        try:
+            proc.wait(timeout=_REAP_GRACE)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+            proc.kill()
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                pass
+        try:
+            if proc.stdout:
+                proc.stdout.close()
+        except OSError:
+            pass
+
+
+def _run_wave(wave: int, *, connect: str, procs: int, clients: int,
+              scenario: str, rounds: int, page_size: int, loops: int,
+              connect_burst: int, timeout: float, barrier_timeout: float,
+              seed: int, on_progress=None) -> list[WorkerResult]:
+    shares = _split_clients(clients, procs)
+    workers = [
+        _spawn(
+            index, share, connect=connect, scenario=scenario, rounds=rounds,
+            page_size=page_size, loops=loops, connect_burst=connect_burst,
+            timeout=timeout, seed=seed + wave * procs + index,
+        )
+        for index, share in enumerate(shares)
+    ]
+    try:
+        _pump_events(workers, "ready", time.monotonic() + barrier_timeout)
+        all_ready = all("ready" in w.events for w in workers)
+        if all_ready:
+            if on_progress is not None:
+                on_progress(wave, "barrier", sum(
+                    w.events["ready"].get("connected", 0) for w in workers
+                ))
+            for worker in workers:
+                try:
+                    worker.proc.stdin.write(_RELEASE + "\n")
+                    worker.proc.stdin.flush()
+                except OSError as exc:  # pragma: no cover - worker died racing
+                    worker.failed(f"release failed: {exc}")
+            _pump_events(workers, "result",
+                         time.monotonic() + timeout + _REAP_GRACE)
+        else:
+            for worker in workers:
+                if "ready" not in worker.events:
+                    worker.failed(
+                        worker.events.get("abort", {}).get(
+                            "reason", "no ready event before barrier timeout"
+                        )
+                    )
+                worker.proc.kill()
+    finally:
+        _reap(workers)
+
+    results = []
+    for worker in workers:
+        result = worker.result
+        message = worker.events.get("result")
+        ready = worker.events.get("ready", {})
+        if message is not None:
+            result.ok = bool(message.get("ok"))
+            result.clients = int(message.get("clients", 0))
+            result.finished = int(message.get("finished", 0))
+            result.held = int(message.get("held", ready.get("connected", 0)))
+            result.elapsed_s = float(message.get("elapsed_s", 0.0))
+            result.issued = dict(message.get("issued", {}))
+            result.errors = int(message.get("errors", 0))
+            result.aborted = int(message.get("aborted", 0))
+            result.snapshot = MetricsSnapshot.from_wire(
+                message.get("snapshot", {})
+            )
+            if not result.ok and not result.failure:
+                result.failure = (
+                    f"worker {worker.index}: errors={result.errors} "
+                    f"aborted={result.aborted} "
+                    f"timed_out={message.get('timed_out')}"
+                )
+        elif not result.failure:
+            result.failure = worker.events.get("abort", {}).get(
+                "reason", "no result from worker"
+            )
+        results.append(result)
+    return results
+
+
+def federated_run(*, connect: str, procs: int, clients: int,
+                  scenario: str = "steady", rounds: int = 5,
+                  page_size: int = 256, loops: int = 2,
+                  connect_burst: int = 128, timeout: float = 120.0,
+                  barrier_timeout: float | None = None, seed: int = 0,
+                  waves: int = 1, on_progress=None) -> FederationReport:
+    """Run ``clients`` swarm clients split over ``procs`` worker processes
+    against the server at ``connect`` (any endpoint URL), ``waves`` times
+    with disjoint cohorts, and merge everything into one report.
+
+    ``elapsed_s`` is the sum over waves of the slowest worker's timed
+    window (barrier-release to last completion), i.e. the active load
+    window — process spawn and connection ramp are untimed, like the
+    single-process benchmarks' setup phase.
+    """
+    if procs < 1:
+        raise ValueError("procs must be positive")
+    if waves < 1:
+        raise ValueError("waves must be positive")
+    if clients < procs:
+        procs = max(1, clients)  # no point forking idle workers
+    barrier_timeout = timeout if barrier_timeout is None else barrier_timeout
+
+    all_results: list[WorkerResult] = []
+    held_peak = 0
+    elapsed = 0.0
+    waves_run = 0
+    for wave in range(waves):
+        waves_run = wave + 1
+        if on_progress is not None:
+            on_progress(wave, "spawn", procs)
+        results = _run_wave(
+            wave, connect=connect, procs=procs, clients=clients,
+            scenario=scenario, rounds=rounds, page_size=page_size,
+            loops=loops, connect_burst=connect_burst, timeout=timeout,
+            barrier_timeout=barrier_timeout, seed=seed,
+            on_progress=on_progress,
+        )
+        all_results.extend(results)
+        held_peak = max(held_peak, sum(r.held for r in results))
+        elapsed += max((r.elapsed_s for r in results), default=0.0)
+        if any(r.failure or not r.ok for r in results):
+            # A dead server or wedged worker would fail every remaining
+            # wave the same slow way; report what happened instead.
+            log.error("wave %d failed; skipping %d remaining wave(s)",
+                      wave, waves - wave - 1)
+            break
+
+    snapshot = merge_snapshots(r.snapshot for r in all_results)
+    issued: dict[str, int] = {}
+    for result in all_results:
+        for op, n in result.issued.items():
+            issued[op] = issued.get(op, 0) + n
+    failures = [r.failure for r in all_results if r.failure]
+    return FederationReport(
+        ok=(all(r.ok for r in all_results) and not failures
+            and waves_run == waves),
+        procs=procs,
+        waves=waves_run,
+        clients_per_wave=clients,
+        distinct_sessions=clients * waves_run,
+        held_peak=held_peak,
+        elapsed_s=elapsed,
+        issued=issued,
+        snapshot=snapshot,
+        workers=all_results,
+        failures=failures,
+    )

@@ -86,20 +86,39 @@ def _get_page_request(from_index: int, max_count: int) -> bytes:
 
 
 class Scenario:
-    """Base scenario: subclasses override the ``on_*`` hooks."""
+    """Base scenario: subclasses implement ``begin`` and ``on_response``.
+
+    ``begin`` returns the client's first action once it is connected.  With
+    ``park_on_connect`` set, the client instead parks at the engine's start
+    barrier immediately after the transport connects — before issuing any
+    request — and ``begin`` runs on release.  That is the barrier mode the
+    federated benchmarks use: every client across every worker process
+    holds an open connection, then the whole fleet starts at once.
+    """
 
     #: Set when the scenario aborted on an unexpected response or error.
     failed: bool = False
+    #: Park at the start barrier straight after connecting.
+    park_on_connect: bool = False
+    _release_seen: bool = False
+
+    def begin(self, ctx: ClientContext) -> Action:
+        """First action on a fresh connection (and again after
+        ``Reconnect``)."""
+        raise NotImplementedError
 
     def on_connect(self, ctx: ClientContext) -> Action:
-        raise NotImplementedError
+        if self.park_on_connect and not self._release_seen:
+            return Park()
+        return self.begin(ctx)
 
     def on_response(self, ctx: ClientContext, op: str, payload: bytes) -> Action:
         raise NotImplementedError
 
     def on_release(self, ctx: ClientContext) -> Action:
         """Called when the engine releases parked clients."""
-        return Stop()
+        self._release_seen = True
+        return self.begin(ctx)
 
     def on_error(self, ctx: ClientContext, op: str | None, exc: Exception) -> Action:
         """Connection-level failure (refused, reset, protocol error)."""
@@ -116,13 +135,15 @@ class ColdSync(Scenario):
     set once the server reports no further entries.
     """
 
-    def __init__(self, page_size: int = 256, start_index: int = 0):
+    def __init__(self, page_size: int = 256, start_index: int = 0,
+                 park_on_connect: bool = False):
         self.page_size = page_size
         self.cursor = start_index
         self.drained = 0
         self.completed = False
+        self.park_on_connect = park_on_connect
 
-    def on_connect(self, ctx: ClientContext) -> Action:
+    def begin(self, ctx: ClientContext) -> Action:
         return Send(_get_page_request(self.cursor, self.page_size), OP_GET_PAGE)
 
     def on_response(self, ctx: ClientContext, op: str, payload: bytes) -> Action:
@@ -145,23 +166,22 @@ class SteadyState(Scenario):
     """
 
     def __init__(self, blobs: list[bytes], page_size: int = 256,
-                 think_time: float = 0.0, park_after_setup: bool = False):
+                 think_time: float = 0.0, park_after_setup: bool = False,
+                 park_on_connect: bool = False):
         self.blobs = blobs
         self.page_size = page_size
         self.think_time = think_time
         self.park_after_setup = park_after_setup
+        self.park_on_connect = park_on_connect
         self.token: str | None = None
         self.cursor = 0
         self.round = 0
         self.accepted = 0
         self.completed = False
 
-    def on_connect(self, ctx: ClientContext) -> Action:
+    def begin(self, ctx: ClientContext) -> Action:
         if self.token is None:
             return Send(encode_request({"op": "ISSUE_ID"}), OP_ISSUE_ID)
-        return self._next_add(first=True)
-
-    def on_release(self, ctx: ClientContext) -> Action:
         return self._next_add(first=True)
 
     def _next_add(self, first: bool = False) -> Action:
@@ -201,18 +221,20 @@ class Churn(Scenario):
     """
 
     def __init__(self, cycles: int = 5, ops_per_cycle: int = 2,
-                 page_size: int = 64, reconnect_delay: float = 0.0):
+                 page_size: int = 64, reconnect_delay: float = 0.0,
+                 park_on_connect: bool = False):
         self.cycles = cycles
         self.ops_per_cycle = ops_per_cycle
         self.page_size = page_size
         self.reconnect_delay = reconnect_delay
+        self.park_on_connect = park_on_connect
         self.cursor = 0
         self.connects = 0
         self.cycles_done = 0
         self._ops_this_cycle = 0
         self.completed = False
 
-    def on_connect(self, ctx: ClientContext) -> Action:
+    def begin(self, ctx: ClientContext) -> Action:
         self.connects += 1
         self._ops_this_cycle = 0
         return Send(_get_page_request(self.cursor, self.page_size), OP_GET_PAGE)
@@ -235,16 +257,18 @@ class ForgedTokens(Scenario):
     """§III-C attacker without a valid identity: every ADD carries an
     undecryptable token and must come back ``bad_token``."""
 
-    def __init__(self, blobs: list[bytes], tokens: list[str]):
+    def __init__(self, blobs: list[bytes], tokens: list[str],
+                 park_on_connect: bool = False):
         if len(tokens) < len(blobs):
             raise ValueError("need one forged token per blob")
         self.blobs = blobs
         self.tokens = tokens
+        self.park_on_connect = park_on_connect
         self.sent = 0
         self.verdicts: dict[str, int] = {}
         self.completed = False
 
-    def on_connect(self, ctx: ClientContext) -> Action:
+    def begin(self, ctx: ClientContext) -> Action:
         return self._next_add()
 
     def _next_add(self) -> Action:
@@ -270,14 +294,15 @@ class _AuthenticatedSpam(Scenario):
 
     op = OP_ADD_ATTACK
 
-    def __init__(self, blobs: list[bytes]):
+    def __init__(self, blobs: list[bytes], park_on_connect: bool = False):
         self.blobs = blobs
+        self.park_on_connect = park_on_connect
         self.token: str | None = None
         self.sent = 0
         self.verdicts: dict[str, int] = {}
         self.completed = False
 
-    def on_connect(self, ctx: ClientContext) -> Action:
+    def begin(self, ctx: ClientContext) -> Action:
         if self.token is None:
             return Send(encode_request({"op": "ISSUE_ID"}), OP_ISSUE_ID)
         return self._next_add()
@@ -325,24 +350,31 @@ def _steady_blobs(rng: random.Random, rounds: int) -> list[bytes]:
 
 
 def make_scenario(name: str, rng: random.Random, *, rounds: int = 5,
-                  page_size: int = 256) -> Scenario:
-    """One scenario instance by registry name (CLI / mix helper)."""
+                  page_size: int = 256, park: bool = False) -> Scenario:
+    """One scenario instance by registry name (CLI / mix helper).  With
+    ``park`` set, the client holds at the start barrier after connecting
+    (the federated-swarm barrier mode)."""
     seed = rng.getrandbits(32)
     if name == "cold":
-        return ColdSync(page_size=page_size)
+        return ColdSync(page_size=page_size, park_on_connect=park)
     if name == "steady":
-        return SteadyState(_steady_blobs(rng, rounds), page_size=page_size)
+        return SteadyState(_steady_blobs(rng, rounds), page_size=page_size,
+                           park_on_connect=park)
     if name == "churn":
-        return Churn(cycles=max(1, rounds), ops_per_cycle=2, page_size=page_size)
+        return Churn(cycles=max(1, rounds), ops_per_cycle=2,
+                     page_size=page_size, park_on_connect=park)
     if name == "forged":
         return ForgedTokens(
             siggen.off_path_flood_blobs(rounds, seed=seed),
             siggen.forged_tokens(rounds, seed=seed),
+            park_on_connect=park,
         )
     if name == "adjacent":
-        return AdjacentSpam(siggen.adjacent_spam_blobs(rounds, seed=seed))
+        return AdjacentSpam(siggen.adjacent_spam_blobs(rounds, seed=seed),
+                            park_on_connect=park)
     if name == "flood":
-        return QuotaFlood(siggen.off_path_flood_blobs(rounds, seed=seed))
+        return QuotaFlood(siggen.off_path_flood_blobs(rounds, seed=seed),
+                          park_on_connect=park)
     raise ValueError(f"unknown scenario {name!r} (have {sorted(SCENARIO_NAMES)})")
 
 
@@ -369,7 +401,7 @@ def parse_mix(spec: str) -> list[tuple[str, float]]:
 
 
 def build_mix(spec: str, clients: int, seed: int = 0, *, rounds: int = 5,
-              page_size: int = 256) -> list[Scenario]:
+              page_size: int = 256, park: bool = False) -> list[Scenario]:
     """``clients`` scenario instances apportioned by the mix's weights
     (largest-remainder rounding, deterministic under ``seed``)."""
     merged: dict[str, float] = {}
@@ -388,6 +420,7 @@ def build_mix(spec: str, clients: int, seed: int = 0, *, rounds: int = 5,
     for name, count in counts.items():
         for _ in range(count):
             scenarios.append(
-                make_scenario(name, rng, rounds=rounds, page_size=page_size)
+                make_scenario(name, rng, rounds=rounds, page_size=page_size,
+                              park=park)
             )
     return scenarios

@@ -1,0 +1,36 @@
+"""``repro.net`` — shared endpoint layer (URL parsing, listen/dial).
+
+The one place address handling lives: server transport, client endpoints,
+the swarm engine, and the benchmarks all route through
+:func:`parse_endpoint` / :class:`Endpoint` instead of hard-coded
+``(host, port)`` tuples, so every layer serves TCP and UNIX-domain
+transports interchangeably.
+"""
+
+from repro.net.endpoints import (
+    DEFAULT_TCP_HOST,
+    Endpoint,
+    EndpointError,
+    cleanup_listener,
+    create_dial_socket,
+    dial,
+    format_endpoint,
+    listen,
+    parse_endpoint,
+    tcp_endpoint,
+    unix_endpoint,
+)
+
+__all__ = [
+    "DEFAULT_TCP_HOST",
+    "Endpoint",
+    "EndpointError",
+    "cleanup_listener",
+    "create_dial_socket",
+    "dial",
+    "format_endpoint",
+    "listen",
+    "parse_endpoint",
+    "tcp_endpoint",
+    "unix_endpoint",
+]

@@ -2,23 +2,33 @@
 
 Usage::
 
-    python -m repro.server [--host 0.0.0.0] [--port 7199]
+    python -m repro.server [--addr tcp://0.0.0.0:7199]
+        [--addr unix:///var/run/communix.sock]
         [--quota-per-day 10] [--no-adjacency-check]
 
-The server prints its bound address and serves until interrupted.  Clients
-connect with :class:`repro.client.TcpEndpoint` or via
-``python -m repro.client``.
+``--addr`` is repeatable: the server listens on every given endpoint
+simultaneously (TCP and UNIX-domain clients share one database).  The
+older ``--host``/``--port`` pair still works as a deprecated alias for a
+single ``tcp://HOST:PORT`` endpoint.  The server prints its bound
+address(es) and serves until interrupted; UNIX socket files are removed
+on clean shutdown.  Clients connect with
+:class:`repro.client.SocketEndpoint` or via ``python -m repro.client``.
 """
 
 from __future__ import annotations
 
 import argparse
 import signal
+import sys
 import threading
 
+from repro.net import EndpointError, parse_endpoint, tcp_endpoint
 from repro.server.server import CommunixServer, ServerConfig
 from repro.server.transport import ServerTransport
 from repro.util.logging import enable_console_logging
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7199
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,8 +36,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.server",
         description="Communix collaborative deadlock-immunity server",
     )
-    parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=7199)
+    parser.add_argument(
+        "--addr", action="append", metavar="URL", default=None,
+        help="listen endpoint (tcp://HOST:PORT or unix:///PATH or "
+             "unix://@NAME); repeat to serve several at once",
+    )
+    parser.add_argument("--host", default=None,
+                        help="deprecated alias for --addr tcp://HOST:PORT")
+    parser.add_argument("--port", type=int, default=None,
+                        help="deprecated alias for --addr tcp://HOST:PORT")
     parser.add_argument(
         "--quota-per-day", type=int, default=10,
         help="max signatures accepted per user per day (paper: 10)",
@@ -51,22 +68,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def resolve_endpoints(args) -> list:
+    """The endpoint list from ``--addr`` flags, or the legacy
+    ``--host``/``--port`` pair as one TCP endpoint."""
+    if args.addr:
+        endpoints = [parse_endpoint(spec) for spec in args.addr]
+        if args.host is not None or args.port is not None:
+            print("warning: --host/--port are ignored when --addr is given",
+                  file=sys.stderr)
+        return endpoints
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    return [tcp_endpoint(host, port)]
+
+
+def _format_primary(endpoint) -> str:
+    """The first printed address: legacy ``host:port`` spelling for TCP
+    (scripts parse it), the URL form for everything else."""
+    if endpoint.is_tcp:
+        return f"{endpoint.host}:{endpoint.port}"
+    return endpoint.url()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     enable_console_logging()
+    try:
+        endpoints = resolve_endpoints(args)
+    except EndpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = ServerConfig(
         max_signatures_per_user_per_day=args.quota_per_day,
         adjacency_check=not args.no_adjacency_check,
     )
     server = CommunixServer(config=config)
     transport = ServerTransport(
-        server, host=args.host, port=args.port,
+        server, endpoints=endpoints,
         accept_backlog=args.backlog, workers=args.workers,
         idle_timeout=args.idle_timeout,
     )
-    host, port = transport.start()
-    print(f"communix-server listening on {host}:{port} "
+    try:
+        transport.start()
+    except EndpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    bound = transport.bound_endpoints
+    print(f"communix-server listening on {_format_primary(bound[0])} "
           f"(quota {config.max_signatures_per_user_per_day}/user/day)")
+    for endpoint in bound[1:]:
+        print(f"communix-server also listening on {endpoint.url()}")
     stop = threading.Event()
     signal.signal(signal.SIGINT, lambda *_: stop.set())
     signal.signal(signal.SIGTERM, lambda *_: stop.set())

@@ -1,4 +1,4 @@
-"""Event-driven TCP transport for the Communix server.
+"""Event-driven transport for the Communix server (TCP and UNIX).
 
 One ``selectors``-based event-loop thread owns every socket: it accepts,
 reads, frames, and writes without ever blocking, so the server sustains
@@ -18,19 +18,31 @@ Per-connection guarantees:
 
 ``stop()`` drains gracefully: in-flight requests finish, their responses
 are flushed (bounded by ``drain_timeout``), then every registered
-connection, the listener, the wakeup pipe, and the selector are closed —
-no leaked file descriptors.
+connection, the listeners, the wakeup pipe, and the selector are closed —
+no leaked file descriptors, and UNIX socket files are unlinked.
+
+Addressing goes through :mod:`repro.net`: the transport listens on one or
+more endpoints (``tcp://host:port`` and/or ``unix:///path``)
+simultaneously, so TCP clients and local UNIX-socket clients share one
+server, one database, one event loop.  When the process runs out of file
+descriptors (the Fig. 2 sweep drives it to the container's 20k-FD hard
+cap), ``accept`` backs off briefly instead of spinning — pending
+connections ride the listen backlog until capacity frees.
 """
 
 from __future__ import annotations
 
 import collections
+import errno
 import selectors
 import socket
 import struct
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+
+from repro.net import Endpoint, cleanup_listener, parse_endpoint, tcp_endpoint
+from repro.net import listen as net_listen
 
 from repro.server.protocol import (
     MAX_FRAME,
@@ -60,6 +72,9 @@ _MAX_PENDING = 32
 
 _LISTENER = "listener"
 _WAKEUP = "wakeup"
+#: How long accept stays paused after EMFILE/ENFILE before retrying.
+_ACCEPT_COOLDOWN = 0.2
+_FD_EXHAUSTED = {errno.EMFILE, errno.ENFILE}
 
 
 class _OutputQueue:
@@ -133,15 +148,21 @@ class ServerTransport:
     def __init__(self, server: CommunixServer, host: str = "127.0.0.1",
                  port: int = 0, accept_backlog: int = 512,
                  workers: int = 8, idle_timeout: float = 60.0,
-                 drain_timeout: float = 2.0):
+                 drain_timeout: float = 2.0, endpoints=None):
+        """``endpoints`` is a list of endpoint URLs / :class:`Endpoint`
+        objects to listen on simultaneously; when omitted, the legacy
+        ``host``/``port`` pair becomes a single TCP endpoint."""
         self._server = server
-        self._host = host
-        self._port = port
+        if endpoints:
+            self._endpoints = [parse_endpoint(ep) for ep in endpoints]
+        else:
+            self._endpoints = [tcp_endpoint(host, port)]
         self._backlog = accept_backlog
         self._workers = max(1, workers)
         self._idle_timeout = idle_timeout
         self._drain_timeout = drain_timeout
-        self._listener: socket.socket | None = None
+        self._listeners: dict[int, tuple[socket.socket, Endpoint]] = {}
+        self._bound: list[Endpoint] = []
         self._selector: selectors.BaseSelector | None = None
         self._loop_thread: threading.Thread | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -153,23 +174,32 @@ class ServerTransport:
             tuple[_Connection, list[bytes]]
         ] = collections.deque()
         self._last_sweep = 0.0
+        self._accept_paused_until = 0.0
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> tuple[str, int]:
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self._host, self._port))
-        listener.listen(self._backlog)
-        listener.setblocking(False)
-        self._listener = listener
-        self._port = listener.getsockname()[1]
+        """Bind every endpoint and start the loop.  Returns the legacy
+        ``(host, port)`` pair — see :attr:`address`; multi-endpoint callers
+        read :attr:`bound_endpoints` for the full list."""
+        bound: list[tuple[socket.socket, Endpoint]] = []
+        try:
+            for endpoint in self._endpoints:
+                bound.append(net_listen(endpoint, backlog=self._backlog))
+        except Exception:
+            for sock, endpoint in bound:
+                sock.close()
+                cleanup_listener(endpoint)
+            raise
+        self._listeners = {sock.fileno(): (sock, ep) for sock, ep in bound}
+        self._bound = [ep for _, ep in bound]
 
         self._wakeup_recv, self._wakeup_send = socket.socketpair()
         self._wakeup_recv.setblocking(False)
         self._wakeup_send.setblocking(False)
 
         selector = selectors.DefaultSelector()
-        selector.register(listener, selectors.EVENT_READ, _LISTENER)
+        for sock, _ in self._listeners.values():
+            selector.register(sock, selectors.EVENT_READ, _LISTENER)
         selector.register(self._wakeup_recv, selectors.EVENT_READ, _WAKEUP)
         self._selector = selector
 
@@ -177,13 +207,14 @@ class ServerTransport:
             max_workers=self._workers, thread_name_prefix="communix-worker"
         )
         self._stop.clear()
+        self._accept_paused_until = 0.0
         self._loop_thread = threading.Thread(
             target=self._run_loop, name="communix-server-loop", daemon=True
         )
         self._loop_thread.start()
-        log.info("server listening on %s:%d (event loop, %d workers)",
-                 self._host, self._port, self._workers)
-        return self._host, self._port
+        log.info("server listening on %s (event loop, %d workers)",
+                 ", ".join(ep.url() for ep in self._bound), self._workers)
+        return self.address
 
     def stop(self) -> None:
         """Drain in-flight requests, close every connection and FD."""
@@ -199,14 +230,26 @@ class ServerTransport:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
-        self._listener = None
+        self._listeners = {}
         self._selector = None
         self._wakeup_recv = None
         self._wakeup_send = None
 
     @property
     def address(self) -> tuple[str, int]:
-        return self._host, self._port
+        """The first bound TCP endpoint as legacy ``(host, port)``; for a
+        UNIX-only server, ``(path, 0)`` (use :attr:`bound_endpoints`)."""
+        endpoints = self._bound or self._endpoints
+        for endpoint in endpoints:
+            if endpoint.is_tcp:
+                return endpoint.host, endpoint.port
+        return endpoints[0].path, 0
+
+    @property
+    def bound_endpoints(self) -> list[Endpoint]:
+        """Every endpoint this transport is listening on (bound ports
+        resolved); empty before ``start()``."""
+        return list(self._bound)
 
     @property
     def connection_count(self) -> int:
@@ -217,7 +260,10 @@ class ServerTransport:
         """File descriptors this transport currently holds open — the FD
         leak regression check; empty after a clean ``stop()``."""
         fds = []
-        for sock in (self._listener, self._wakeup_recv, self._wakeup_send):
+        for sock, _ in self._listeners.values():
+            if sock.fileno() >= 0:
+                fds.append(sock.fileno())
+        for sock in (self._wakeup_recv, self._wakeup_send):
             if sock is not None and sock.fileno() >= 0:
                 fds.append(sock.fileno())
         fds.extend(conn.fd for conn in self._conns.values()
@@ -238,9 +284,12 @@ class ServerTransport:
         selector = self._selector
         try:
             while not self._stop.is_set():
-                for key, mask in selector.select(timeout=0.2):
+                timeout = 0.2
+                if self._accept_paused_until:
+                    timeout = min(timeout, _ACCEPT_COOLDOWN)
+                for key, mask in selector.select(timeout=timeout):
                     if key.data is _LISTENER:
-                        self._on_accept()
+                        self._on_accept(key.fileobj)
                     elif key.data is _WAKEUP:
                         self._drain_wakeup()
                     else:
@@ -250,6 +299,7 @@ class ServerTransport:
                         if (mask & selectors.EVENT_READ
                                 and self._conns.get(conn.fd) is conn):
                             self._on_readable(conn)
+                self._maybe_resume_accept()
                 self._drain_completions()
                 self._sweep_idle()
             self._drain_on_stop()
@@ -259,18 +309,47 @@ class ServerTransport:
             self._force_close_all()
 
     # -------------------------------------------------------------- accept
-    def _on_accept(self) -> None:
+    def _on_accept(self, listener: socket.socket) -> None:
         while True:
             try:
-                sock, peer = self._listener.accept()
+                sock, peer = listener.accept()
             except (BlockingIOError, InterruptedError):
                 return
-            except OSError:
+            except OSError as exc:
+                if exc.errno in _FD_EXHAUSTED:
+                    # Out of descriptors: stop accepting for a beat instead
+                    # of spinning on a permanently-readable listener.  The
+                    # pending connections stay queued in the listen backlog
+                    # and are accepted once connections close.
+                    self._pause_accept()
                 return
             sock.setblocking(False)
             conn = _Connection(sock, peer, time.monotonic())
             self._conns[conn.fd] = conn
             self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _pause_accept(self) -> None:
+        if self._accept_paused_until:
+            return
+        log.warning("out of file descriptors (%d connections); pausing "
+                    "accept for %.1fs", len(self._conns), _ACCEPT_COOLDOWN)
+        for sock, _ in self._listeners.values():
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                pass
+        self._accept_paused_until = time.monotonic() + _ACCEPT_COOLDOWN
+
+    def _maybe_resume_accept(self) -> None:
+        if (not self._accept_paused_until
+                or time.monotonic() < self._accept_paused_until):
+            return
+        self._accept_paused_until = 0.0
+        for sock, _ in self._listeners.values():
+            try:
+                self._selector.register(sock, selectors.EVENT_READ, _LISTENER)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                pass
 
     # ---------------------------------------------------------------- read
     def _on_readable(self, conn: _Connection) -> None:
@@ -456,12 +535,13 @@ class ServerTransport:
     def _drain_on_stop(self) -> None:
         """Graceful drain: stop accepting, finish in-flight requests,
         flush their responses, then close everything."""
-        if self._listener is not None:
+        for sock, endpoint in self._listeners.values():
             try:
-                self._selector.unregister(self._listener)
+                self._selector.unregister(sock)
             except (KeyError, ValueError, OSError):
                 pass
-            self._listener.close()
+            sock.close()
+            cleanup_listener(endpoint)
         deadline = time.monotonic() + self._drain_timeout
         while time.monotonic() < deadline:
             self._drain_completions()
@@ -479,7 +559,13 @@ class ServerTransport:
     def _force_close_all(self) -> None:
         for conn in list(self._conns.values()):
             self._close_conn(conn)
-        for sock in (self._listener, self._wakeup_recv, self._wakeup_send):
+        for sock, endpoint in self._listeners.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+            cleanup_listener(endpoint)
+        for sock in (self._wakeup_recv, self._wakeup_send):
             if sock is not None:
                 try:
                     sock.close()

@@ -7,6 +7,7 @@ import time
 import pytest
 
 from repro.client.endpoints import TcpEndpoint
+from repro.net import parse_endpoint
 
 
 @pytest.fixture
@@ -18,11 +19,15 @@ def live_server_process(tmp_path):
         text=True,
     )
     # The server prints "communix-server listening on host:port ..."
-    line = proc.stdout.readline()
-    assert "listening on" in line, line
+    # (possibly after log lines on the merged stderr stream).
+    for _ in range(20):
+        line = proc.stdout.readline()
+        if line.startswith("communix-server listening on"):
+            break
+    assert line.startswith("communix-server listening on"), line
     address = line.split("listening on", 1)[1].split()[0]
-    host, _, port = address.partition(":")
-    yield proc, host, int(port)
+    endpoint = parse_endpoint(address)
+    yield proc, endpoint.host, endpoint.port
     proc.terminate()
     proc.wait(timeout=10)
 
@@ -76,6 +81,59 @@ class TestServerCli:
             timeout=30,
         )
         assert completed.returncode != 0
+
+    def test_unix_addr_server_and_client_url(self, tmp_path, shared_factory):
+        """--addr unix:// end to end: server child binds a UNIX socket,
+        the daemon polls it by URL, and the socket file is unlinked on
+        clean shutdown."""
+        import os
+
+        from repro.client.endpoints import SocketEndpoint
+
+        sock_path = tmp_path / "cli-server.sock"
+        url = f"unix://{sock_path}"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--addr", url],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            for _ in range(20):
+                line = proc.stdout.readline()
+                if line.startswith("communix-server listening on"):
+                    break
+            assert url in line, line
+
+            endpoint = SocketEndpoint(url)
+            try:
+                endpoint.add(shared_factory.make_valid().to_bytes(),
+                             endpoint.issue_token())
+            finally:
+                endpoint.close()
+
+            completed = subprocess.run(
+                [
+                    sys.executable, "-m", "repro.client",
+                    "--server", url,
+                    "--repository", str(tmp_path / "repo.json"),
+                    "--once",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=30,
+            )
+            assert completed.returncode == 0, (
+                completed.stdout + completed.stderr
+            )
+            assert "stored 1" in completed.stdout
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+        deadline = time.monotonic() + 5.0
+        while os.path.exists(sock_path) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not os.path.exists(sock_path)
 
 
 class TestFalsePositiveUserActions:

@@ -1,8 +1,16 @@
-"""Latency histograms and collector merging."""
+"""Latency histograms, collector merging, and cross-process snapshots."""
+
+import json
+import random
 
 import pytest
 
-from repro.loadgen.metrics import LatencyHistogram, Metrics
+from repro.loadgen.metrics import (
+    LatencyHistogram,
+    Metrics,
+    MetricsSnapshot,
+    merge_snapshots,
+)
 
 
 class TestLatencyHistogram:
@@ -80,3 +88,85 @@ class TestMetrics:
         assert payload["completed"] == 1
         assert payload["ops"]["add"]["count"] == 1
         assert payload["throughput_series"] == {"0": 1}
+
+
+class TestWireSnapshots:
+    """The federation payload: full-fidelity histogram transfer + merge."""
+
+    def _snapshot(self, samples, *, op="add", errors=0, second=0):
+        metrics = Metrics(epoch=0.0)
+        for sample in samples:
+            metrics.record(op, sample, now=float(second))
+        for _ in range(errors):
+            metrics.record_error(op)
+        return Metrics.merge([metrics])
+
+    def test_histogram_wire_round_trip_is_lossless(self):
+        histogram = LatencyHistogram()
+        rng = random.Random(7)
+        for _ in range(500):
+            histogram.record(rng.uniform(1e-5, 2.0))
+        clone = LatencyHistogram.from_wire(
+            json.loads(json.dumps(histogram.to_wire()))
+        )
+        assert clone.counts == histogram.counts
+        assert clone.count == histogram.count
+        assert clone.total == pytest.approx(histogram.total)
+        assert (clone.min, clone.max) == (histogram.min, histogram.max)
+        for p in (50, 95, 99, 100):
+            assert clone.percentile(p) == histogram.percentile(p)
+
+    def test_empty_histogram_round_trip(self):
+        clone = LatencyHistogram.from_wire(LatencyHistogram().to_wire())
+        assert clone.count == 0
+        assert clone.percentile(99) == 0.0
+
+    def test_snapshot_wire_round_trip(self):
+        snapshot = self._snapshot([0.01, 0.02, 0.03], errors=2, second=4)
+        clone = MetricsSnapshot.from_wire(
+            json.loads(json.dumps(snapshot.to_wire()))
+        )
+        assert clone.completed == 3
+        assert clone.errors == {"add": 2}
+        assert clone.series == {4: 3}
+        assert clone.histograms["add"].summary() == \
+            snapshot.histograms["add"].summary()
+
+    def test_merged_percentiles_equal_pooled_percentiles(self):
+        """The federation invariant: merging per-worker histograms gives
+        exactly the percentiles of recording every sample into one
+        histogram — sharding the swarm loses no fidelity."""
+        rng = random.Random(23)
+        worker_samples = [
+            [rng.uniform(1e-4, 0.5) for _ in range(300)] for _ in range(4)
+        ]
+        pooled = LatencyHistogram()
+        for samples in worker_samples:
+            for sample in samples:
+                pooled.record(sample)
+        merged = merge_snapshots(
+            # ...with a wire round-trip in the middle, as federation does.
+            MetricsSnapshot.from_wire(self._snapshot(samples).to_wire())
+            for samples in worker_samples
+        )
+        histogram = merged.histograms["add"]
+        assert histogram.count == pooled.count
+        assert histogram.counts == pooled.counts
+        for p in (50, 90, 95, 99, 99.9):
+            assert histogram.percentile(p) == pooled.percentile(p)
+
+    def test_merge_snapshots_sums_series_and_errors(self):
+        a = self._snapshot([0.01] * 3, second=0, errors=1)
+        b = self._snapshot([0.01] * 5, second=0)
+        c = self._snapshot([0.01] * 2, second=2)
+        merged = merge_snapshots([a, b, c])
+        assert merged.series == {0: 8, 2: 2}
+        assert merged.errors == {"add": 1}
+        assert merged.completed == 10
+
+    def test_rebase_series_shifts_to_release_zero(self):
+        snapshot = self._snapshot([0.01], second=7)
+        snapshot.series = {5: 2, 7: 3, 9: 1}
+        snapshot.rebase_series(7)
+        # Pre-release completions fold into second 0.
+        assert snapshot.series == {0: 5, 2: 1}

@@ -172,6 +172,65 @@ class TestBarrier:
         assert all(s.completed for s in scenarios)
 
 
+class TestUnixTransport:
+    def test_swarm_over_unix_socket(self, tmp_path, shared_factory):
+        """The engine dials unix:// endpoints exactly like TCP ones."""
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(17)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        transport = ServerTransport(
+            server, endpoints=[f"unix://{tmp_path / 'swarm.sock'}"],
+            accept_backlog=256,
+        )
+        transport.start()
+        url = transport.bound_endpoints[0].url()
+        scenarios = [
+            SteadyState(random_signature_blobs(2, seed=4000 + i), page_size=32)
+            for i in range(20)
+        ]
+        engine = SwarmEngine(url, loops=2, connect_burst=16)
+        engine.add_clients(scenarios)
+        try:
+            snapshot = engine.run(timeout=60.0)
+        finally:
+            transport.stop()
+        assert engine.finished_count == 20
+        assert snapshot.errors == {}
+        assert all(s.completed for s in scenarios)
+        assert snapshot.count("add") == 40
+        assert engine.open_fds() == []
+
+    def test_park_on_connect_barrier_mixed_scenarios(self, live_server):
+        """Every scenario type parks before its first request and resumes
+        on release — the federation worker's barrier mode."""
+        from repro.loadgen.scenarios import build_mix
+
+        _, _, host, port = live_server
+        n = 18
+        scenarios = build_mix(
+            "cold=1,steady=1,churn=1,forged=1,adjacent=1,flood=1",
+            n, seed=9, rounds=2, page_size=32, park=True,
+        )
+        engine = SwarmEngine(host, port, loops=2)
+        engine.add_clients(scenarios)
+        engine.start()
+        try:
+            parked = engine.wait_barrier(timeout=60.0)
+            assert parked == n  # nobody issued a request before the gate
+            assert engine.connected_count == n
+            snapshot_before = engine.snapshot()
+            assert snapshot_before.completed == 0
+            engine.release()
+            assert engine.wait(60.0)
+        finally:
+            engine.stop()
+        snapshot = engine.snapshot()
+        assert snapshot.errors == {}
+        assert [s for s in scenarios if s.failed] == []
+        assert snapshot.completed > 0
+
+
 class TestLifecycle:
     def test_empty_engine_finishes_immediately(self):
         engine = SwarmEngine("127.0.0.1", 1)

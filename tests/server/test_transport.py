@@ -1,5 +1,6 @@
-"""TCP transport integration tests (server + TcpEndpoint)."""
+"""Transport integration tests (server + SocketEndpoint, TCP and UNIX)."""
 
+import os
 import random
 import socket
 import threading
@@ -7,9 +8,10 @@ import time
 
 import pytest
 
-from repro.client.endpoints import TcpEndpoint
+from repro.client.endpoints import SocketEndpoint, TcpEndpoint
 from repro.core.signature import DeadlockSignature
 from repro.crypto.userid import UserIdAuthority
+from repro.net import unix_endpoint
 from repro.server.server import CommunixServer
 from repro.server.transport import ServerTransport
 from repro.util.clock import ManualClock
@@ -143,6 +145,82 @@ class TestEndToEnd:
                 sock.close()
         finally:
             endpoint.close()
+
+
+def _make_server(seed: int) -> CommunixServer:
+    return CommunixServer(
+        authority=UserIdAuthority(rng=random.Random(seed)),
+        clock=ManualClock(start=1_000_000.0),
+    )
+
+
+class TestMultiEndpoint:
+    def test_unix_endpoint_serves_requests(self, tmp_path, shared_factory):
+        path = str(tmp_path / "server.sock")
+        transport = ServerTransport(
+            _make_server(21), endpoints=[f"unix://{path}"]
+        )
+        transport.start()
+        endpoint = SocketEndpoint(f"unix://{path}")
+        try:
+            token = endpoint.issue_token()
+            sig = shared_factory.make_valid()
+            assert endpoint.add(sig.to_bytes(), token)
+            next_index, blobs, more = endpoint.get_page(0, 10)
+            assert next_index == 1 and len(blobs) == 1 and not more
+        finally:
+            endpoint.close()
+            transport.stop()
+        # Clean shutdown removes the socket file.
+        assert not os.path.exists(path)
+
+    def test_tcp_and_unix_served_simultaneously(self, tmp_path,
+                                                shared_factory):
+        """One server, one database, two transports: an ADD over TCP is
+        visible to a GET over the UNIX socket."""
+        path = str(tmp_path / "both.sock")
+        server = _make_server(22)
+        transport = ServerTransport(
+            server, endpoints=["tcp://127.0.0.1:0", f"unix://{path}"]
+        )
+        host, port = transport.start()
+        assert len(transport.bound_endpoints) == 2
+        tcp = SocketEndpoint(f"tcp://{host}:{port}")
+        unix = SocketEndpoint(f"unix://{path}")
+        try:
+            sig = shared_factory.make_valid()
+            assert tcp.add(sig.to_bytes(), tcp.issue_token())
+            next_index, blobs = unix.get(0)
+            assert next_index == 1
+            assert DeadlockSignature.from_bytes(blobs[0]).sig_id == sig.sig_id
+        finally:
+            tcp.close()
+            unix.close()
+            transport.stop()
+        assert transport.open_fds() == []
+        assert not os.path.exists(path)
+
+    def test_stale_socket_file_does_not_block_restart(self, tmp_path):
+        """A server that died uncleanly leaves its socket file; the next
+        start must reclaim the address."""
+        path = str(tmp_path / "stale.sock")
+        import socket as socket_module
+        leftover = socket_module.socket(socket_module.AF_UNIX,
+                                        socket_module.SOCK_STREAM)
+        leftover.bind(path)
+        leftover.listen(1)
+        leftover.close()  # crash without unlink: file remains
+        assert os.path.exists(path)
+        transport = ServerTransport(_make_server(23),
+                                    endpoints=[unix_endpoint(path)])
+        transport.start()
+        endpoint = SocketEndpoint(f"unix://{path}")
+        try:
+            assert endpoint.issue_token()
+        finally:
+            endpoint.close()
+            transport.stop()
+        assert not os.path.exists(path)
 
 
 class TestEndpointRobustness:
