@@ -73,6 +73,23 @@ class UserIdAuthority:
             return bytes(self._rng.getrandbits(8) for _ in range(BLOCK_SIZE))
         return os.urandom(BLOCK_SIZE)
 
+    @property
+    def next_uid(self) -> int:
+        """The uid the next :meth:`issue` call will hand out."""
+        with self._lock:
+            return self._next_uid
+
+    def advance(self, next_uid: int) -> None:
+        """Raise the sequential-uid watermark (never lowers it).
+
+        A restarted server calls this with the persisted watermark so the
+        fresh process does not re-issue uids that pre-crash users already
+        hold — their quota and adjacency history must not be inherited by
+        strangers.
+        """
+        with self._lock:
+            self._next_uid = max(self._next_uid, next_uid)
+
     def issue(self, issued_at: int = 0) -> str:
         """Issue a fresh token for the next sequential user ID."""
         with self._lock:

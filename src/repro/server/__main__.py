@@ -5,13 +5,19 @@ Usage::
     python -m repro.server [--addr tcp://0.0.0.0:7199]
         [--addr unix:///var/run/communix.sock]
         [--quota-per-day 10] [--no-adjacency-check]
+        [--data-dir /var/lib/communix] [--fsync always]
+        [--checkpoint-every 4096]
 
 ``--addr`` is repeatable: the server listens on every given endpoint
 simultaneously (TCP and UNIX-domain clients share one database).  The
 older ``--host``/``--port`` pair still works as a deprecated alias for a
-single ``tcp://HOST:PORT`` endpoint.  The server prints its bound
-address(es) and serves until interrupted; UNIX socket files are removed
-on clean shutdown.  Clients connect with
+single ``tcp://HOST:PORT`` endpoint.  With ``--data-dir`` the signature
+database is durable: accepted signatures go to a segmented write-ahead
+log (fsync policy per ``--fsync``), restart replays it, and ``SIGTERM``/
+``SIGINT`` trigger a graceful drain — in-flight requests finish, the log
+is flushed and sealed with a final checkpoint, UNIX socket files are
+unlinked — instead of the process dying mid-write.  The server prints its
+bound address(es) and serves until interrupted.  Clients connect with
 :class:`repro.client.SocketEndpoint` or via ``python -m repro.client``.
 """
 
@@ -25,6 +31,7 @@ import threading
 from repro.net import EndpointError, parse_endpoint, tcp_endpoint
 from repro.server.server import CommunixServer, ServerConfig
 from repro.server.transport import ServerTransport
+from repro.store import StoreError, parse_fsync_policy
 from repro.util.logging import enable_console_logging
 
 DEFAULT_HOST = "127.0.0.1"
@@ -65,6 +72,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=8,
         help="request-processing worker threads",
     )
+    parser.add_argument(
+        "--data-dir", metavar="DIR", default=None,
+        help="persist the signature database to a segmented write-ahead "
+             "log in DIR (replayed on restart); default: memory only",
+    )
+    parser.add_argument(
+        "--fsync", metavar="POLICY", default="always",
+        help="store fsync policy: 'always' (acked ADDs survive kill -9), "
+             "'interval:<ms>' (background flusher), or 'never'",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=4096, metavar="N",
+        help="write a checkpoint manifest every N accepted signatures "
+             "(0: only at clean shutdown); restart replays just the "
+             "records past the newest checkpoint",
+    )
     return parser
 
 
@@ -98,11 +121,33 @@ def main(argv: list[str] | None = None) -> int:
     except EndpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        parse_fsync_policy(args.fsync)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = ServerConfig(
         max_signatures_per_user_per_day=args.quota_per_day,
         adjacency_check=not args.no_adjacency_check,
+        data_dir=args.data_dir,
+        fsync_policy=args.fsync,
+        checkpoint_every=args.checkpoint_every,
     )
-    server = CommunixServer(config=config)
+    try:
+        server = CommunixServer(config=config)
+    except (OSError, StoreError) as exc:
+        print(f"error: cannot open data dir {args.data_dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if server.store is not None:
+        recovery = server.store.recovery
+        print(
+            f"communix-server restored {len(server.database)} signatures "
+            f"from {args.data_dir} "
+            f"({server.store.replayed_past_checkpoint} replayed past the "
+            f"checkpoint, {recovery.truncated_bytes} torn byte(s) repaired; "
+            f"fsync {server.store.fsync_policy})"
+        )
     transport = ServerTransport(
         server, endpoints=endpoints,
         accept_backlog=args.backlog, workers=args.workers,
@@ -118,17 +163,32 @@ def main(argv: list[str] | None = None) -> int:
           f"(quota {config.max_signatures_per_user_per_day}/user/day)")
     for endpoint in bound[1:]:
         print(f"communix-server also listening on {endpoint.url()}")
+    # SIGTERM/SIGINT request a *graceful* stop: the handler only sets the
+    # event, and the main thread then runs the full drain — in-flight
+    # requests finish, the store is flushed and sealed (final checkpoint),
+    # listeners close and UNIX socket files are unlinked — so a signaled
+    # server never dies mid-write.
     stop = threading.Event()
     signal.signal(signal.SIGINT, lambda *_: stop.set())
     signal.signal(signal.SIGTERM, lambda *_: stop.set())
     try:
         stop.wait()
     finally:
-        transport.stop()
+        transport.stop()  # graceful drain; flushes the store
+        try:
+            server.close()  # seal: final checkpoint manifest + closed log
+        except OSError as exc:
+            # The log itself was flushed by the drain; only the manifest
+            # is stale.  Report it but still exit with the stats line.
+            print(f"error: final checkpoint failed: {exc}", file=sys.stderr)
         stats = server.stats
+        durable = ""
+        if server.store is not None:
+            durable = (f" ({server.store.record_count} durable, "
+                       f"checkpointed at {server.store.checkpoint_count})")
         print(
             f"served {stats.adds_accepted} adds, {stats.gets_served} gets; "
-            f"database holds {len(server.database)} signatures"
+            f"database holds {len(server.database)} signatures{durable}"
         )
     return 0
 

@@ -27,6 +27,16 @@ tail page and ``more`` flags may have changed) and pages rebuild lazily.
 
 A per-user side index of top-frame sets supports the adjacency check
 (§III-C2) without deserializing history.
+
+The database is memory-first but optionally **durable**: give it a
+:class:`~repro.store.SignatureStore` and every accepted append is also
+written to the store's segmented write-ahead log *before* the in-memory
+state publishes it (under the ``always`` fsync policy an acked ADD
+therefore survives ``kill -9``), and construction replays the store —
+rebuilding the sharded segments, the dedup map, and the per-user adjacency
+index from the log + checkpoint manifest.  The disk write happens on
+whatever thread calls :meth:`append` (the server's worker pool), never on
+the transport's event loop.
 """
 
 from __future__ import annotations
@@ -36,6 +46,9 @@ from dataclasses import dataclass
 
 from repro.core.signature import DeadlockSignature
 from repro.server.protocol import pack_signature_record
+from repro.util.logging import get_logger
+
+log = get_logger("server.database")
 
 #: Signatures per segment.  A 2-thread signature is ~1.7 KB (paper §IV-A),
 #: so a sealed segment's wire cache is ~1.7 MB — large enough that a full
@@ -159,7 +172,10 @@ class _PageCache:
 
 class SignatureDatabase:
     def __init__(self, segment_size: int = DEFAULT_SEGMENT_SIZE,
-                 page_cache_capacity: int = 128):
+                 page_cache_capacity: int = 128, store=None):
+        """``store`` is an optional :class:`~repro.store.SignatureStore`:
+        its recovered entries are replayed into memory here, and every
+        subsequent accepted append is written through to it."""
         if segment_size < 1:
             raise ValueError("segment_size must be positive")
         self._segment_size = segment_size
@@ -170,6 +186,31 @@ class SignatureDatabase:
         self._by_sig_id: dict[str, int] = {}
         self._by_user: dict[int, list[int]] = {}  # uid -> entry indices
         self._page_cache = _PageCache(page_cache_capacity)
+        self._store = store
+        self.replayed_count = 0
+        if store is not None:
+            self._replay_store(store)
+
+    def _replay_store(self, store) -> None:
+        """Rebuild in-memory state from the store's recovered entries
+        (no re-logging: these records are already on disk)."""
+        with self._append_lock:
+            for entry in store.recovered_entries():
+                if entry.sig_id in self._by_sig_id:
+                    # A healthy log never holds duplicates; if one appears
+                    # anyway, inserting it keeps database indices aligned
+                    # with log indices (skipping would desync them and
+                    # poison every later append).
+                    log.warning("duplicate sig_id %s at log record %d; "
+                                "keeping both", entry.sig_id, entry.index)
+                self._insert_locked(entry.blob, entry.sig_id,
+                                    entry.sender_uid, entry.top_frames)
+                self.replayed_count += 1
+            self._page_cache.invalidate()
+
+    @property
+    def store(self):
+        return self._store
 
     def __len__(self) -> int:
         return self._count
@@ -199,25 +240,45 @@ class SignatureDatabase:
             existing = self._by_sig_id.get(signature.sig_id)
             if existing is not None:
                 return self._entries[existing].index
-            index = self._count
-            tail = self._segments[-1]
-            if len(tail.blobs) >= self._segment_size:
-                tail = _Segment(index)
-                self._segments.append(tail)
-            entry = StoredSignature(
-                index=index,
-                blob=blob,
-                sig_id=signature.sig_id,
-                sender_uid=sender_uid,
-                top_frames=signature.top_frames,
-            )
-            tail.append(blob)
-            self._entries.append(entry)
-            self._by_sig_id[signature.sig_id] = index
-            self._by_user.setdefault(sender_uid, []).append(index)
-            self._count = index + 1  # publish: readers may now see it
+            if self._store is not None:
+                # Durability before visibility: the record hits the log
+                # (and, under ``always``, the platters) before the count
+                # publishes it.  A failed disk write surfaces here and the
+                # in-memory state stays untouched — the ADD is not acked.
+                logged = self._store.append(
+                    blob, signature.sig_id, sender_uid, signature.top_frames
+                )
+                if logged != self._count:  # pragma: no cover - logic guard
+                    raise RuntimeError(
+                        f"store index {logged} diverged from database "
+                        f"index {self._count}"
+                    )
+            index = self._insert_locked(blob, signature.sig_id, sender_uid,
+                                        signature.top_frames)
             self._page_cache.invalidate()
             return index
+
+    def _insert_locked(self, blob: bytes, sig_id: str, sender_uid: int,
+                       top_frames: frozenset) -> int:
+        """In-memory append (caller holds ``_append_lock``)."""
+        index = self._count
+        tail = self._segments[-1]
+        if len(tail.blobs) >= self._segment_size:
+            tail = _Segment(index)
+            self._segments.append(tail)
+        entry = StoredSignature(
+            index=index,
+            blob=blob,
+            sig_id=sig_id,
+            sender_uid=sender_uid,
+            top_frames=top_frames,
+        )
+        tail.append(blob)
+        self._entries.append(entry)
+        self._by_sig_id[sig_id] = index
+        self._by_user.setdefault(sender_uid, []).append(index)
+        self._count = index + 1  # publish: readers may now see it
+        return index
 
     # ------------------------------------------------------------- reading
     def _range(self, start: int, max_count: int | None) -> tuple[int, int, int]:

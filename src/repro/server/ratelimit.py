@@ -50,6 +50,20 @@ class DailyQuota:
             bucket[uid] = used + 1
             return True
 
+    def refund(self, uid: int) -> None:
+        """Give back one consumed slot (the signature was never stored —
+        e.g. the durable store rejected the write after validation)."""
+        day = self._day()
+        with self._lock:
+            bucket = self._days.get(day)
+            if bucket is None:
+                return  # the day rolled over; nothing to give back
+            used = bucket.get(uid, 0)
+            if used > 1:
+                bucket[uid] = used - 1
+            elif used == 1:
+                del bucket[uid]
+
     def used_today(self, uid: int) -> int:
         with self._lock:
             return self._days.get(self._day(), {}).get(uid, 0)

@@ -39,6 +39,17 @@ class ServerConfig:
     #: Hard cap on one paginated GET page; an oversized ``max_count`` from a
     #: client is clamped here.  Unpaginated (legacy) GETs are never clamped.
     max_get_page: int = 4096
+    #: Durability: directory for the segmented write-ahead log (see
+    #: :mod:`repro.store`).  ``None`` keeps the seed behavior — memory only,
+    #: the database dies with the process.
+    data_dir: str | None = None
+    #: Store fsync policy: ``always`` (an acked ADD survives kill -9),
+    #: ``interval:<ms>`` (background flusher; bounded loss window), or
+    #: ``never`` (OS-paced; clean shutdown still flushes).
+    fsync_policy: str = "always"
+    #: Write a checkpoint manifest every this many accepted signatures
+    #: (plus one on clean shutdown); 0 checkpoints only on shutdown.
+    checkpoint_every: int = 4096
 
 
 @dataclass
@@ -121,11 +132,27 @@ class _StatsCounters:
 class CommunixServer:
     def __init__(self, config: ServerConfig | None = None,
                  authority: UserIdAuthority | None = None,
-                 clock: Clock | None = None):
+                 clock: Clock | None = None, store=None):
+        """``store`` overrides the config-driven store; by default a
+        :class:`~repro.store.SignatureStore` is opened (replaying any
+        existing log) when ``config.data_dir`` is set."""
         self.config = config or ServerConfig()
         self.clock = clock or SystemClock()
         self.authority = authority or UserIdAuthority()
-        self.database = SignatureDatabase()
+        if store is None and self.config.data_dir:
+            from repro.store import SignatureStore  # cycle-free lazy import
+
+            store = SignatureStore(
+                self.config.data_dir,
+                fsync=self.config.fsync_policy,
+                checkpoint_every=self.config.checkpoint_every,
+            )
+        self.store = store
+        self.database = SignatureDatabase(store=store)
+        if store is not None:
+            # Never re-issue a uid the pre-restart server already handed
+            # out: quota and adjacency history must stay per-person.
+            self.authority.advance(store.next_uid)
         self.quota = DailyQuota(
             self.clock, self.config.max_signatures_per_user_per_day
         )
@@ -147,7 +174,27 @@ class CommunixServer:
         out of scope (§III-C2) and so do we: this method is the trusted
         stand-in used by examples, tests, and benchmarks.
         """
-        return self.authority.issue(issued_at=int(self.clock.now()))
+        token = self.authority.issue(issued_at=int(self.clock.now()))
+        if self.store is not None:
+            # Best-effort watermark (persisted at the next checkpoint) so
+            # even a user who only fetched a token keeps their uid across
+            # a restart.
+            self.store.note_next_uid(self.authority.next_uid)
+        return token
+
+    # ---------------------------------------------------------- durability
+    def flush_store(self) -> None:
+        """Force everything acked so far onto disk (no-op without a store);
+        the transport calls this at the end of its graceful drain."""
+        if self.store is not None and not self.store.closed:
+            self.store.flush()
+
+    def close(self) -> None:
+        """Seal the store: final checkpoint manifest + flushed, closed log.
+        The server object remains usable for reads; further ADDs would
+        fail, so close last."""
+        if self.store is not None and not self.store.closed:
+            self.store.close(final_checkpoint=True)
 
     # ------------------------------------------------------------ requests
     def process_add(self, blob: bytes, token: str) -> AddOutcome:
@@ -166,7 +213,18 @@ class CommunixServer:
                 return self._rejected(verdict.value)
         else:
             uid = 0
-        index = self.database.append(signature, blob, uid)
+        try:
+            index = self.database.append(signature, blob, uid)
+        except (OSError, ValueError):  # disk failure / store already sealed
+            # The write-ahead log could not take the record: the signature
+            # is NOT durable, so it must not be acked as stored — and the
+            # quota slot validation consumed must be given back, or a
+            # full disk would burn a user's whole daily allowance on
+            # retries that stored nothing.
+            log.exception("store append failed; ADD not acknowledged")
+            if self.config.require_token:
+                self.quota.refund(uid)
+            return self._rejected("store_error")
         self._counters.adds_accepted.add()
         return AddOutcome(accepted=True, verdict="ok", index=index)
 

@@ -17,9 +17,11 @@ Per-connection guarantees:
   drain its responses stops being read until it catches up.
 
 ``stop()`` drains gracefully: in-flight requests finish, their responses
-are flushed (bounded by ``drain_timeout``), then every registered
-connection, the listeners, the wakeup pipe, and the selector are closed —
-no leaked file descriptors, and UNIX socket files are unlinked.
+are flushed (bounded by ``drain_timeout``), the server's signature store
+(when configured) is fsynced so every acked ADD is durable, then every
+registered connection, the listeners, the wakeup pipe, and the selector
+are closed — no leaked file descriptors, and UNIX socket files are
+unlinked.
 
 Addressing goes through :mod:`repro.net`: the transport listens on one or
 more endpoints (``tcp://host:port`` and/or ``unix:///path``)
@@ -555,6 +557,13 @@ class ServerTransport:
                 elif isinstance(key.data, _Connection):
                     if mask & selectors.EVENT_WRITE:
                         self._flush(key.data)
+        # Every in-flight ADD has now been processed (or abandoned with its
+        # connection): push the write-ahead log to disk so a stop under the
+        # interval/never fsync policies loses nothing that was acked.
+        try:
+            self._server.flush_store()
+        except Exception:  # pragma: no cover - disk failure at shutdown
+            log.exception("failed to flush signature store during drain")
 
     def _force_close_all(self) -> None:
         for conn in list(self._conns.values()):

@@ -1,0 +1,43 @@
+"""Durable storage for the Communix signature database.
+
+The immunity story (§III-B) assumes the collaborative store is
+*monotonically indexed and durable*: a server that forgets its signatures
+on restart re-exposes every client fleet to deadlocks they were already
+immunized against.  This package is that durability layer — a segmented
+append-only write-ahead log with CRC-framed records, pluggable fsync
+policies, torn-tail repair, and checkpointed restart:
+
+* :mod:`repro.store.records` — the ``len | crc32 | payload`` record frame;
+* :mod:`repro.store.wal` — segment files, rotation, fsync policies,
+  crash recovery of the longest valid prefix;
+* :mod:`repro.store.checkpoint` — the ``MANIFEST.json`` snapshot that
+  lets restart skip re-validating the checkpointed prefix;
+* :mod:`repro.store.store` — :class:`SignatureStore`, the facade the
+  server wires into :class:`~repro.server.database.SignatureDatabase`.
+"""
+
+from repro.store.checkpoint import Manifest, load_manifest, write_manifest
+from repro.store.records import LogRecord, pack_record, scan_records
+from repro.store.store import RecoveredEntry, SignatureStore, StoreError
+from repro.store.wal import (
+    DEFAULT_SEGMENT_RECORDS,
+    FsyncPolicy,
+    SegmentedLog,
+    parse_fsync_policy,
+)
+
+__all__ = [
+    "DEFAULT_SEGMENT_RECORDS",
+    "FsyncPolicy",
+    "LogRecord",
+    "Manifest",
+    "RecoveredEntry",
+    "SegmentedLog",
+    "SignatureStore",
+    "StoreError",
+    "load_manifest",
+    "pack_record",
+    "parse_fsync_policy",
+    "scan_records",
+    "write_manifest",
+]

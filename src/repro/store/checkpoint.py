@@ -1,0 +1,132 @@
+"""Checkpoint manifest (``MANIFEST.json``) for the signature store.
+
+A checkpoint is a snapshot of everything the server would otherwise have
+to *recompute* from the log on restart: how many records are durable, which
+segment files hold them, the per-record metadata (content hash + top-frame
+locations) that normally requires deserializing every blob, the per-user
+record index behind the adjacency check, and the next user id to issue.
+
+With a manifest present, restart replays only the records *past*
+``record_count`` — the checkpointed prefix is loaded straight off the
+segment files without CRC re-verification or signature parsing.  A missing,
+torn, or inconsistent manifest is never fatal: the store falls back to a
+full validating replay of the log (the manifest is an accelerator, the log
+is the truth).
+
+The file is written atomically (temp file + ``fsync`` + ``os.replace`` +
+directory ``fsync``), so a crash mid-checkpoint leaves the previous
+manifest intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.store.wal import fsync_dir
+from repro.util.logging import get_logger
+
+log = get_logger("store.checkpoint")
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+#: ``(class_name, method, line)`` — a frame location as stored in
+#: signature metadata.
+Location = tuple[str, str, int]
+
+
+@dataclass
+class Manifest:
+    record_count: int
+    segment_records: int
+    segments: list[str] = field(default_factory=list)
+    #: One ``(sig_id, top_frame_locations)`` per checkpointed record.
+    entries: list[tuple[str, tuple[Location, ...]]] = field(default_factory=list)
+    #: uid -> record indices (the adjacency-index snapshot, §III-C2).
+    users: dict[int, list[int]] = field(default_factory=dict)
+    #: Restart continuity for :class:`~repro.crypto.userid.UserIdAuthority`.
+    next_uid: int = 1
+
+    def encode(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "record_count": self.record_count,
+            "segment_records": self.segment_records,
+            "segments": list(self.segments),
+            "entries": [
+                [sig_id, [list(loc) for loc in frames]]
+                for sig_id, frames in self.entries
+            ],
+            "users": {str(uid): idxs for uid, idxs in self.users.items()},
+            "next_uid": self.next_uid,
+        }
+
+    @staticmethod
+    def decode(obj: dict) -> "Manifest":
+        if obj.get("version") != MANIFEST_VERSION:
+            raise ValueError(f"unsupported manifest version {obj.get('version')!r}")
+        record_count = int(obj["record_count"])
+        segment_records = int(obj["segment_records"])
+        if record_count < 0 or segment_records < 1:
+            raise ValueError(
+                f"nonsensical manifest counts (records={record_count}, "
+                f"segment_records={segment_records})"
+            )
+        entries = [
+            (str(sig_id), tuple((str(c), str(m), int(line))
+                                for c, m, line in frames))
+            for sig_id, frames in obj["entries"]
+        ]
+        if len(entries) != record_count:
+            raise ValueError(
+                f"manifest lists {len(entries)} entries for "
+                f"{record_count} records"
+            )
+        users = {int(uid): [int(i) for i in idxs]
+                 for uid, idxs in obj.get("users", {}).items()}
+        for idxs in users.values():
+            if any(i < 0 or i >= record_count for i in idxs):
+                raise ValueError("manifest user index out of range")
+        return Manifest(
+            record_count=record_count,
+            segment_records=segment_records,
+            segments=[str(s) for s in obj.get("segments", [])],
+            entries=entries,
+            users=users,
+            next_uid=int(obj.get("next_uid", 1)),
+        )
+
+
+def manifest_path(data_dir: str) -> str:
+    return os.path.join(data_dir, MANIFEST_NAME)
+
+
+def write_manifest(data_dir: str, manifest: Manifest) -> None:
+    """Atomically persist the manifest (crash-safe replace)."""
+    path = manifest_path(data_dir)
+    tmp = path + ".tmp"
+    data = json.dumps(manifest.encode(), separators=(",", ":"))
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_dir(data_dir)
+
+
+def load_manifest(data_dir: str) -> Manifest | None:
+    """The manifest, or ``None`` when absent or unusable (any damage means
+    "checkpoint ignored, full replay" — never a startup failure)."""
+    path = manifest_path(data_dir)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            obj = json.load(fh)
+        return Manifest.decode(obj)
+    except FileNotFoundError:
+        return None
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        log.warning("ignoring unusable manifest %s (%s); will fully replay",
+                    path, exc)
+        return None

@@ -1,0 +1,92 @@
+"""On-disk record framing for the signature write-ahead log.
+
+A log record mirrors the wire cache's ``len | payload`` shape with a
+checksum between them::
+
+    u32 len | u32 crc32 | payload          (all big-endian)
+
+where ``len`` counts the *payload* bytes and ``crc32`` is
+``zlib.crc32(payload)``.  The payload is a small envelope —
+
+    u64 sender_uid | signature blob
+
+— because the per-user adjacency index (§III-C2) must survive a restart
+and the sender's uid is not part of the signature blob itself.
+
+Torn tails are expected: a crash can leave a partial header, a partial
+payload, or a payload whose checksum no longer matches.  :func:`scan_records`
+therefore never raises on damage — it returns every record of the longest
+valid prefix plus the byte offset where that prefix ends, and the caller
+truncates the file there.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+_HEADER = struct.Struct(">II")
+_UID = struct.Struct(">Q")
+
+HEADER_BYTES = _HEADER.size
+#: Sanity cap used while scanning: a length field above this is treated as
+#: tail corruption, not as a real record.  Generous against the server's
+#: 64 KiB signature cap, tight enough that a random bit-flip in a length
+#: field cannot make the scanner walk gigabytes of garbage.
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One recovered record: the signature blob plus its sender."""
+
+    sender_uid: int
+    blob: bytes
+
+
+def pack_record(blob: bytes, sender_uid: int) -> bytes:
+    """Frame one signature blob as a durable log record."""
+    payload = _UID.pack(sender_uid) + blob
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def record_size(blob: bytes) -> int:
+    """On-disk bytes :func:`pack_record` will produce for ``blob``."""
+    return HEADER_BYTES + _UID.size + len(blob)
+
+
+def unpack_payload(payload: bytes) -> LogRecord:
+    """Split a validated record payload into (sender_uid, blob)."""
+    if len(payload) < _UID.size:
+        raise ValueError("record payload shorter than its uid field")
+    return LogRecord(_UID.unpack_from(payload)[0], payload[_UID.size:])
+
+
+def scan_records(data: bytes, *, verify_crc: bool = True
+                 ) -> tuple[list[LogRecord], int]:
+    """``(records, valid_bytes)`` — the longest valid record prefix.
+
+    ``valid_bytes`` is the offset just past the last valid record; anything
+    beyond it is a torn tail (partial write or corruption) the caller
+    should truncate away.  With ``verify_crc`` off, checksums are skipped —
+    the checkpointed-prefix fast path, where the manifest already vouches
+    for the records — but framing is still parsed to slice the payloads.
+    """
+    records: list[LogRecord] = []
+    offset = 0
+    total = len(data)
+    while True:
+        if offset + HEADER_BYTES > total:
+            return records, offset
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length < _UID.size or length > MAX_PAYLOAD_BYTES:
+            return records, offset
+        end = offset + HEADER_BYTES + length
+        if end > total:
+            return records, offset
+        payload = data[offset + HEADER_BYTES:end]
+        if verify_crc and zlib.crc32(payload) != crc:
+            return records, offset
+        records.append(unpack_payload(payload))
+        offset = end

@@ -1,0 +1,298 @@
+"""The signature store: durable sink + recovery source for the database.
+
+:class:`SignatureStore` ties the pieces together:
+
+* **appends** go to the :class:`~repro.store.wal.SegmentedLog` (one record
+  per *accepted, non-duplicate* signature, in database-index order — the
+  log is exactly the database's append history);
+* **checkpoints** snapshot the derived metadata (content hashes, top-frame
+  locations, the per-user adjacency index, the next user id) into
+  ``MANIFEST.json`` so a restart can load the checkpointed prefix without
+  re-validating it;
+* **opening** a data directory replays: segment files are scanned (CRC
+  verified only past the checkpoint), torn tails truncated, and each
+  record surfaces as a :class:`RecoveredEntry` ready to be loaded into
+  :class:`~repro.server.database.SignatureDatabase` — blobs, dedup hash,
+  sender uid, and top frames, with signature *parsing* needed only for the
+  tail records the manifest does not cover.
+
+A manifest that disagrees with the log (it claims more records than the
+log actually holds — e.g. a checkpoint survived but log segments were
+lost) is discarded and the whole log is replayed with full verification;
+the log, not the manifest, is the source of truth.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.core.signature import DeadlockSignature, ORIGIN_REMOTE
+from repro.store.checkpoint import (
+    Manifest,
+    load_manifest,
+    write_manifest,
+)
+from repro.store.records import LogRecord
+from repro.store.wal import (
+    DEFAULT_SEGMENT_RECORDS,
+    FsyncPolicy,
+    SegmentedLog,
+    parse_fsync_policy,
+)
+from repro.util.errors import ValidationError
+from repro.util.logging import get_logger
+
+log = get_logger("store")
+
+
+class StoreError(Exception):
+    """Unrecoverable store inconsistency (a logic error, not crash damage;
+    crash damage is always repaired silently)."""
+
+
+@dataclass(frozen=True)
+class RecoveredEntry:
+    """One replayed record with everything the database needs to rebuild
+    its in-memory state without re-deriving it."""
+
+    index: int
+    blob: bytes
+    sig_id: str
+    sender_uid: int
+    top_frames: frozenset
+
+
+class SignatureStore:
+    """Open (recovering) a data directory; append; checkpoint; close."""
+
+    def __init__(self, data_dir: str,
+                 fsync: str | FsyncPolicy = "always",
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 checkpoint_every: int = 0):
+        self.data_dir = data_dir
+        self.policy = parse_fsync_policy(fsync)
+        self.checkpoint_every = max(0, checkpoint_every)
+        self._lock = threading.Lock()
+        self._ckpt_lock = threading.Lock()  # one manifest writer at a time
+        self._ckpt_failed_at = 0  # record count when a checkpoint last failed
+        # Derived metadata mirrors (one slot per record) for checkpoints.
+        self._sig_ids: list[str] = []
+        self._top_frames: list[tuple] = []
+        self._users: dict[int, list[int]] = {}
+        self._next_uid = 1
+        os.makedirs(data_dir, exist_ok=True)
+        manifest = load_manifest(data_dir)
+        if manifest and manifest.segment_records != segment_records:
+            # The directory's segmentation is a property of its files, not
+            # of this process's configuration: adopt what it was written
+            # with (the log's seq/index math depends on it).
+            log.warning(
+                "data dir %s was written with %d records/segment; using "
+                "that instead of the configured %d",
+                data_dir, manifest.segment_records, segment_records,
+            )
+            segment_records = manifest.segment_records
+        trusted = manifest.record_count if manifest else 0
+        try:
+            self._log = SegmentedLog(data_dir,
+                                     segment_records=segment_records,
+                                     fsync=self.policy,
+                                     trusted_records=trusted)
+        except ValueError as exc:
+            raise StoreError(str(exc)) from exc
+        try:
+            if manifest and self._log.record_count < manifest.record_count:
+                # The log lost records the checkpoint vouches for: the
+                # manifest is stale/lying.  Re-open with nothing trusted
+                # and replay everything with full verification.
+                log.warning(
+                    "manifest claims %d records but the log holds %d; "
+                    "discarding checkpoint and fully replaying",
+                    manifest.record_count, self._log.record_count,
+                )
+                self._log.close()
+                manifest = None
+                self._log = SegmentedLog(data_dir,
+                                         segment_records=segment_records,
+                                         fsync=self.policy)
+            self._checkpoint_count = manifest.record_count if manifest else 0
+            self._replayed = self._build_entries(
+                self._log.recovered_records(), manifest
+            )
+        except Exception:
+            self._log.close()  # don't leak the fd / flusher thread
+            raise
+        if manifest:
+            self._next_uid = max(self._next_uid, manifest.next_uid)
+        self.recovery = self._log.recovery
+        self.replayed_past_checkpoint = (
+            len(self._replayed) - self._checkpoint_count
+        )
+
+    # ------------------------------------------------------------- recovery
+    def _build_entries(self, records: list[LogRecord],
+                       manifest: Manifest | None) -> list[RecoveredEntry]:
+        entries: list[RecoveredEntry] = []
+        checkpointed = manifest.record_count if manifest else 0
+        if manifest:
+            # The checkpointed prefix's per-user index comes straight from
+            # the manifest snapshot; the loop below only extends it for
+            # tail records.
+            for uid, indices in manifest.users.items():
+                self._users[uid] = list(indices)
+        for index, record in enumerate(records):
+            if index < checkpointed:
+                sig_id, frames = manifest.entries[index]
+                top_frames = frozenset(frames)
+            else:
+                try:
+                    signature = DeadlockSignature.from_bytes(
+                        record.blob, origin=ORIGIN_REMOTE
+                    )
+                except ValidationError as exc:
+                    # CRC-valid but unparseable: the record was never a
+                    # validated signature, which only a writer bug produces.
+                    raise StoreError(
+                        f"record {index} is checksummed but not a valid "
+                        f"signature: {exc}"
+                    ) from exc
+                sig_id = signature.sig_id
+                top_frames = signature.top_frames
+            entries.append(RecoveredEntry(
+                index=index,
+                blob=record.blob,
+                sig_id=sig_id,
+                sender_uid=record.sender_uid,
+                top_frames=top_frames,
+            ))
+            self._sig_ids.append(sig_id)
+            self._top_frames.append(tuple(sorted(top_frames)))
+            if index >= checkpointed:
+                self._users.setdefault(record.sender_uid, []).append(index)
+            self._next_uid = max(self._next_uid, record.sender_uid + 1)
+        return entries
+
+    def recovered_entries(self) -> list[RecoveredEntry]:
+        """The replayed records (consumed once, by the database load)."""
+        entries, self._replayed = self._replayed, []
+        return entries
+
+    # -------------------------------------------------------------- writing
+    def append(self, blob: bytes, sig_id: str, sender_uid: int,
+               top_frames: frozenset) -> int:
+        """Log one accepted signature; returns its record index.
+
+        Under the ``always`` policy the record is fsynced before this
+        returns — the caller may ack the ADD the moment it does.
+        """
+        with self._lock:
+            # Log write and metadata mirror under one lock, so concurrent
+            # appenders cannot interleave them: _sig_ids[i] always
+            # describes log record i (checkpoints depend on it).
+            index = self._log.append(blob, sender_uid)
+            self._sig_ids.append(sig_id)
+            self._top_frames.append(tuple(sorted(top_frames)))
+            self._users.setdefault(sender_uid, []).append(index)
+            self._next_uid = max(self._next_uid, sender_uid + 1)
+            # Back off after a failure: retry only once another
+            # checkpoint_every records accumulate, not on every append
+            # (the O(history) manifest build would otherwise run — and
+            # fail — on every single ADD while the disk is sick).
+            watermark = max(self._checkpoint_count, self._ckpt_failed_at)
+            due = (self.checkpoint_every
+                   and self._log.record_count - watermark
+                   >= self.checkpoint_every)
+        if due:
+            # Best-effort: the record above is already durable in the log;
+            # a failed manifest write must not turn this acked-able append
+            # into an error.  Restart just replays a longer tail.
+            try:
+                self.checkpoint()
+            except OSError:
+                with self._lock:
+                    self._ckpt_failed_at = self._log.record_count
+                log.exception("checkpoint failed; continuing with the "
+                              "previous manifest")
+        return index
+
+    def note_next_uid(self, next_uid: int) -> None:
+        """Raise the persisted uid watermark (called on token issue, so a
+        restart never re-issues a uid that only ever fetched a token)."""
+        with self._lock:
+            self._next_uid = max(self._next_uid, next_uid)
+
+    # ---------------------------------------------------------- checkpoints
+    def checkpoint(self) -> Manifest:
+        """Flush the log, then atomically write ``MANIFEST.json``.
+
+        The count is snapshotted *before* the flush, so the manifest never
+        vouches for a record the log has not made durable — an append that
+        lands between the snapshot and the flush is simply covered by the
+        next checkpoint (matters under ``interval``/``never``).
+        """
+        with self._ckpt_lock:  # one manifest writer at a time
+            with self._lock:
+                # A concurrent append may have hit the log but not yet
+                # mirrored its metadata; checkpoint what both layers
+                # agree on.
+                count = min(self._log.record_count, len(self._sig_ids))
+                manifest = Manifest(
+                    record_count=count,
+                    segment_records=self._log.segment_records,
+                    segments=self._log.segment_names(),
+                    entries=list(zip(self._sig_ids[:count],
+                                     self._top_frames[:count])),
+                    users={uid: [i for i in idxs if i < count]
+                           for uid, idxs in self._users.items()},
+                    next_uid=self._next_uid,
+                )
+            self._log.flush()  # records [0, count) durable past this line
+            write_manifest(self.data_dir, manifest)
+            with self._lock:
+                self._checkpoint_count = max(self._checkpoint_count, count)
+        return manifest
+
+    # -------------------------------------------------------------- closing
+    def flush(self) -> None:
+        """Make everything appended so far durable (any policy)."""
+        if not self._log.closed:
+            self._log.flush()
+
+    def close(self, final_checkpoint: bool = True) -> None:
+        """Seal the store: final checkpoint (by default) and close the log.
+
+        The log closes even when the checkpoint fails (its close flushes
+        what the manifest could not vouch for) — a failed final checkpoint
+        must not leak the tail handle and flusher thread or leave the
+        store half-open."""
+        if self._log.closed:
+            return
+        try:
+            if final_checkpoint:
+                self.checkpoint()
+        finally:
+            self._log.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._log.closed
+
+    # ---------------------------------------------------------------- stats
+    @property
+    def record_count(self) -> int:
+        return self._log.record_count
+
+    @property
+    def checkpoint_count(self) -> int:
+        """Records covered by the newest durable checkpoint."""
+        return self._checkpoint_count
+
+    @property
+    def next_uid(self) -> int:
+        return self._next_uid
+
+    @property
+    def fsync_policy(self) -> str:
+        return self.policy.spec()

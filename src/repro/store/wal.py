@@ -1,0 +1,408 @@
+"""Segmented append-only write-ahead log (``segment-<n>.cxlog`` files).
+
+The log rotates to a fresh segment file every ``segment_records`` appends,
+so segment *n* always holds records ``[n * segment_records,
+(n+1) * segment_records)`` — the same stripe boundaries as the in-memory
+:class:`~repro.server.database.SignatureDatabase` segments, which keeps
+"replay segment file → rebuild database segment" a one-to-one walk.
+
+Durability is a pluggable **fsync policy** (:func:`parse_fsync_policy`):
+
+* ``always`` — every append is flushed *and* fsynced before it returns;
+  an acked ADD survives ``kill -9``.
+* ``interval:<ms>`` — a background flusher thread fsyncs the tail file
+  every ``<ms>`` milliseconds; a crash loses at most that window.
+* ``never`` — the OS decides; a clean :meth:`close` still flushes.
+
+Sealed segments are flushed **and fsynced at rotation under every
+policy** — ``flush()`` and checkpoints only reach the current tail file,
+so rotation is the one moment a sealed segment can be made durable.
+
+Opening a directory recovers it: segment files are scanned in order, a
+torn tail (partial record after a crash) is truncated back to the last
+valid record, and any segments *after* a damaged one are set aside as
+``*.orphan`` files rather than silently merged past a hole.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from dataclasses import dataclass
+
+from repro.store.records import LogRecord, pack_record, scan_records
+from repro.util.logging import get_logger
+
+log = get_logger("store.wal")
+
+#: Records per segment file; mirrors the database's in-memory stripe size
+#: (``repro.server.database.DEFAULT_SEGMENT_SIZE``) so one log segment
+#: replays into exactly one database segment.
+DEFAULT_SEGMENT_RECORDS = 1024
+
+SEGMENT_SUFFIX = ".cxlog"
+_SEGMENT_RE = re.compile(r"^segment-(\d{8})\.cxlog$")
+
+FSYNC_ALWAYS = "always"
+FSYNC_INTERVAL = "interval"
+FSYNC_NEVER = "never"
+
+
+@dataclass(frozen=True)
+class FsyncPolicy:
+    """A parsed fsync policy: ``mode`` plus the interval (seconds) when
+    ``mode == "interval"``."""
+
+    mode: str
+    interval_s: float = 0.0
+
+    def spec(self) -> str:
+        if self.mode == FSYNC_INTERVAL:
+            return f"interval:{int(self.interval_s * 1000)}"
+        return self.mode
+
+
+def parse_fsync_policy(spec: str | FsyncPolicy) -> FsyncPolicy:
+    """``"always"`` / ``"never"`` / ``"interval:<ms>"`` → policy object."""
+    if isinstance(spec, FsyncPolicy):
+        return spec
+    text = str(spec).strip().lower()
+    if text == FSYNC_ALWAYS:
+        return FsyncPolicy(FSYNC_ALWAYS)
+    if text == FSYNC_NEVER:
+        return FsyncPolicy(FSYNC_NEVER)
+    head, _, arg = text.partition(":")
+    if head == FSYNC_INTERVAL:
+        try:
+            millis = float(arg)
+        except ValueError:
+            millis = -1.0
+        if millis > 0:
+            return FsyncPolicy(FSYNC_INTERVAL, interval_s=millis / 1000.0)
+    raise ValueError(
+        f"bad fsync policy {spec!r} (want always, never, or interval:<ms>)"
+    )
+
+
+def segment_filename(seq: int) -> str:
+    return f"segment-{seq:08d}{SEGMENT_SUFFIX}"
+
+
+def fsync_dir(path: str) -> None:
+    """Make a directory entry durable: fsyncing file *contents* does not
+    persist the file's existence — without this, a power loss can drop a
+    freshly-rotated segment (and every acked record in it) wholesale."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def list_segments(data_dir: str) -> list[tuple[int, str]]:
+    """Sorted ``(seq, filename)`` pairs of the segment files in a dir."""
+    found = []
+    for name in os.listdir(data_dir):
+        match = _SEGMENT_RE.match(name)
+        if match:
+            found.append((int(match.group(1)), name))
+    found.sort()
+    return found
+
+
+@dataclass
+class RecoveryReport:
+    """What :class:`SegmentedLog` found (and repaired) while opening."""
+
+    record_count: int = 0
+    segment_count: int = 0
+    truncated_bytes: int = 0
+    orphaned_segments: int = 0
+
+
+class SegmentedLog:
+    """The durable byte layer: append records, rotate segments, recover.
+
+    Thread safety: :meth:`append` may be called from many worker threads
+    (they serialize on an internal lock); the background flusher only ever
+    flushes the current tail file under that same lock.
+    """
+
+    def __init__(self, data_dir: str,
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 fsync: str | FsyncPolicy = FSYNC_ALWAYS,
+                 trusted_records: int = 0):
+        """``trusted_records`` is the checkpointed prefix length: records a
+        durable manifest already vouches for skip CRC re-verification when
+        their segment is fully covered (framing is still parsed)."""
+        if segment_records < 1:
+            raise ValueError("segment_records must be positive")
+        self.data_dir = data_dir
+        self.segment_records = segment_records
+        self.trusted_records = max(0, trusted_records)
+        self.policy = parse_fsync_policy(fsync)
+        self.recovery = RecoveryReport()
+        self._lock = threading.Lock()
+        self._file = None  # tail segment file handle (append mode)
+        self._tail_seq = 0
+        self._tail_records = 0
+        self._count = 0
+        self._dirty = False  # bytes written since the last fsync
+        self._closed = False
+        self._broken = False  # a failed write could not be rolled back
+        self._flusher: threading.Thread | None = None
+        self._flusher_stop = threading.Event()
+        os.makedirs(data_dir, exist_ok=True)
+        self._recovered = self._recover()
+        self._open_tail()
+        if self.policy.mode == FSYNC_INTERVAL:
+            self._start_flusher()
+
+    # ------------------------------------------------------------- recovery
+    def _recover(self) -> list[LogRecord]:
+        """Scan segments in order; truncate the torn tail; orphan anything
+        past a damaged segment.  Returns every recovered record."""
+        records: list[LogRecord] = []
+        report = self.recovery
+        segments = list_segments(self.data_dir)
+        broken_at: int | None = None
+        for position, (seq, name) in enumerate(segments):
+            if broken_at is not None or seq != position:
+                # A gap in the sequence (or anything after damage) cannot
+                # be stitched past: set it aside for the operator.
+                self._orphan(name)
+                report.orphaned_segments += 1
+                if broken_at is None:
+                    broken_at = position
+                continue
+            path = os.path.join(self.data_dir, name)
+            with open(path, "rb") as fh:
+                data = fh.read()
+            # A segment whose every record sits inside the checkpointed
+            # prefix was already validated before the manifest was
+            # written; parse its framing but skip the CRC pass.
+            verify = ((position + 1) * self.segment_records
+                      > self.trusted_records)
+            found, valid_bytes = scan_records(data, verify_crc=verify)
+            if len(found) > self.segment_records:
+                # More records than one segment can hold: the directory
+                # was written under a different segmentation.  Refusing is
+                # the only safe move — the seq/index math below would
+                # silently misplace the tail.
+                raise ValueError(
+                    f"{name} holds {len(found)} records but this log is "
+                    f"configured for {self.segment_records} per segment; "
+                    "reopen with the segmentation the data dir was "
+                    "written with"
+                )
+            torn = valid_bytes < len(data)
+            if torn:
+                log.warning("torn tail in %s: truncating %d byte(s) after "
+                            "record %d", name, len(data) - valid_bytes,
+                            len(records) + len(found))
+                report.truncated_bytes += len(data) - valid_bytes
+                self._truncate(path, valid_bytes)
+            records.extend(found)
+            if len(found) < self.segment_records:
+                # A short segment is only legal as the live tail.  When a
+                # *cleanly*-short one (no torn bytes — every byte parsed)
+                # has segments after it and no manifest vouches for the
+                # layout, this is indistinguishable from a reopen with the
+                # wrong segment_records; auto-orphaning the followers
+                # would silently discard durable records, so refuse.
+                if (position < len(segments) - 1 and not torn
+                        and self.trusted_records == 0):
+                    raise ValueError(
+                        f"{name} holds {len(found)} records (expected "
+                        f"{self.segment_records}) yet further segments "
+                        "follow and no manifest describes the layout; "
+                        "reopen with the segmentation this directory was "
+                        "written with, or restore MANIFEST.json"
+                    )
+                broken_at = position + 1
+        self._count = len(records)
+        self._tail_seq = self._count // self.segment_records
+        self._tail_records = self._count % self.segment_records
+        report.record_count = self._count
+        report.segment_count = self._tail_seq + (1 if self._tail_records else 0)
+        return records
+
+    def _orphan(self, name: str) -> None:
+        src = os.path.join(self.data_dir, name)
+        dst = src + ".orphan"
+        log.warning("setting aside unexpected segment %s", name)
+        suffix = 0
+        while os.path.exists(dst):  # pragma: no cover - repeated crashes
+            suffix += 1
+            dst = f"{src}.orphan.{suffix}"
+        os.replace(src, dst)
+
+    @staticmethod
+    def _truncate(path: str, size: int) -> None:
+        with open(path, "r+b") as fh:
+            fh.truncate(size)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def recovered_records(self) -> list[LogRecord]:
+        """The records found at open time (consumed once by the store)."""
+        records, self._recovered = self._recovered, []
+        return records
+
+    # -------------------------------------------------------------- writing
+    def _open_tail(self) -> None:
+        path = os.path.join(self.data_dir, segment_filename(self._tail_seq))
+        existed = os.path.exists(path)
+        self._file = open(path, "ab")
+        if not existed:
+            fsync_dir(self.data_dir)  # the new file's dir entry is durable
+
+    def _rotate_locked(self) -> None:
+        """Seal the full tail segment (flush + fsync, under *every*
+        policy: ``flush()``/checkpoints only ever touch the current tail,
+        so this is the one chance to make a sealed segment durable — one
+        fsync per ``segment_records`` appends is cheap even for ``never``)
+        and start the next one.  Ordered so any failure leaves the old
+        tail open and every counter untouched — the caller's append simply
+        fails without side effects."""
+        fh = self._file
+        fh.flush()
+        os.fsync(fh.fileno())
+        next_seq = self._tail_seq + 1
+        new = open(os.path.join(self.data_dir, segment_filename(next_seq)),
+                   "ab")
+        fsync_dir(self.data_dir)  # persist the new segment's dir entry
+        fh.close()
+        self._file = new
+        self._tail_seq = next_seq
+        self._tail_records = 0
+        self._dirty = False
+
+    def append(self, blob: bytes, sender_uid: int) -> int:
+        """Durably append one record; returns its log index.
+
+        All-or-nothing: on a disk error the partial write is rolled back
+        (file truncated to its pre-append length, buffer discarded) before
+        the ``OSError`` propagates, so the log's record count never runs
+        ahead of what the caller observed — a failed append changes
+        nothing.  If even the rollback fails the log marks itself broken
+        and every further append raises cleanly.
+        """
+        record = pack_record(blob, sender_uid)
+        with self._lock:
+            if self._closed:
+                raise ValueError("log is closed")
+            if self._broken:
+                raise OSError("log failed a write and could not roll back; "
+                              "restart to recover")
+            # Rotate *before* writing, so a rotation failure surfaces with
+            # nothing of this record on disk yet.
+            if self._tail_records >= self.segment_records:
+                self._rotate_locked()
+            index = self._count
+            pos = self._file.tell()
+            try:
+                self._file.write(record)
+                if self.policy.mode == FSYNC_ALWAYS:
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+                else:
+                    self._dirty = True
+            except OSError:
+                self._rollback(pos)
+                raise
+            self._count = index + 1
+            self._tail_records += 1
+        return index
+
+    def _rollback(self, pos: int) -> None:
+        """Undo a failed append: drop any buffered bytes and cut the tail
+        file back to ``pos``.  Reopening the handle is what discards the
+        write buffer — otherwise its partial record could flush later,
+        splicing garbage mid-log.
+
+        If the close-time flush *also* fails, earlier buffered records
+        (acked under ``interval``/``never``) never reached the disk: the
+        file is shorter than ``pos`` and truncating to ``pos`` would
+        zero-fill a hole that poisons every later record.  There is no
+        consistent state to continue from, so the log marks itself broken
+        — restart recovers the on-disk prefix."""
+        flushed = True
+        try:
+            self._file.close()
+        except OSError:
+            flushed = False
+        if not flushed:
+            self._broken = True
+            log.error("rollback could not flush buffered records; log "
+                      "disabled — restart recovers the on-disk prefix")
+            return
+        try:
+            path = os.path.join(self.data_dir,
+                                segment_filename(self._tail_seq))
+            with open(path, "r+b") as fh:
+                fh.truncate(pos)  # flush succeeded, so the file covers pos
+            self._open_tail()
+        except OSError:  # pragma: no cover - disk fully gone
+            self._broken = True
+            log.exception("could not roll back a failed append; "
+                          "log marked broken")
+
+    def flush(self) -> None:
+        """Flush and fsync the tail regardless of policy."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._file is None or self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._dirty = False
+
+    # ------------------------------------------------------------- flusher
+    def _start_flusher(self) -> None:
+        self._flusher_stop.clear()
+        self._flusher = threading.Thread(
+            target=self._flusher_run, name="communix-wal-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    def _flusher_run(self) -> None:
+        while not self._flusher_stop.wait(self.policy.interval_s):
+            with self._lock:
+                if self._closed:
+                    return
+                if self._dirty:
+                    try:
+                        self._flush_locked()
+                    except OSError:  # pragma: no cover - disk went away
+                        log.exception("background fsync failed")
+
+    # -------------------------------------------------------------- closing
+    def close(self) -> None:
+        """Stop the flusher, flush + fsync the tail, release the handle."""
+        if self._flusher is not None:
+            self._flusher_stop.set()
+            self._flusher.join(timeout=5.0)
+            self._flusher = None
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._file is not None and not self._file.closed:
+                self._flush_locked()
+                self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    def segment_names(self) -> list[str]:
+        """Current segment file names, in record order."""
+        return [name for _, name in list_segments(self.data_dir)]

@@ -56,6 +56,33 @@ class TestQuota:
         assert quota.used_today(1) == 1
         assert quota.used_today(499) == 0
 
+    def test_refund_returns_a_slot(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=2)
+        assert quota.try_consume(1) and quota.try_consume(1)
+        assert not quota.try_consume(1)
+        quota.refund(1)
+        assert quota.used_today(1) == 1
+        assert quota.try_consume(1)  # the slot is usable again
+        assert not quota.try_consume(1)
+
+    def test_refund_without_consume_is_harmless(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=2)
+        quota.refund(42)  # nothing consumed today
+        assert quota.used_today(42) == 0
+        quota.try_consume(42)
+        quota.refund(42)
+        quota.refund(42)  # over-refund clamps at zero
+        assert quota.used_today(42) == 0
+
+    def test_refund_after_day_rollover_is_dropped(self, manual_clock):
+        quota = DailyQuota(manual_clock, limit_per_day=2)
+        quota.try_consume(1)
+        manual_clock.advance(SECONDS_PER_DAY)
+        quota.refund(1)  # yesterday's slot: nothing to give back today
+        assert quota.used_today(1) == 0
+        assert quota.try_consume(1) and quota.try_consume(1)
+        assert not quota.try_consume(1)
+
     def test_used_today_before_any_consume(self, manual_clock):
         quota = DailyQuota(manual_clock, limit_per_day=10)
         assert quota.used_today(42) == 0
