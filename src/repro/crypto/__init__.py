@@ -2,19 +2,34 @@
 
 The Communix server binds every incoming signature to the user who sent it
 via an *encrypted user ID* produced with "AES encryption, with a predefined
-128-bit key" (paper §III-C2).  No crypto library is available in this offline
-environment, so :mod:`repro.crypto.aes` implements AES-128 from the FIPS-197
-specification, :mod:`repro.crypto.modes` adds ECB/CBC with PKCS#7 padding,
-and :mod:`repro.crypto.userid` implements the token format the server issues
+128-bit key" (paper §III-C2).  :mod:`repro.crypto.aes` implements AES-128
+from the FIPS-197 specification — the always-available pure-Python
+*reference* — :mod:`repro.crypto.modes` adds ECB/CBC with PKCS#7 padding,
+:mod:`repro.crypto.backend` makes the AES implementation pluggable (an
+OpenSSL-backed ``fast`` path is auto-selected when the ``cryptography``
+package is importable; see ``REPRO_CRYPTO_BACKEND``), and
+:mod:`repro.crypto.userid` implements the token format the server issues
 and verifies.
 """
 
 from repro.crypto.aes import AES128
+from repro.crypto.backend import (
+    BACKEND_ENV,
+    CryptoBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
 from repro.crypto.modes import (
     cbc_decrypt,
+    cbc_decrypt_keyed,
     cbc_encrypt,
+    cbc_encrypt_keyed,
     ecb_decrypt,
+    ecb_decrypt_keyed,
     ecb_encrypt,
+    ecb_encrypt_keyed,
     pkcs7_pad,
     pkcs7_unpad,
 )
@@ -22,10 +37,20 @@ from repro.crypto.userid import DEFAULT_SERVER_KEY, UserIdAuthority, UserIdToken
 
 __all__ = [
     "AES128",
+    "BACKEND_ENV",
+    "CryptoBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
     "cbc_decrypt",
+    "cbc_decrypt_keyed",
     "cbc_encrypt",
+    "cbc_encrypt_keyed",
     "ecb_decrypt",
+    "ecb_decrypt_keyed",
     "ecb_encrypt",
+    "ecb_encrypt_keyed",
     "pkcs7_pad",
     "pkcs7_unpad",
     "DEFAULT_SERVER_KEY",

@@ -2,6 +2,16 @@
 
 The user-ID tokens use CBC with a per-token random IV; ECB is provided for
 completeness and for the NIST SP 800-38A test vectors.
+
+Two API layers live here:
+
+* the historical *cipher-object* functions (``cbc_encrypt(cipher, ...)``)
+  that drive a :class:`~repro.crypto.aes.AES128` block at a time — the
+  pure-Python reference path, used directly by the NIST vector tests;
+* *keyed* convenience wrappers (``cbc_encrypt_keyed(key, ...)``) that
+  route through the pluggable backend registry
+  (:mod:`repro.crypto.backend`), so callers get the fast OpenSSL path
+  automatically when ``cryptography`` is importable.
 """
 
 from __future__ import annotations
@@ -77,3 +87,32 @@ def cbc_decrypt(cipher: AES128, ciphertext: bytes, iv: bytes, pad: bool = True) 
         prev = block
     plaintext = b"".join(out)
     return pkcs7_unpad(plaintext) if pad else plaintext
+
+
+# -------------------------------------------------------- keyed (registry)
+def ecb_encrypt_keyed(key: bytes, plaintext: bytes, *, pad: bool = True,
+                      backend=None) -> bytes:
+    from repro.crypto.backend import get_backend
+
+    return get_backend(backend).ecb_encrypt(key, plaintext, pad=pad)
+
+
+def ecb_decrypt_keyed(key: bytes, ciphertext: bytes, *, pad: bool = True,
+                      backend=None) -> bytes:
+    from repro.crypto.backend import get_backend
+
+    return get_backend(backend).ecb_decrypt(key, ciphertext, pad=pad)
+
+
+def cbc_encrypt_keyed(key: bytes, plaintext: bytes, iv: bytes, *,
+                      pad: bool = True, backend=None) -> bytes:
+    from repro.crypto.backend import get_backend
+
+    return get_backend(backend).cbc_encrypt(key, iv, plaintext, pad=pad)
+
+
+def cbc_decrypt_keyed(key: bytes, ciphertext: bytes, iv: bytes, *,
+                      pad: bool = True, backend=None) -> bytes:
+    from repro.crypto.backend import get_backend
+
+    return get_backend(backend).cbc_decrypt(key, iv, ciphertext, pad=pad)

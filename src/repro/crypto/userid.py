@@ -30,8 +30,8 @@ import os
 import threading
 from dataclasses import dataclass
 
-from repro.crypto.aes import AES128, BLOCK_SIZE
-from repro.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.crypto.aes import BLOCK_SIZE
+from repro.crypto.backend import CryptoBackend, get_backend
 from repro.util.errors import CryptoError
 
 #: The "predefined 128-bit key" of §III-C2.  Any real deployment would ship
@@ -61,12 +61,24 @@ class UserIdAuthority:
     request-processing threads.
     """
 
-    def __init__(self, key: bytes = DEFAULT_SERVER_KEY, rng=None):
-        self._cipher = AES128(key)
+    def __init__(self, key: bytes = DEFAULT_SERVER_KEY, rng=None,
+                 backend: str | CryptoBackend | None = None):
+        """``backend`` selects the AES implementation: a registered
+        backend name (``pure``/``fast``), a :class:`CryptoBackend`, or
+        ``None`` for the default selection order (``REPRO_CRYPTO_BACKEND``
+        env var, then fast-when-available)."""
+        self._backend = get_backend(backend)
+        if len(key) != BLOCK_SIZE:
+            raise CryptoError(f"AES-128 requires a 16-byte key, got {len(key)}")
         self._key = key
         self._rng = rng  # optional random.Random for deterministic tests
         self._next_uid = 1
         self._lock = threading.Lock()
+
+    @property
+    def backend_name(self) -> str:
+        """The AES backend this authority encrypts/decrypts with."""
+        return self._backend.name
 
     def _iv(self) -> bytes:
         if self._rng is not None:
@@ -108,7 +120,7 @@ class UserIdAuthority:
         )
         payload = body + _mac(self._key, body)
         iv = self._iv()
-        ciphertext = cbc_encrypt(self._cipher, payload, iv)
+        ciphertext = self._backend.cbc_encrypt(self._key, iv, payload)
         return (iv + ciphertext).hex()
 
     def decode(self, token: str) -> UserIdToken:
@@ -120,7 +132,7 @@ class UserIdAuthority:
         if len(raw) < BLOCK_SIZE * 2:
             raise CryptoError("token too short")
         iv, ciphertext = raw[:BLOCK_SIZE], raw[BLOCK_SIZE:]
-        payload = cbc_decrypt(self._cipher, ciphertext, iv)
+        payload = self._backend.cbc_decrypt(self._key, iv, ciphertext)
         if len(payload) != len(_MAGIC) + 16 + _MAC_LEN:
             raise CryptoError("token payload has wrong length")
         body, mac = payload[:-_MAC_LEN], payload[-_MAC_LEN:]

@@ -37,7 +37,7 @@ import threading
 import time
 
 from repro.loadgen.metrics import Metrics, MetricsSnapshot
-from repro.net import create_dial_socket, parse_endpoint, tcp_endpoint
+from repro.net import BufferPool, create_dial_socket, parse_endpoint, tcp_endpoint
 from repro.loadgen.scenarios import (
     Action,
     ClientContext,
@@ -110,6 +110,10 @@ class _Shard:
         self.timers: list[tuple[float, int, _Client, str, int]] = []
         self._timer_seq = 0
         self.thread: threading.Thread | None = None
+        # Mirrors the server transport's read path: recv_into on a pooled
+        # buffer, so measuring the server never charges it for the
+        # generator's own per-read allocations.
+        self._recv_pool = BufferPool(_RECV_CHUNK)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -233,19 +237,25 @@ class _Shard:
             self._read(client)
 
     def _read(self, client: _Client) -> None:
+        pool = self._recv_pool
+        buf = pool.acquire()
         try:
-            data = client.sock.recv(_RECV_CHUNK)
+            n = client.sock.recv_into(buf)
         except (BlockingIOError, InterruptedError):
+            pool.release(buf)
             return
         except OSError as exc:
+            pool.release(buf)
             self._connection_lost(client, exc)
             return
-        if not data:
+        if not n:
+            pool.release(buf)
             self._connection_lost(
                 client, ProtocolError("server closed the connection")
             )
             return
-        client.inbuf += data
+        client.inbuf += memoryview(buf)[:n]
+        pool.release(buf)
         while client.awaiting and client.state is not _DONE:
             payload = self._next_frame(client)
             if payload is None:

@@ -7,6 +7,7 @@ the swarm engine, and the benchmarks all route through
 transports interchangeably.
 """
 
+from repro.net.bufpool import BufferPool
 from repro.net.endpoints import (
     DEFAULT_TCP_HOST,
     Endpoint,
@@ -22,6 +23,7 @@ from repro.net.endpoints import (
 )
 
 __all__ = [
+    "BufferPool",
     "DEFAULT_TCP_HOST",
     "Endpoint",
     "EndpointError",

@@ -28,10 +28,12 @@ import signal
 import sys
 import threading
 
+from repro.crypto.backend import get_backend
 from repro.net import EndpointError, parse_endpoint, tcp_endpoint
 from repro.server.server import CommunixServer, ServerConfig
 from repro.server.transport import ServerTransport
 from repro.store import StoreError, parse_fsync_policy
+from repro.util.errors import CryptoError
 from repro.util.logging import enable_console_logging
 
 DEFAULT_HOST = "127.0.0.1"
@@ -88,6 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(0: only at clean shutdown); restart replays just the "
              "records past the newest checkpoint",
     )
+    parser.add_argument(
+        "--crypto-backend", metavar="NAME", default=None,
+        help="AES backend for user-ID tokens: 'pure' (FIPS-197 reference), "
+             "'fast' (OpenSSL via the cryptography package), or 'auto' "
+             "(default: REPRO_CRYPTO_BACKEND env var, then fast when "
+             "available)",
+    )
+    parser.add_argument(
+        "--token-cache-size", type=int, default=65_536, metavar="N",
+        help="bound on the validator's decoded-token LRU cache",
+    )
     return parser
 
 
@@ -126,12 +139,19 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        get_backend(args.crypto_backend)  # fail fast on a bad/unavailable pin
+    except CryptoError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     config = ServerConfig(
         max_signatures_per_user_per_day=args.quota_per_day,
         adjacency_check=not args.no_adjacency_check,
         data_dir=args.data_dir,
         fsync_policy=args.fsync,
         checkpoint_every=args.checkpoint_every,
+        crypto_backend=args.crypto_backend,
+        token_cache_size=args.token_cache_size,
     )
     try:
         server = CommunixServer(config=config)
@@ -160,7 +180,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     bound = transport.bound_endpoints
     print(f"communix-server listening on {_format_primary(bound[0])} "
-          f"(quota {config.max_signatures_per_user_per_day}/user/day)")
+          f"(quota {config.max_signatures_per_user_per_day}/user/day, "
+          f"crypto backend {server.authority.backend_name})")
     for endpoint in bound[1:]:
         print(f"communix-server also listening on {endpoint.url()}")
     # SIGTERM/SIGINT request a *graceful* stop: the handler only sets the

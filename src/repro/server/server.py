@@ -50,6 +50,15 @@ class ServerConfig:
     #: Write a checkpoint manifest every this many accepted signatures
     #: (plus one on clean shutdown); 0 checkpoints only on shutdown.
     checkpoint_every: int = 4096
+    #: AES backend for user-ID tokens: a registered name (``pure`` is the
+    #: FIPS-197 reference, ``fast`` the OpenSSL path via ``cryptography``),
+    #: or ``None``/``"auto"`` for the default order (``REPRO_CRYPTO_BACKEND``
+    #: env var, then fast-when-available).  Ignored when an ``authority``
+    #: object is handed to :class:`CommunixServer` directly.
+    crypto_backend: str | None = None
+    #: Bound on the validator's decoded-token LRU; a forged-token flood
+    #: cannot grow it past this many entries.
+    token_cache_size: int = 65_536
 
 
 @dataclass
@@ -94,6 +103,8 @@ class ServerStats:
     adds_rejected: dict[str, int] = field(default_factory=dict)
     gets_served: int = 0
     signatures_served: int = 0
+    token_cache_hits: int = 0
+    token_cache_misses: int = 0
 
     def note_rejection(self, verdict: str) -> None:
         self.adds_rejected[verdict] = self.adds_rejected.get(verdict, 0) + 1
@@ -138,7 +149,9 @@ class CommunixServer:
         existing log) when ``config.data_dir`` is set."""
         self.config = config or ServerConfig()
         self.clock = clock or SystemClock()
-        self.authority = authority or UserIdAuthority()
+        self.authority = authority or UserIdAuthority(
+            backend=self.config.crypto_backend
+        )
         if store is None and self.config.data_dir:
             from repro.store import SignatureStore  # cycle-free lazy import
 
@@ -157,14 +170,19 @@ class CommunixServer:
             self.clock, self.config.max_signatures_per_user_per_day
         )
         self.validator = ServerSideValidator(
-            self.authority, self.quota, self.database
+            self.authority, self.quota, self.database,
+            token_cache_size=self.config.token_cache_size,
         )
         self._counters = _StatsCounters()
 
     @property
     def stats(self) -> ServerStats:
         """A consistent-enough snapshot of the sharded request counters."""
-        return self._counters.snapshot()
+        stats = self._counters.snapshot()
+        cache = self.validator.token_cache
+        stats.token_cache_hits = cache.hits
+        stats.token_cache_misses = cache.misses
+        return stats
 
     # ----------------------------------------------------------- user ids
     def issue_user_token(self) -> str:

@@ -23,6 +23,18 @@ registered connection, the listeners, the wakeup pipe, and the selector
 are closed — no leaked file descriptors, and UNIX socket files are
 unlinked.
 
+The syscall layer is batched (see ``benchmarks/bench_hotpath.py``):
+
+* reads go through ``recv_into`` on a :class:`~repro.net.BufferPool`
+  buffer — zero allocation per read event — and complete frames are
+  parsed straight out of the pooled buffer, touching ``conn.inbuf`` only
+  for the partial-frame remainder;
+* responses completing in the same loop iteration are coalesced: each
+  writable connection gets **one** vectored flush per iteration instead
+  of one per completed request;
+* workers post at most one wakeup byte per loop iteration (an armed
+  flag), instead of one ``send`` per completion.
+
 Addressing goes through :mod:`repro.net`: the transport listens on one or
 more endpoints (``tcp://host:port`` and/or ``unix:///path``)
 simultaneously, so TCP clients and local UNIX-socket clients share one
@@ -43,7 +55,13 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.net import Endpoint, cleanup_listener, parse_endpoint, tcp_endpoint
+from repro.net import (
+    BufferPool,
+    Endpoint,
+    cleanup_listener,
+    parse_endpoint,
+    tcp_endpoint,
+)
 from repro.net import listen as net_listen
 
 from repro.server.protocol import (
@@ -177,6 +195,12 @@ class ServerTransport:
         ] = collections.deque()
         self._last_sweep = 0.0
         self._accept_paused_until = 0.0
+        #: recv_into targets; the loop thread borrows per read event, so
+        #: the pool's steady state is a single buffer.
+        self._recv_pool = BufferPool(_RECV_CHUNK)
+        #: Wakeup batching: workers send one byte per *loop iteration*,
+        #: not per completion.  True = a wakeup byte is already in flight.
+        self._wakeup_armed = False
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> tuple[str, int]:
@@ -273,9 +297,17 @@ class ServerTransport:
         return fds
 
     def _wake(self) -> None:
+        # One byte per loop iteration: once a wakeup is in flight, further
+        # completions ride it instead of each paying a send() syscall.
+        # The flag is racy by design — the worst interleaving sends one
+        # redundant byte, and the loop drains the completion deque on
+        # every iteration regardless.
+        if self._wakeup_armed:
+            return
         send = self._wakeup_send
         if send is None:
             return
+        self._wakeup_armed = True
         try:
             send.send(b"\x00")
         except (BlockingIOError, OSError):
@@ -355,22 +387,58 @@ class ServerTransport:
 
     # ---------------------------------------------------------------- read
     def _on_readable(self, conn: _Connection) -> None:
+        pool = self._recv_pool
+        buf = pool.acquire()
         try:
-            data = conn.sock.recv(_RECV_CHUNK)
+            n = conn.sock.recv_into(buf)
         except (BlockingIOError, InterruptedError):
+            pool.release(buf)
             return
         except OSError:
+            pool.release(buf)
             self._close_conn(conn)
             return
-        if not data:
+        if not n:
+            pool.release(buf)
             self._close_conn(conn)  # peer gone; drop any queued work
             return
         conn.last_activity = time.monotonic()
-        conn.inbuf += data
-        if not self._parse_frames(conn):
+        ok = self._ingest(conn, memoryview(buf)[:n])
+        pool.release(buf)
+        if not ok:
             return
         self._pump(conn)
         self._update_events(conn)
+
+    def _ingest(self, conn: _Connection, view: memoryview) -> bool:
+        """Absorb one read's bytes; False if the connection was closed
+        for a protocol violation.
+
+        When nothing is buffered from earlier reads — the dominant case —
+        complete frames are parsed straight out of the pooled receive
+        buffer and only a trailing partial frame is copied into
+        ``conn.inbuf``; the request/response steady state never copies
+        payload bytes twice.
+        """
+        if conn.inbuf:
+            conn.inbuf += view
+            return self._parse_frames(conn)
+        offset, total = 0, len(view)
+        pending = conn.pending
+        while total - offset >= 4:
+            (length,) = struct.unpack_from(">I", view, offset)
+            if length > MAX_FRAME:
+                log.warning("dropping %s: declared frame of %d bytes",
+                            conn.peer, length)
+                self._close_conn(conn)
+                return False
+            if total - offset - 4 < length:
+                break
+            pending.append(bytes(view[offset + 4:offset + 4 + length]))
+            offset += 4 + length
+        if offset < total:
+            conn.inbuf += view[offset:]
+        return True
 
     def _parse_frames(self, conn: _Connection) -> bool:
         """Split complete frames off the input buffer; False if the
@@ -427,6 +495,7 @@ class ServerTransport:
         self._wake()
 
     def _drain_wakeup(self) -> None:
+        self._wakeup_armed = False
         try:
             while self._wakeup_recv.recv(4096):
                 pass
@@ -436,7 +505,16 @@ class ServerTransport:
             pass
 
     def _drain_completions(self) -> None:
+        """Move completed responses onto their connections, then flush.
+
+        Enqueue-everything-first, flush-once-per-connection: when several
+        pipelined responses for one connection complete in the same loop
+        iteration, they leave in a single vectored ``sendmsg`` instead of
+        paying one flush per response.
+        """
         completions = self._completions
+        dirty: dict[int, _Connection] = {}
+        now = time.monotonic()
         while completions:
             try:
                 conn, response_parts = completions.popleft()
@@ -446,9 +524,13 @@ class ServerTransport:
             if self._conns.get(conn.fd) is not conn:
                 continue  # connection closed while the request ran
             conn.out.push(response_parts)
-            conn.last_activity = time.monotonic()
+            conn.last_activity = now
+            dirty[conn.fd] = conn
+        for fd, conn in dirty.items():
+            if self._conns.get(fd) is not conn:
+                continue  # closed by an earlier flush in this batch
             self._flush(conn)
-            if self._conns.get(conn.fd) is conn:
+            if self._conns.get(fd) is conn:
                 self._pump(conn)
                 self._update_events(conn)
 
@@ -623,6 +705,8 @@ class ServerTransport:
                     "database_size": len(self._server.database),
                     "adds_accepted": stats.adds_accepted,
                     "gets_served": stats.gets_served,
+                    "token_cache_hits": stats.token_cache_hits,
+                    "token_cache_misses": stats.token_cache_misses,
                 }
             )
         raise ProtocolError(f"unknown op {op!r}")

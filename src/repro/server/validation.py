@@ -9,12 +9,18 @@ Upon receiving signature S with encrypted ID I, the server:
    check that collapses an attacker's signature space from
    ``N^4 * sum(N_d^4)`` to just N (one signature per nested block).
 
-Token decryption is AES work; the validator memoizes decoded tokens, which
-keeps crypto off the hot path exactly as a production server would.
+Token decryption is AES work; the validator memoizes decoded tokens in a
+**bounded LRU** (:class:`TokenCache`), which keeps crypto off the hot path
+exactly as a production server would.  Only *valid* tokens are cached, and
+the cache is capped: a forged-token flood can neither grow it without
+bound nor evict legitimate entries (forgeries never enter the cache —
+each forgery burns its own AES decode, the attacker's cost, not ours).
+Hit/miss counters surface on the server's ``STATS`` response.
 """
 
 from __future__ import annotations
 
+import collections
 import enum
 import threading
 
@@ -39,30 +45,78 @@ def adjacent(top_frames_a: frozenset, top_frames_b: frozenset) -> bool:
     return bool(common) and top_frames_a != top_frames_b
 
 
+class TokenCache:
+    """Thread-safe bounded LRU of ``token -> uid`` with hit/miss counters.
+
+    The pre-LRU cache cleared itself wholesale when full, so a steady
+    drip of *distinct* valid tokens (20k clients each holding their own)
+    would periodically dump every warm entry and re-burn an AES decode
+    per client.  LRU eviction keeps the active set warm and makes the
+    worst case one decode per cold token, not one per flood cycle.
+    """
+
+    __slots__ = ("_data", "_lock", "capacity", "hits", "misses")
+
+    def __init__(self, capacity: int = 65_536):
+        self.capacity = max(1, capacity)
+        self._data: collections.OrderedDict[str, int] = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, token: str) -> int | None:
+        with self._lock:
+            uid = self._data.get(token)
+            if uid is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(token)
+            self.hits += 1
+            return uid
+
+    def put(self, token: str, uid: int) -> None:
+        with self._lock:
+            if token in self._data:
+                self._data.move_to_end(token)
+            elif len(self._data) >= self.capacity:
+                self._data.popitem(last=False)
+            self._data[token] = uid
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
 class ServerSideValidator:
     def __init__(self, authority: UserIdAuthority, quota: DailyQuota,
                  database: SignatureDatabase, token_cache_size: int = 65_536):
         self._authority = authority
         self._quota = quota
         self._database = database
-        self._token_cache: dict[str, int] = {}
-        self._cache_lock = threading.Lock()
-        self._cache_size = token_cache_size
+        self._token_cache = TokenCache(token_cache_size)
+
+    @property
+    def token_cache(self) -> TokenCache:
+        return self._token_cache
 
     # -------------------------------------------------------------- tokens
     def resolve_uid(self, token: str) -> int | None:
-        with self._cache_lock:
-            uid = self._token_cache.get(token)
+        uid = self._token_cache.get(token)
         if uid is not None:
             return uid
         try:
             decoded = self._authority.decode(token)
         except CryptoError:
             return None
-        with self._cache_lock:
-            if len(self._token_cache) >= self._cache_size:
-                self._token_cache.clear()
-            self._token_cache[token] = decoded.user_id
+        self._token_cache.put(token, decoded.user_id)
         return decoded.user_id
 
     # ---------------------------------------------------------- validation

@@ -16,6 +16,15 @@ is the truth).
 The file is written atomically (temp file + ``fsync`` + ``os.replace`` +
 directory ``fsync``), so a crash mid-checkpoint leaves the previous
 manifest intact.
+
+The uid watermark has a second, *eager* home: the tiny ``UID_WATERMARK``
+sidecar, rewritten (same atomic dance) on every token issue.  Checkpoints
+are periodic, so without the sidecar a ``kill -9`` landing between a token
+issue and the next checkpoint would replay an older ``next_uid`` and hand
+the same uid to a different person — merging their quota and adjacency
+history.  The sidecar is a single integer, cheap enough to persist per
+issue; on open the store takes the max of manifest, log records, and
+sidecar.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ log = get_logger("store.checkpoint")
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_VERSION = 1
+UID_WATERMARK_NAME = "UID_WATERMARK"
 
 #: ``(class_name, method, line)`` — a frame location as stored in
 #: signature metadata.
@@ -114,6 +124,41 @@ def write_manifest(data_dir: str, manifest: Manifest) -> None:
         os.fsync(fh.fileno())
     os.replace(tmp, path)
     fsync_dir(data_dir)
+
+
+def uid_watermark_path(data_dir: str) -> str:
+    return os.path.join(data_dir, UID_WATERMARK_NAME)
+
+
+def write_uid_watermark(data_dir: str, next_uid: int) -> None:
+    """Atomically persist the next-uid watermark (crash-safe replace)."""
+    path = uid_watermark_path(data_dir)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(f"{next_uid}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_dir(data_dir)
+
+
+def load_uid_watermark(data_dir: str) -> int:
+    """The persisted watermark, or 1 when absent or unusable (the manifest
+    and the log records still bound ``next_uid`` from below, so a damaged
+    sidecar degrades to the pre-sidecar behavior, never to a failure)."""
+    path = uid_watermark_path(data_dir)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            value = int(fh.read().strip())
+    except FileNotFoundError:
+        return 1
+    except (ValueError, OSError) as exc:
+        log.warning("ignoring unusable uid watermark %s (%s)", path, exc)
+        return 1
+    if value < 1:
+        log.warning("ignoring nonsensical uid watermark %d in %s", value, path)
+        return 1
+    return value
 
 
 def load_manifest(data_dir: str) -> Manifest | None:

@@ -32,7 +32,9 @@ from repro.core.signature import DeadlockSignature, ORIGIN_REMOTE
 from repro.store.checkpoint import (
     Manifest,
     load_manifest,
+    load_uid_watermark,
     write_manifest,
+    write_uid_watermark,
 )
 from repro.store.records import LogRecord
 from repro.store.wal import (
@@ -126,6 +128,10 @@ class SignatureStore:
             raise
         if manifest:
             self._next_uid = max(self._next_uid, manifest.next_uid)
+        # The eager sidecar outruns the periodic manifest: a token issued
+        # right before kill -9 is covered by it alone.
+        self._next_uid = max(self._next_uid, load_uid_watermark(data_dir))
+        self._persisted_uid = self._next_uid
         self.recovery = self._log.recovery
         self.replayed_past_checkpoint = (
             len(self._replayed) - self._checkpoint_count
@@ -218,10 +224,27 @@ class SignatureStore:
         return index
 
     def note_next_uid(self, next_uid: int) -> None:
-        """Raise the persisted uid watermark (called on token issue, so a
-        restart never re-issues a uid that only ever fetched a token)."""
+        """Raise the uid watermark and persist it *eagerly* (called on
+        token issue, so a restart — even ``kill -9`` before the next
+        checkpoint — never re-issues a uid that only ever fetched a
+        token).  Token issue is off the ADD/GET hot path (once per
+        client), so the fsync per fresh uid is affordable."""
         with self._lock:
             self._next_uid = max(self._next_uid, next_uid)
+            if self._next_uid <= self._persisted_uid:
+                return
+            value = self._next_uid
+        # Write outside the lock: the sidecar fsync must not stall
+        # concurrent ADD appends.  Best-effort — the in-memory watermark
+        # stays raised either way and the next checkpoint covers it.
+        try:
+            write_uid_watermark(self.data_dir, value)
+        except OSError:
+            log.exception("uid watermark write failed; the next "
+                          "checkpoint will persist it instead")
+            return
+        with self._lock:
+            self._persisted_uid = max(self._persisted_uid, value)
 
     # ---------------------------------------------------------- checkpoints
     def checkpoint(self) -> Manifest:

@@ -271,3 +271,18 @@ class TestLifecycle:
                 engine.add_clients([ColdSync()])
         finally:
             engine.stop()
+
+
+class TestPooledReceive:
+    """Regression: each shard's read path borrows from its BufferPool
+    instead of allocating a fresh buffer per recv (PR 6)."""
+
+    def test_shard_reads_reuse_pooled_buffers(self, live_server):
+        server, transport, host, port = live_server
+        engine = SwarmEngine(host, port, loops=2)
+        engine.add_clients([ColdSync(page_size=32) for _ in range(8)])
+        engine.run(timeout=60.0)
+        assert engine.finished_count == 8
+        for shard in engine._shards:
+            # Single-threaded shard loop: one buffer serves every read.
+            assert shard._recv_pool.allocated <= 2

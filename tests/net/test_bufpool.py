@@ -1,0 +1,70 @@
+"""BufferPool: the zero-allocation receive path's buffer recycler."""
+
+import threading
+
+from repro.net import BufferPool
+
+
+class TestBufferPool:
+    def test_acquire_release_recycles(self):
+        pool = BufferPool(1024)
+        buf = pool.acquire()
+        assert len(buf) == 1024
+        assert pool.allocated == 1
+        pool.release(buf)
+        assert pool.free_count == 1
+        again = pool.acquire()
+        assert again is buf  # recycled, not reallocated
+        assert pool.allocated == 1
+
+    def test_steady_state_allocates_once(self):
+        # The transport's read loop: acquire, recv_into, release — over
+        # and over.  One buffer must serve forever.
+        pool = BufferPool(64)
+        for _ in range(1000):
+            buf = pool.acquire()
+            pool.release(buf)
+        assert pool.allocated == 1
+
+    def test_concurrent_borrowers_get_distinct_buffers(self):
+        pool = BufferPool(32)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert a is not b
+        assert pool.allocated == 2
+        pool.release(a)
+        pool.release(b)
+        assert pool.free_count == 2
+
+    def test_free_list_bounded(self):
+        pool = BufferPool(16, max_free=2)
+        bufs = [pool.acquire() for _ in range(5)]
+        for buf in bufs:
+            pool.release(buf)
+        assert pool.free_count == 2  # the rest went back to the allocator
+
+    def test_wrong_size_buffer_rejected(self):
+        pool = BufferPool(64)
+        pool.release(bytearray(63))  # silently dropped, not pooled
+        assert pool.free_count == 0
+
+    def test_thread_safety_smoke(self):
+        pool = BufferPool(128, max_free=8)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(500):
+                    buf = pool.acquire()
+                    buf[0] = 1
+                    pool.release(buf)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert pool.free_count <= 8

@@ -1,0 +1,110 @@
+"""Bounded LRU token cache: eviction, counters, and stats plumbing."""
+
+import random
+
+from repro.crypto.userid import UserIdAuthority
+from repro.server.database import SignatureDatabase
+from repro.server.ratelimit import DailyQuota
+from repro.server.server import CommunixServer, ServerConfig
+from repro.server.validation import ServerSideValidator, TokenCache
+from repro.util.clock import ManualClock
+
+
+class TestTokenCache:
+    def test_hit_miss_counters(self):
+        cache = TokenCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = TokenCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now the eviction victim
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_capacity_floor_is_one(self):
+        cache = TokenCache(0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 1
+        assert cache.get("b") == 2
+
+    def test_reput_refreshes_not_grows(self):
+        cache = TokenCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 1)  # refresh
+        cache.put("c", 3)  # evicts "b", the oldest
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_stats_dict(self):
+        cache = TokenCache(8)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        assert cache.stats() == {
+            "size": 1, "capacity": 8, "hits": 1, "misses": 1,
+        }
+
+
+def _validator(cache_size: int) -> tuple[ServerSideValidator, UserIdAuthority]:
+    authority = UserIdAuthority(rng=random.Random(11))
+    clock = ManualClock(start=1_000_000.0)
+    validator = ServerSideValidator(
+        authority, DailyQuota(clock, 10), SignatureDatabase(),
+        token_cache_size=cache_size,
+    )
+    return validator, authority
+
+
+class TestValidatorCaching:
+    def test_repeat_token_hits_cache(self):
+        validator, authority = _validator(64)
+        token = authority.issue_for(7)
+        assert validator.resolve_uid(token) == 7
+        assert validator.resolve_uid(token) == 7
+        cache = validator.token_cache
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_forged_tokens_never_cached(self):
+        validator, _ = _validator(64)
+        for i in range(10):
+            assert validator.resolve_uid(f"deadbeef{i:02d}") is None
+        assert len(validator.token_cache) == 0
+
+    def test_cache_bounded_under_token_flood(self):
+        validator, authority = _validator(4)
+        for uid in range(1, 20):
+            token = authority.issue_for(uid)
+            assert validator.resolve_uid(token) == uid
+        assert len(validator.token_cache) == 4
+
+
+class TestServerStatsPlumbing:
+    def test_cache_counters_surface_on_server_stats(self):
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(2)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        token = server.issue_user_token()
+        assert server.validator.resolve_uid(token) is not None  # miss
+        assert server.validator.resolve_uid(token) is not None  # hit
+        stats = server.stats
+        assert stats.token_cache_hits == 1
+        assert stats.token_cache_misses == 1
+
+    def test_config_cap_reaches_validator(self):
+        server = CommunixServer(
+            config=ServerConfig(token_cache_size=17),
+            authority=UserIdAuthority(rng=random.Random(2)),
+        )
+        assert server.validator.token_cache.capacity == 17

@@ -413,3 +413,29 @@ class TestEventLoopConcurrency:
             assert stats["ok"] and "database_size" in stats
         finally:
             sock.close()
+
+
+class TestPooledReceive:
+    """Regression for the batched-syscall read path: the loop thread
+    borrows one pooled buffer per read event instead of allocating a
+    fresh 256 KB ``bytes`` per ``recv`` (PR 6)."""
+
+    def test_many_requests_reuse_one_buffer(self, shared_factory):
+        server = _make_server(31)
+        transport = ServerTransport(server)
+        host, port = transport.start()
+        endpoint = TcpEndpoint(host, port)
+        try:
+            for _ in range(40):
+                token = endpoint.issue_token()
+                assert endpoint.add(
+                    shared_factory.make_valid().to_bytes(), token
+                )
+            # Reads happen one at a time on the single loop thread, so
+            # steady state is exactly one pool allocation (a transient
+            # second borrow is tolerated, unbounded growth is the bug).
+            assert transport._recv_pool.allocated <= 2
+            assert transport._recv_pool.free_count >= 1
+        finally:
+            endpoint.close()
+            transport.stop()

@@ -1,0 +1,115 @@
+"""Eager uid-watermark durability (ISSUE PR 6 satellite).
+
+The gap being closed: ``note_next_uid`` used to raise only the in-memory
+watermark, persisted at the *next checkpoint* — so a ``kill -9`` landing
+between a token issue and that checkpoint replayed an older ``next_uid``
+and re-issued a uid that already belonged to someone, merging two users'
+quota and adjacency history.  The watermark now also lands eagerly in the
+``UID_WATERMARK`` sidecar on every issue.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.userid import UserIdAuthority
+from repro.loadgen.signatures import random_signature
+from repro.server.server import CommunixServer, ServerConfig
+from repro.store import SignatureStore
+from repro.store.checkpoint import (
+    load_uid_watermark,
+    uid_watermark_path,
+    write_uid_watermark,
+)
+from repro.util.clock import ManualClock
+
+
+def _crash(store: SignatureStore) -> None:
+    """Simulate kill -9: release the log handle without the final
+    checkpoint a clean shutdown would write."""
+    store.close(final_checkpoint=False)
+
+
+class TestSidecar:
+    def test_round_trip(self, tmp_path):
+        write_uid_watermark(str(tmp_path), 123)
+        assert load_uid_watermark(str(tmp_path)) == 123
+
+    def test_absent_reads_as_one(self, tmp_path):
+        assert load_uid_watermark(str(tmp_path)) == 1
+
+    @pytest.mark.parametrize("garbage", [b"", b"not-a-number", b"-5", b"0"])
+    def test_damaged_sidecar_tolerated(self, tmp_path, garbage):
+        with open(uid_watermark_path(str(tmp_path)), "wb") as fh:
+            fh.write(garbage)
+        assert load_uid_watermark(str(tmp_path)) == 1
+
+
+class TestStoreWatermark:
+    def test_note_next_uid_survives_crash(self, tmp_path):
+        store = SignatureStore(str(tmp_path), checkpoint_every=0)
+        store.note_next_uid(42)
+        _crash(store)
+        reopened = SignatureStore(str(tmp_path))
+        assert reopened.next_uid == 42
+        reopened.close()
+
+    def test_watermark_never_lowered(self, tmp_path):
+        store = SignatureStore(str(tmp_path), checkpoint_every=0)
+        store.note_next_uid(50)
+        store.note_next_uid(10)  # stale caller must not regress it
+        assert store.next_uid == 50
+        _crash(store)
+        assert load_uid_watermark(str(tmp_path)) == 50
+
+    def test_no_rewrite_when_not_raised(self, tmp_path):
+        store = SignatureStore(str(tmp_path), checkpoint_every=0)
+        store.note_next_uid(9)
+        path = uid_watermark_path(str(tmp_path))
+        before = os_stat_signature(path)
+        store.note_next_uid(9)  # same value: no second fsync dance
+        assert os_stat_signature(path) == before
+        _crash(store)
+
+    def test_records_and_sidecar_max_together(self, tmp_path):
+        # A record from uid 80 implies next_uid >= 81 even when the
+        # sidecar only ever saw 42.
+        rng = random.Random(6)
+        store = SignatureStore(str(tmp_path), checkpoint_every=0)
+        store.note_next_uid(42)
+        sig = random_signature(rng)
+        store.append(sig.to_bytes(), sig.sig_id, 80, sig.top_frames)
+        _crash(store)
+        reopened = SignatureStore(str(tmp_path))
+        assert reopened.next_uid == 81
+        reopened.close()
+
+
+def os_stat_signature(path):
+    import os
+
+    st = os.stat(path)
+    return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+
+class TestServerIntegration:
+    def test_token_issue_then_crash_preserves_uid(self, tmp_path):
+        config = ServerConfig(data_dir=str(tmp_path), checkpoint_every=0)
+        server = CommunixServer(
+            config=config,
+            authority=UserIdAuthority(rng=random.Random(4)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        issued = [server.authority.decode(server.issue_user_token()).user_id
+                  for _ in range(3)]
+        assert issued == [1, 2, 3]
+        _crash(server.store)  # kill -9 before any checkpoint
+
+        revived = CommunixServer(
+            config=config,
+            authority=UserIdAuthority(rng=random.Random(4)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        next_uid = revived.authority.decode(revived.issue_user_token()).user_id
+        assert next_uid == 4  # not a re-issue of 1..3
+        revived.store.close()
