@@ -41,7 +41,11 @@ import time
 import pytest
 
 from benchmarks.conftest import bench_json_path, write_artifact
-from benchmarks.swarm_common import swarm_server, wait_for_barrier
+from benchmarks.swarm_common import (
+    server_metrics_summary,
+    swarm_server,
+    wait_for_barrier,
+)
 from repro.loadgen.engine import SwarmEngine
 from repro.loadgen.federation import federated_run
 from repro.loadgen.scenarios import (
@@ -87,13 +91,21 @@ def _sock_path(tag: str) -> str:
 
 
 def run_point(n_clients: int, *, attackers: int = 0, attack_rounds: int = 0,
-              quota_per_day: int = 1000, seed: int | None = None) -> dict:
+              quota_per_day: int = 1000, seed: int | None = None,
+              server_args: list[str] | None = None,
+              capture_server_metrics: bool = True) -> dict:
     """One single-process point: n benign swarm clients x (ADD, GET page),
     timed after the connect-and-token ramp, behind a start barrier —
     optionally with a ``attackers``-strong quota-flood fleet parked at the
     same barrier (the latency-under-attack configuration).  Benign op
     latencies come only from benign clients; the attack traffic is
-    tracked under its own op labels."""
+    tracked under its own op labels.
+
+    Unless metrics are off, the server child writes a ``--metrics-log``
+    whose final (shutdown) snapshot becomes the point's
+    ``server_metrics`` section — the server-side view (per-stage
+    latencies, event-loop lag, fsync waits) of the same window the swarm
+    measured from the outside."""
     blobs = random_signature_blobs(n_clients,
                                    seed=n_clients if seed is None else seed)
     n_total = n_clients + attackers
@@ -101,7 +113,18 @@ def run_point(n_clients: int, *, attackers: int = 0, attack_rounds: int = 0,
         SteadyState([blob], page_size=PAGE_SIZE, park_after_setup=True)
         for blob in blobs
     ]
-    with swarm_server(quota_per_day=quota_per_day) as endpoint:
+    extra_args = list(server_args or [])
+    metrics_log = None
+    if capture_server_metrics and "--no-metrics" not in extra_args:
+        metrics_log = f"/tmp/communix-fig2-metrics-{os.getpid()}.jsonl"
+        try:
+            os.unlink(metrics_log)
+        except OSError:
+            pass
+        extra_args += ["--metrics-log", metrics_log,
+                       "--metrics-interval", "30"]
+    with swarm_server(quota_per_day=quota_per_day,
+                      server_args=extra_args) as endpoint:
         engine = SwarmEngine(
             endpoint, loops=LOOPS, connect_burst=512, connect_timeout=60.0
         )
@@ -169,6 +192,14 @@ def run_point(n_clients: int, *, attackers: int = 0, attack_rounds: int = 0,
             "attack_adds": snapshot.count(OP_ADD_ATTACK),
             "attack_add": snapshot.histograms[OP_ADD_ATTACK].summary(),
         })
+    if metrics_log is not None:
+        # The context manager above SIGTERMed the child; its shutdown
+        # snapshot (post-drain) is the last line of the metrics log.
+        point["server_metrics"] = server_metrics_summary(metrics_log)
+        try:
+            os.unlink(metrics_log)
+        except OSError:
+            pass
     return point
 
 

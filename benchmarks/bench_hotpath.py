@@ -16,6 +16,11 @@ Two microbenchmarks plus a Fig. 2 re-run, backing the PR 6 tentpole:
 * **Fig. 2 re-run** — the 10,000-client single-process sweep point,
   compared against the committed ``BENCH_fig2_swarm.json`` baseline to
   show the plateau lift (smoke runs use a small point instead).
+* **Instrumentation overhead** — the same Fig. 2 point run with the
+  metrics registry enabled versus ``--no-metrics`` (the ``NullRegistry``
+  baseline), best-of-``OBS_OVERHEAD_PAIRS`` interleaved pairs; the
+  req/s delta must stay within ``OBS_OVERHEAD_LIMIT_PCT`` — the gate
+  for the ``repro.obs`` layer's always-on per-stage histograms.
 
 Results land in ``BENCH_hotpath.json`` / ``results/hotpath.txt``
 (``*.smoke.*`` under ``COMMUNIX_BENCH_SMOKE=1`` — smoke never clobbers
@@ -63,6 +68,19 @@ ECHO_FRAME = 512
 RECV_CHUNK = 256 * 1024
 #: Fig. 2 re-run point (clients).
 FIG2_POINT = 60 if SMOKE else 10_000
+#: Instrumentation-overhead ceiling: metrics-on req/s may trail the
+#: ``--no-metrics`` baseline by at most this many percent.  The smoke
+#: point is tiny (60 clients over fractions of a second), so run-to-run
+#: noise dwarfs the real cost there — the smoke bound only catches
+#: pathological regressions; the full-run bound is the contract (<=3%).
+OBS_OVERHEAD_LIMIT_PCT = 25.0 if SMOKE else 3.0
+#: Interleaved on/off measurement pairs for the overhead gate.  A single
+#: 10k-client run on a shared single-core container swings +/-20% with
+#: contention, and that noise is one-sided (neighbours can only slow a
+#: run down, never speed it up) — so each configuration is sampled
+#: ``OBS_OVERHEAD_PAIRS`` times in alternating order and scored on its
+#: *best* run, which converges on the uncontended capability.
+OBS_OVERHEAD_PAIRS = 1 if SMOKE else 3
 
 _results: dict = {}
 
@@ -220,7 +238,58 @@ def run_fig2_rerun() -> dict:
         rerun["lift_percent"] = round(
             (point["requests_per_second"] / baseline_rps - 1) * 100, 1
         )
+    if point.get("server_metrics"):
+        rerun["server_metrics"] = point["server_metrics"]
     return rerun
+
+
+# ----------------------------------------------- instrumentation overhead
+def run_obs_overhead() -> dict:
+    """The Fig. 2 point with metrics on vs ``--no-metrics``.
+
+    Both configurations use the same swarm; the only difference is
+    whether the server records into a :class:`MetricsRegistry` or the
+    shared ``NULL_REGISTRY`` no-ops.  Each side runs
+    ``OBS_OVERHEAD_PAIRS`` times in alternating order (on/off, off/on,
+    ...) so machine drift cannot systematically favour one side, and the
+    comparison takes each side's best run — contention noise on this
+    container is strictly one-sided, so max-over-N estimates the
+    uncontended capability far more tightly than any single sample.
+    Positive ``overhead_percent`` means instrumentation cost throughput.
+    """
+    from benchmarks.bench_fig2_server_throughput import run_point
+
+    on_samples: list[float] = []
+    off_samples: list[float] = []
+    server_metrics = None
+    for pair in range(OBS_OVERHEAD_PAIRS):
+        order = ("on", "off") if pair % 2 == 0 else ("off", "on")
+        for tag in order:
+            if tag == "on":
+                point = run_point(FIG2_POINT)
+                on_samples.append(point["requests_per_second"])
+                # Keep the server-side section from the best metrics-on
+                # run: it covers every request that run served.
+                if point["requests_per_second"] == max(on_samples):
+                    server_metrics = point.get("server_metrics")
+            else:
+                point = run_point(FIG2_POINT,
+                                  server_args=["--no-metrics"],
+                                  capture_server_metrics=False)
+                off_samples.append(point["requests_per_second"])
+    on_rps = max(on_samples)
+    off_rps = max(off_samples)
+    return {
+        "clients": FIG2_POINT,
+        "pairs": OBS_OVERHEAD_PAIRS,
+        "metrics_on_rps": on_rps,
+        "metrics_off_rps": off_rps,
+        "metrics_on_samples": on_samples,
+        "metrics_off_samples": off_samples,
+        "overhead_percent": round((off_rps - on_rps) / off_rps * 100, 2),
+        "limit_percent": OBS_OVERHEAD_LIMIT_PCT,
+        "server_metrics": server_metrics,
+    }
 
 
 # ---------------------------------------------------------------- reporting
@@ -260,6 +329,24 @@ def _write_results(results_dir: Path) -> None:
                f", {rerun['lift_percent']:+.1f}%)"
                if rerun.get("baseline_requests_per_second") else "")
         )
+    overhead = _results.get("obs_overhead")
+    if overhead:
+        lines.append("")
+        lines.append(
+            f"instrumentation overhead @ {overhead['clients']} clients: "
+            f"{overhead['metrics_on_rps']:.0f} req/s with metrics vs "
+            f"{overhead['metrics_off_rps']:.0f} req/s with --no-metrics "
+            f"({overhead['overhead_percent']:+.1f}%, limit "
+            f"{overhead['limit_percent']:.0f}%; best of "
+            f"{overhead.get('pairs', 1)} interleaved pairs)"
+        )
+        stages = (overhead.get("server_metrics") or {}).get("stages", {})
+        if stages:
+            lines.append("server-side stage p95s (ms): " + "  ".join(
+                f"{name.split('.', 1)[-1]}={summary['p95_ms']:.2f}"
+                for name, summary in sorted(stages.items())
+                if name.startswith("stage.") and summary.get("count")
+            ))
     write_artifact(results_dir, "hotpath.txt", lines)
     payload = {
         "benchmark": "hotpath",
@@ -312,6 +399,22 @@ def test_hotpath_fig2_rerun(benchmark, results_dir):
     assert rerun["requests_per_second"] > 0
 
 
+def test_hotpath_obs_overhead(benchmark, results_dir):
+    overhead = benchmark.pedantic(run_obs_overhead, rounds=1, iterations=1)
+    _results["obs_overhead"] = overhead
+    _write_results(results_dir)
+    benchmark.extra_info.update({
+        "metrics_on_rps": overhead["metrics_on_rps"],
+        "metrics_off_rps": overhead["metrics_off_rps"],
+        "overhead_percent": overhead["overhead_percent"],
+    })
+    # The metrics-on run must have produced a server-side section ...
+    stages = (overhead.get("server_metrics") or {}).get("stages", {})
+    assert stages.get("stage.validate", {}).get("count", 0) > 0
+    # ... and instrumentation must stay within the overhead budget.
+    assert overhead["overhead_percent"] <= OBS_OVERHEAD_LIMIT_PCT
+
+
 # ------------------------------------------------------------- script entry
 def main(argv: list[str]) -> int:
     """CI-friendly runner: ``--smoke`` forces smoke artifacts and gates on
@@ -335,6 +438,7 @@ def main(argv: list[str]) -> int:
     skip_fig2 = "--no-fig2" in argv
     if not skip_fig2:
         _results["fig2_rerun"] = run_fig2_rerun()
+        _results["obs_overhead"] = run_obs_overhead()
     _write_results(results_dir)
     speedup = _decode_speedup(_results["token_decode"])
     if speedup is not None and speedup <= 1.0:
@@ -344,6 +448,15 @@ def main(argv: list[str]) -> int:
     if _results["read_loop"][1]["recv_buffers_allocated"] != 1:
         print("FAIL: pooled read loop allocated more than one buffer",
               file=sys.stderr)
+        return 1
+    overhead = _results.get("obs_overhead")
+    if overhead and overhead["overhead_percent"] > OBS_OVERHEAD_LIMIT_PCT:
+        print(
+            f"FAIL: instrumentation overhead "
+            f"{overhead['overhead_percent']:.1f}% exceeds the "
+            f"{OBS_OVERHEAD_LIMIT_PCT:.0f}% limit",
+            file=sys.stderr,
+        )
         return 1
     print("hotpath bench OK")
     return 0

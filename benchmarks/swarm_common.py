@@ -30,10 +30,13 @@ _SRC = _REPO_ROOT / "src"
 @contextlib.contextmanager
 def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
                  backlog: int = 4096, workers: int = 4,
-                 startup_timeout: float = 30.0, addr: str | None = None):
+                 startup_timeout: float = 30.0, addr: str | None = None,
+                 server_args: list[str] | None = None):
     """A ``python -m repro.server`` child; yields its bound
     :class:`~repro.net.Endpoint` (``tcp://127.0.0.1:0`` by default, or any
-    ``addr`` endpoint URL such as ``unix:///tmp/x.sock``)."""
+    ``addr`` endpoint URL such as ``unix:///tmp/x.sock``).  Extra CLI
+    flags — ``--no-metrics``, ``--metrics-log``, ``--slow-request-ms`` —
+    go in ``server_args``."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(_SRC) + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -48,6 +51,7 @@ def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
             "--idle-timeout", str(idle_timeout),
             "--backlog", str(backlog),
             "--workers", str(workers),
+            *(server_args or []),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
@@ -90,3 +94,26 @@ def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
 def wait_for_barrier(engine, expected: int, timeout: float) -> None:
     """Block until every live client is parked at the start barrier."""
     engine.wait_barrier(expected, timeout=timeout)
+
+
+def server_metrics_summary(metrics_log_path: str) -> dict | None:
+    """Compact server-side section for a bench artifact, from the final
+    line of a ``--metrics-log`` file (written at server shutdown, after
+    the graceful drain, so it covers every request the child served).
+
+    Stage histograms are collapsed to their percentile summaries; raw
+    counters and gauges ride along whole.
+    """
+    from repro.obs import last_snapshot_line, summary_from_wire
+
+    snapshot = last_snapshot_line(metrics_log_path)
+    if snapshot is None:
+        return None
+    return {
+        "counters": snapshot.get("counters", {}),
+        "gauges": snapshot.get("gauges", {}),
+        "stages": {
+            name: summary_from_wire(wire)
+            for name, wire in sorted(snapshot.get("histograms", {}).items())
+        },
+    }

@@ -26,6 +26,7 @@ from repro.server.protocol import (
     decode_get_response,
     encode_add_request,
     encode_request,
+    encode_stats_request,
     read_frame,
     write_frame,
 )
@@ -167,6 +168,20 @@ class SocketEndpoint:
         if not decoded.get("ok"):
             raise ProtocolError("server refused to issue a token")
         return str(decoded["token"])
+
+    def stats(self, version: int = 2) -> dict:
+        """The server's STATS response as a dict.
+
+        Asking for v2 degrades gracefully: a pre-versioning server
+        ignores the ``version`` field and answers in the v1 shape (no
+        ``version`` key in the response), which callers detect with
+        ``response.get("version", 1)``.
+        """
+        response = self._roundtrip(encode_stats_request(version))
+        decoded = from_canonical_json(response)
+        if not isinstance(decoded, dict) or not decoded.get("ok"):
+            raise ProtocolError("server refused the STATS request")
+        return decoded
 
 
 class TcpEndpoint(SocketEndpoint):

@@ -31,25 +31,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
-#: Smallest representable latency (seconds); anything faster lands in
-#: bucket 0.
-_MIN_LATENCY = 1e-6
-#: Each bucket's upper bound is ``_GROWTH`` times the previous one.
-_GROWTH = 2 ** 0.25
-_LOG_GROWTH = math.log(_GROWTH)
-#: Enough buckets to reach ~130 s; slower ops saturate the last bucket.
-_BUCKETS = 108
-
-
-def _bucket_index(seconds: float) -> int:
-    if seconds <= _MIN_LATENCY:
-        return 0
-    index = int(math.log(seconds / _MIN_LATENCY) / _LOG_GROWTH) + 1
-    return min(index, _BUCKETS - 1)
-
-
-def _bucket_upper_bound(index: int) -> float:
-    return _MIN_LATENCY * _GROWTH ** index
+# The bucket grid lives in repro.obs.histogram so the server's per-stage
+# histograms land on the same grid (and the same wire form) as the
+# swarm's client-side latencies.  The private aliases keep this module's
+# historical names working.
+from repro.obs.histogram import (
+    BUCKET_COUNT as _BUCKETS,
+    GROWTH as _GROWTH,
+    MIN_LATENCY as _MIN_LATENCY,
+    bucket_index as _bucket_index,
+    bucket_upper_bound as _bucket_upper_bound,
+)
 
 
 class LatencyHistogram:

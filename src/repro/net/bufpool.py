@@ -59,3 +59,11 @@ class BufferPool:
     @property
     def free_count(self) -> int:
         return len(self._free)
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy counters for the observability layer."""
+        return {
+            "buffer_size": self.buffer_size,
+            "allocated": self.allocated,
+            "free": len(self._free),
+        }

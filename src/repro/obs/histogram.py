@@ -1,0 +1,206 @@
+"""Geometric latency-bucket math and a thread-sharded stage histogram.
+
+The bucket layout is the one ``repro.loadgen.metrics`` has always used
+for client-side latencies — ~19% geometric buckets from 1 µs up — hoisted
+here so the server records its per-stage timings into *the same* bucket
+grid.  A server-side ``stage.validate`` histogram and a client-side
+``add`` histogram are directly comparable, and both sides speak the same
+wire form (``{"buckets": {...}, "count", "total", "min", "max"}``), so
+the STATS v2 payload can be decoded with the client's existing
+``LatencyHistogram.from_wire``.
+
+:class:`StageHistogram` is the recording half: each thread owns a private
+shard (a flat list of ints/floats), so ``record()`` is a handful of
+in-place list writes — no locks, no allocation in steady state — and is
+safe to call from the event-loop thread.  ``snapshot()`` merges shards
+with the same retry-on-resize discipline as
+:class:`repro.obs.registry.ShardedCounter`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "MIN_LATENCY",
+    "GROWTH",
+    "BUCKET_COUNT",
+    "bucket_index",
+    "bucket_upper_bound",
+    "StageHistogram",
+    "HistogramSnapshot",
+    "summary_from_wire",
+]
+
+# ~19% geometric buckets: 1us .. ~100s in 108 buckets.  Any change here
+# changes the wire form shared with repro.loadgen.metrics — don't.
+MIN_LATENCY = 1e-6
+GROWTH = 2 ** 0.25
+_LOG_GROWTH = math.log(GROWTH)
+BUCKET_COUNT = 108
+
+
+def bucket_index(seconds: float) -> int:
+    """Map a latency in seconds to its bucket index."""
+    if seconds <= MIN_LATENCY:
+        return 0
+    index = int(math.log(seconds / MIN_LATENCY) / _LOG_GROWTH) + 1
+    return min(index, BUCKET_COUNT - 1)
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Upper latency bound (seconds) covered by bucket ``index``."""
+    if index <= 0:
+        return MIN_LATENCY
+    return MIN_LATENCY * GROWTH ** index
+
+
+# Shard layout: [count, total, min, max, bucket_0 .. bucket_N-1].  A flat
+# list keeps record() to indexed stores with zero per-sample allocation.
+_COUNT = 0
+_TOTAL = 1
+_MIN = 2
+_MAX = 3
+_HDR = 4
+
+
+class HistogramSnapshot:
+    """Immutable merged view of a :class:`StageHistogram`."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self, counts, count, total, minimum, maximum):
+        self.counts = counts
+        self.count = count
+        self.total = total
+        self.min = minimum
+        self.max = maximum
+
+    def percentile(self, pct: float) -> float:
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(self.count * pct / 100.0))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target:
+                return min(bucket_upper_bound(index), self.max)
+        return self.max
+
+    def to_wire(self) -> dict:
+        """Same wire schema as ``loadgen.metrics.LatencyHistogram.to_wire``."""
+        return {
+            "buckets": {
+                str(i): c for i, c in enumerate(self.counts) if c
+            },
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean_ms": (self.total / self.count) * 1000.0,
+            "min_ms": self.min * 1000.0,
+            "max_ms": self.max * 1000.0,
+            "p50_ms": self.percentile(50.0) * 1000.0,
+            "p95_ms": self.percentile(95.0) * 1000.0,
+            "p99_ms": self.percentile(99.0) * 1000.0,
+        }
+
+
+class StageHistogram:
+    """Thread-sharded latency histogram with allocation-free recording.
+
+    Each recording thread lazily creates a private shard list on first
+    use; after that, ``record()`` touches only that list.  The GIL makes
+    individual list-element stores atomic, and no thread ever writes
+    another thread's shard, so no lock is needed on the hot path.
+    ``snapshot()`` may observe a sample's count before its total (or see
+    a brand-new shard appear mid-merge — handled by retrying), which is
+    the same mild raciness ``ShardedCounter.value()`` accepts.
+    """
+
+    __slots__ = ("_shards", "_local")
+
+    def __init__(self) -> None:
+        self._shards: dict[int, list] = {}
+        self._local = threading.local()
+
+    def _shard(self) -> list:
+        try:
+            return self._local.shard
+        except AttributeError:
+            shard = [0, 0.0, math.inf, 0.0] + [0] * BUCKET_COUNT
+            self._shards[threading.get_ident()] = shard
+            self._local.shard = shard
+            return shard
+
+    def record(self, seconds: float) -> None:
+        shard = self._shard()
+        shard[_COUNT] += 1
+        shard[_TOTAL] += seconds
+        if seconds < shard[_MIN]:
+            shard[_MIN] = seconds
+        if seconds > shard[_MAX]:
+            shard[_MAX] = seconds
+        shard[bucket_index(seconds) + _HDR] += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        while True:
+            try:
+                shards = [list(s) for s in self._shards.values()]
+                break
+            except RuntimeError:
+                # A thread registered a new shard mid-iteration; retry.
+                continue
+        counts = [0] * BUCKET_COUNT
+        count = 0
+        total = 0.0
+        minimum = math.inf
+        maximum = 0.0
+        for shard in shards:
+            count += shard[_COUNT]
+            total += shard[_TOTAL]
+            if shard[_MIN] < minimum:
+                minimum = shard[_MIN]
+            if shard[_MAX] > maximum:
+                maximum = shard[_MAX]
+            for i in range(BUCKET_COUNT):
+                counts[i] += shard[_HDR + i]
+        if count == 0:
+            minimum = 0.0
+        return HistogramSnapshot(counts, count, total, minimum, maximum)
+
+    def to_wire(self) -> dict:
+        return self.snapshot().to_wire()
+
+    def summary(self) -> dict:
+        return self.snapshot().summary()
+
+
+def summary_from_wire(data: dict) -> dict:
+    """Percentile summary from a wire-form histogram dict.
+
+    Used by the client CLI to pretty-print STATS v2 stage histograms
+    without importing the loadgen package.
+    """
+    counts = [0] * BUCKET_COUNT
+    for key, value in dict(data.get("buckets", {})).items():
+        index = int(key)
+        if 0 <= index < BUCKET_COUNT:
+            counts[index] = int(value)
+    minimum = data.get("min")
+    snap = HistogramSnapshot(
+        counts,
+        int(data.get("count", 0)),
+        float(data.get("total", 0.0)),
+        0.0 if minimum is None else float(minimum),
+        float(data.get("max", 0.0)),
+    )
+    return snap.summary()

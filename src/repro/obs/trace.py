@@ -1,0 +1,78 @@
+"""Per-request stage tracing for the slow-request log.
+
+A :class:`RequestTrace` is a cheap stamp card handed down the pipeline
+(transport → server → validator → database → store → WAL) that each
+stage stamps with its elapsed seconds.  Traces are only allocated when
+the slow-request log is armed (``--slow-request-ms``); the always-on
+per-stage *histograms* live in the registry and don't need one.
+
+Stage names are shared constants so histogram names, trace keys, and the
+docs' stage diagram can never drift apart:
+
+    queue_wait -> validate (crypto on cache miss) -> db_append
+    (wal_fsync inside) -> handler (end-to-end dispatch) -> flush
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "STAGE_QUEUE_WAIT",
+    "STAGE_VALIDATE",
+    "STAGE_CRYPTO",
+    "STAGE_DB_APPEND",
+    "STAGE_DB_READ",
+    "STAGE_WAL_FSYNC",
+    "STAGE_HANDLER",
+    "STAGE_FLUSH",
+    "ALL_STAGES",
+    "RequestTrace",
+]
+
+STAGE_QUEUE_WAIT = "queue_wait"  # frame parsed -> worker dequeues it
+STAGE_VALIDATE = "validate"      # token decode + quota + adjacency
+STAGE_CRYPTO = "crypto"          # authority.decode on token-cache miss
+STAGE_DB_APPEND = "db_append"    # database append incl. durable store
+STAGE_DB_READ = "db_read"        # wire-page composition for GET
+STAGE_WAL_FSYNC = "wal_fsync"    # flush + fsync wait inside the WAL
+STAGE_HANDLER = "handler"        # whole dispatch on the worker
+STAGE_FLUSH = "flush"            # response queued -> last byte written
+
+ALL_STAGES = (
+    STAGE_QUEUE_WAIT,
+    STAGE_VALIDATE,
+    STAGE_CRYPTO,
+    STAGE_DB_APPEND,
+    STAGE_DB_READ,
+    STAGE_WAL_FSYNC,
+    STAGE_HANDLER,
+    STAGE_FLUSH,
+)
+
+
+class RequestTrace:
+    """Stage -> elapsed-seconds stamps for one request."""
+
+    __slots__ = ("op", "stages")
+
+    def __init__(self, op: str = "?") -> None:
+        self.op = op
+        self.stages: dict[str, float] = {}
+
+    def stamp(self, stage: str, seconds: float) -> None:
+        # A stage can run more than once per request (e.g. wal_fsync
+        # under rotation); accumulate.
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def total(self) -> float:
+        return self.stages.get(STAGE_HANDLER, 0.0) + self.stages.get(
+            STAGE_QUEUE_WAIT, 0.0
+        )
+
+    def breakdown(self) -> str:
+        """``stage=1.23ms`` pairs in pipeline order, for the slow log."""
+        parts = [
+            f"{stage}={self.stages[stage] * 1000.0:.2f}ms"
+            for stage in ALL_STAGES
+            if stage in self.stages
+        ]
+        return " ".join(parts) if parts else "no stages stamped"

@@ -7,6 +7,8 @@ Usage::
         [--quota-per-day 10] [--no-adjacency-check]
         [--data-dir /var/lib/communix] [--fsync always]
         [--checkpoint-every 4096]
+        [--admin-addr tcp://127.0.0.1:9199] [--metrics-log metrics.jsonl]
+        [--slow-request-ms 50] [--no-metrics]
 
 ``--addr`` is repeatable: the server listens on every given endpoint
 simultaneously (TCP and UNIX-domain clients share one database).  The
@@ -30,6 +32,7 @@ import threading
 
 from repro.crypto.backend import get_backend
 from repro.net import EndpointError, parse_endpoint, tcp_endpoint
+from repro.obs import MetricsLogWriter
 from repro.server.server import CommunixServer, ServerConfig
 from repro.server.transport import ServerTransport
 from repro.store import StoreError, parse_fsync_policy
@@ -101,6 +104,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--token-cache-size", type=int, default=65_536, metavar="N",
         help="bound on the validator's decoded-token LRU cache",
     )
+    parser.add_argument(
+        "--admin-addr", action="append", metavar="URL", default=None,
+        help="serve a plaintext-HTTP observability plane on this endpoint "
+             "(GET /metrics Prometheus text, /stats JSON, /healthz); "
+             "repeatable",
+    )
+    parser.add_argument(
+        "--metrics-log", metavar="PATH", default=None,
+        help="append a JSONL metrics snapshot to PATH every "
+             "--metrics-interval seconds (plus one final line at shutdown)",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=5.0, metavar="SECONDS",
+        help="seconds between --metrics-log snapshots",
+    )
+    parser.add_argument(
+        "--slow-request-ms", type=float, default=0.0, metavar="MS",
+        help="log any request slower than MS milliseconds with a "
+             "per-stage breakdown (0: disabled)",
+    )
+    parser.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the metrics registry entirely (no stage histograms, "
+             "no admin-plane data; STATS keeps its v1 counters)",
+    )
     return parser
 
 
@@ -144,6 +172,12 @@ def main(argv: list[str] | None = None) -> int:
     except CryptoError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    try:
+        admin_endpoints = [parse_endpoint(spec)
+                           for spec in (args.admin_addr or [])]
+    except EndpointError as exc:
+        print(f"error: --admin-addr: {exc}", file=sys.stderr)
+        return 2
     config = ServerConfig(
         max_signatures_per_user_per_day=args.quota_per_day,
         adjacency_check=not args.no_adjacency_check,
@@ -152,6 +186,8 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_every=args.checkpoint_every,
         crypto_backend=args.crypto_backend,
         token_cache_size=args.token_cache_size,
+        metrics_enabled=not args.no_metrics,
+        slow_request_ms=args.slow_request_ms,
     )
     try:
         server = CommunixServer(config=config)
@@ -172,18 +208,27 @@ def main(argv: list[str] | None = None) -> int:
         server, endpoints=endpoints,
         accept_backlog=args.backlog, workers=args.workers,
         idle_timeout=args.idle_timeout,
+        admin_endpoints=admin_endpoints,
     )
     try:
         transport.start()
     except EndpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    metrics_writer = None
+    if args.metrics_log:
+        metrics_writer = MetricsLogWriter(
+            server.metrics, args.metrics_log, interval=args.metrics_interval
+        )
+        metrics_writer.start()
     bound = transport.bound_endpoints
     print(f"communix-server listening on {_format_primary(bound[0])} "
           f"(quota {config.max_signatures_per_user_per_day}/user/day, "
           f"crypto backend {server.authority.backend_name})")
     for endpoint in bound[1:]:
         print(f"communix-server also listening on {endpoint.url()}")
+    for endpoint in transport.bound_admin_endpoints:
+        print(f"communix-server admin plane on {endpoint.url()}")
     # SIGTERM/SIGINT request a *graceful* stop: the handler only sets the
     # event, and the main thread then runs the full drain — in-flight
     # requests finish, the store is flushed and sealed (final checkpoint),
@@ -196,6 +241,10 @@ def main(argv: list[str] | None = None) -> int:
         stop.wait()
     finally:
         transport.stop()  # graceful drain; flushes the store
+        if metrics_writer is not None:
+            # After the drain, so the final JSONL line covers every
+            # request this process served.
+            metrics_writer.stop()
         try:
             server.close()  # seal: final checkpoint manifest + closed log
         except OSError as exc:

@@ -229,12 +229,13 @@ class SignatureDatabase:
 
     # ------------------------------------------------------------- writing
     def append(self, signature: DeadlockSignature, blob: bytes,
-               sender_uid: int) -> int:
+               sender_uid: int, trace=None) -> int:
         """Store a validated signature; returns its database index.
 
         Duplicate signatures (same content hash) are not stored twice; the
         existing index is returned — many users reporting the same deadlock
-        is the expected steady state.
+        is the expected steady state.  ``trace`` rides down to the store
+        so the WAL can stamp its fsync wait.
         """
         with self._append_lock:
             existing = self._by_sig_id.get(signature.sig_id)
@@ -246,7 +247,8 @@ class SignatureDatabase:
                 # publishes it.  A failed disk write surfaces here and the
                 # in-memory state stays untouched — the ADD is not acked.
                 logged = self._store.append(
-                    blob, signature.sig_id, sender_uid, signature.top_frames
+                    blob, signature.sig_id, sender_uid, signature.top_frames,
+                    trace=trace,
                 )
                 if logged != self._count:  # pragma: no cover - logic guard
                     raise RuntimeError(

@@ -7,7 +7,8 @@ many payload bytes.  Requests are canonical-JSON frames::
     {"op": "GET", "from_index": k}                     # unpaginated (legacy)
     {"op": "GET", "from_index": k, "max_count": m}     # paginated
     {"op": "ISSUE_ID"}
-    {"op": "STATS"}
+    {"op": "STATS"}                                    # v1 (legacy shape)
+    {"op": "STATS", "version": 2}                      # + histograms/metrics
 
 ``ADD``/``ISSUE_ID``/``STATS`` responses are JSON frames.  ``GET`` responses
 use a binary layout so the client can store and count signatures without
@@ -117,6 +118,28 @@ def _checked_int(value: Any, field: str, *, minimum: int = 0) -> int:
     if value < minimum:
         raise ProtocolError(f"GET {field} must be non-negative")
     return value
+
+
+def encode_stats_request(version: int = 1) -> bytes:
+    """A STATS request frame; ``version`` is omitted for v1 so the frame
+    is byte-identical to what pre-versioning clients always sent (old
+    servers ignore unknown fields either way)."""
+    if version <= 1:
+        return encode_request({"op": "STATS"})
+    return encode_request({"op": "STATS", "version": version})
+
+
+def decode_stats_version(request: dict[str, Any]) -> int:
+    """The schema version a STATS request asks for (absent -> 1).
+
+    A non-integer version is malformed; an unknown *future* version is
+    clamped to the newest schema this server speaks (the response carries
+    its actual ``version`` field, so the client can tell).
+    """
+    raw = request.get("version", 1)
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 1:
+        raise ProtocolError("STATS version must be a positive integer")
+    return raw
 
 
 def decode_get_args(request: dict[str, Any]) -> tuple[int, int | None]:

@@ -15,9 +15,18 @@ from __future__ import annotations
 import operator
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.signature import DeadlockSignature, ORIGIN_REMOTE
 from repro.crypto.userid import UserIdAuthority
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    ShardedCounter,
+    STAGE_DB_APPEND,
+    STAGE_DB_READ,
+    STAGE_VALIDATE,
+)
 from repro.server.database import SignatureDatabase
 from repro.server.ratelimit import DailyQuota
 from repro.server.validation import ServerSideValidator, ServerVerdict
@@ -26,6 +35,10 @@ from repro.util.errors import ProtocolError, ValidationError
 from repro.util.logging import get_logger
 
 log = get_logger("server")
+
+#: Current STATS response schema version; ``{"op": "STATS"}`` without a
+#: ``version`` field still gets the original v1 shape.
+STATS_VERSION = 2
 
 
 @dataclass
@@ -59,6 +72,14 @@ class ServerConfig:
     #: Bound on the validator's decoded-token LRU; a forged-token flood
     #: cannot grow it past this many entries.
     token_cache_size: int = 65_536
+    #: Observability: when False the server runs with the no-op
+    #: :data:`repro.obs.NULL_REGISTRY` — no per-stage histograms, no
+    #: timing reads on the hot path (``--no-metrics``; the baseline the
+    #: instrumentation-overhead benchmark compares against).
+    metrics_enabled: bool = True
+    #: Log a stage breakdown for any request slower than this many
+    #: milliseconds (0 disables the slow-request log).
+    slow_request_ms: float = 0.0
 
 
 @dataclass
@@ -68,32 +89,9 @@ class AddOutcome:
     index: int | None = None
 
 
-class ShardedCounter:
-    """A counter each thread bumps in its own dict slot (no shared lock).
-
-    Under the GIL a single ``d[key] = d.get(key, 0) + n`` with a key only
-    this thread writes is free of lost updates; ``value()`` aggregates all
-    shards on read.  Writers never contend, which is what lets Fig. 2's
-    thousands of simultaneous request threads count without serializing.
-    """
-
-    __slots__ = ("_shards",)
-
-    def __init__(self) -> None:
-        self._shards: dict[int, int] = {}
-
-    def add(self, n: int = 1) -> None:
-        shards = self._shards
-        ident = threading.get_ident()
-        shards[ident] = shards.get(ident, 0) + n
-
-    def value(self) -> int:
-        while True:
-            try:
-                return sum(self._shards.values())
-            except RuntimeError:  # a new shard appeared mid-sum; retry
-                continue
-
+# ShardedCounter moved to repro.obs.registry (imported above) so every
+# layer shares the per-thread-shard counting idiom; it remains exported
+# from this module for existing callers.
 
 @dataclass
 class ServerStats:
@@ -127,14 +125,25 @@ class _StatsCounters:
                 counter = self._rejections.setdefault(verdict, ShardedCounter())
         counter.add()
 
+    def rejections_total(self) -> int:
+        while True:
+            try:
+                return sum(c.value() for c in self._rejections.values())
+            except RuntimeError:  # a new verdict appeared mid-sum; retry
+                continue
+
     def snapshot(self) -> ServerStats:
+        # Read each rejection counter exactly once: value() walks every
+        # thread shard, and a second read could disagree with the first
+        # (the filter would then disagree with the value it filtered on).
+        rejected = {}
+        for verdict, counter in list(self._rejections.items()):
+            count = counter.value()
+            if count:
+                rejected[verdict] = count
         return ServerStats(
             adds_accepted=self.adds_accepted.value(),
-            adds_rejected={
-                verdict: counter.value()
-                for verdict, counter in self._rejections.items()
-                if counter.value()
-            },
+            adds_rejected=rejected,
             gets_served=self.gets_served.value(),
             signatures_served=self.signatures_served.value(),
         )
@@ -143,12 +152,18 @@ class _StatsCounters:
 class CommunixServer:
     def __init__(self, config: ServerConfig | None = None,
                  authority: UserIdAuthority | None = None,
-                 clock: Clock | None = None, store=None):
+                 clock: Clock | None = None, store=None, metrics=None):
         """``store`` overrides the config-driven store; by default a
         :class:`~repro.store.SignatureStore` is opened (replaying any
-        existing log) when ``config.data_dir`` is set."""
+        existing log) when ``config.data_dir`` is set.  ``metrics``
+        overrides the config-driven registry (pass
+        :data:`repro.obs.NULL_REGISTRY` to compile instrumentation out)."""
         self.config = config or ServerConfig()
         self.clock = clock or SystemClock()
+        if metrics is None:
+            metrics = (MetricsRegistry() if self.config.metrics_enabled
+                       else NULL_REGISTRY)
+        self.metrics = metrics
         self.authority = authority or UserIdAuthority(
             backend=self.config.crypto_backend
         )
@@ -161,6 +176,10 @@ class CommunixServer:
                 checkpoint_every=self.config.checkpoint_every,
             )
         self.store = store
+        if store is not None and hasattr(store, "set_metrics"):
+            # Covers caller-supplied stores too: the WAL's fsync wait
+            # lands in stage.wal_fsync either way.
+            store.set_metrics(metrics)
         self.database = SignatureDatabase(store=store)
         if store is not None:
             # Never re-issue a uid the pre-restart server already handed
@@ -172,8 +191,41 @@ class CommunixServer:
         self.validator = ServerSideValidator(
             self.authority, self.quota, self.database,
             token_cache_size=self.config.token_cache_size,
+            metrics=metrics,
         )
         self._counters = _StatsCounters()
+        # Pre-resolved stage histograms: the hot path must not pay a
+        # registry lookup per request.  _obs_on gates even the
+        # perf_counter() reads when the null registry is installed.
+        self._obs_on = metrics.enabled
+        self._h_validate = metrics.histogram(f"stage.{STAGE_VALIDATE}")
+        self._h_db_append = metrics.histogram(f"stage.{STAGE_DB_APPEND}")
+        self._h_db_read = metrics.histogram(f"stage.{STAGE_DB_READ}")
+        self._register_derived(metrics)
+
+    def _register_derived(self, metrics) -> None:
+        """Expose the v1 counters (and cache/database occupancy) through
+        the registry as *derived* instruments: the existing accounting
+        stays the single source of truth, so the hot path never counts
+        twice and a Prometheus scrape can never disagree with STATS."""
+        counters = self._counters
+        cache = self.validator.token_cache
+        database = self.database
+        metrics.register_counter("adds_accepted",
+                                 counters.adds_accepted.value)
+        metrics.register_counter("adds_rejected", counters.rejections_total)
+        metrics.register_counter("gets_served", counters.gets_served.value)
+        metrics.register_counter("signatures_served",
+                                 counters.signatures_served.value)
+        metrics.register_counter("token_cache.hits", lambda: cache.hits)
+        metrics.register_counter("token_cache.misses", lambda: cache.misses)
+        metrics.register_counter("db.page_cache_hits",
+                                 lambda: database.page_cache_hits)
+        metrics.register_counter("db.page_cache_misses",
+                                 lambda: database.page_cache_misses)
+        metrics.register_gauge("db.size", database.__len__)
+        metrics.register_gauge("db.segments", lambda: database.segment_count)
+        metrics.register_gauge("token_cache.size", cache.__len__)
 
     @property
     def stats(self) -> ServerStats:
@@ -215,8 +267,14 @@ class CommunixServer:
             self.store.close(final_checkpoint=True)
 
     # ------------------------------------------------------------ requests
-    def process_add(self, blob: bytes, token: str) -> AddOutcome:
-        """Handle ``ADD(sig)``: validate and store one signature blob."""
+    def process_add(self, blob: bytes, token: str, trace=None) -> AddOutcome:
+        """Handle ``ADD(sig)``: validate and store one signature blob.
+
+        ``trace`` is an optional :class:`repro.obs.RequestTrace` the
+        transport hands down when the slow-request log is armed; stage
+        timings always go to the registry histograms when metrics are on.
+        """
+        timed = self._obs_on or trace is not None
         if len(blob) > self.config.max_signature_bytes:
             return self._rejected("oversized")
         try:
@@ -224,15 +282,22 @@ class CommunixServer:
         except ValidationError:
             return self._rejected("malformed")
         if self.config.require_token:
-            verdict, uid = self.validator.check_add(signature, token)
+            started = perf_counter() if timed else 0.0
+            verdict, uid = self.validator.check_add(signature, token, trace)
+            if timed:
+                elapsed = perf_counter() - started
+                self._h_validate.record(elapsed)
+                if trace is not None:
+                    trace.stamp(STAGE_VALIDATE, elapsed)
             if not self.config.adjacency_check and verdict is ServerVerdict.ADJACENT:
                 verdict, uid = ServerVerdict.OK, uid
             if verdict is not ServerVerdict.OK:
                 return self._rejected(verdict.value)
         else:
             uid = 0
+        started = perf_counter() if timed else 0.0
         try:
-            index = self.database.append(signature, blob, uid)
+            index = self.database.append(signature, blob, uid, trace=trace)
         except (OSError, ValueError):  # disk failure / store already sealed
             # The write-ahead log could not take the record: the signature
             # is NOT durable, so it must not be acked as stored — and the
@@ -243,6 +308,11 @@ class CommunixServer:
             if self.config.require_token:
                 self.quota.refund(uid)
             return self._rejected("store_error")
+        if timed:
+            elapsed = perf_counter() - started
+            self._h_db_append.record(elapsed)
+            if trace is not None:
+                trace.stamp(STAGE_DB_APPEND, elapsed)
         self._counters.adds_accepted.add()
         return AddOutcome(accepted=True, verdict="ok", index=index)
 
@@ -285,14 +355,22 @@ class CommunixServer:
         self._counters.signatures_served.add(len(blobs))
         return next_index, blobs, more
 
-    def process_get_wire(self, from_index: int, max_count: int | None = None
+    def process_get_wire(self, from_index: int, max_count: int | None = None,
+                         trace=None
                          ) -> tuple[int, int, tuple[bytes, ...], bool]:
         """GET for the transport hot path: ``(next_index, count, chunks,
         more)`` where ``chunks`` are the database's precomposed response
         records (cache hits are O(segments), no per-blob work)."""
+        timed = self._obs_on or trace is not None
+        started = perf_counter() if timed else 0.0
         next_index, count, chunks, more = self.database.wire_from(
             self._checked_index(from_index), self._clamp_page(max_count)
         )
+        if timed:
+            elapsed = perf_counter() - started
+            self._h_db_read.record(elapsed)
+            if trace is not None:
+                trace.stamp(STAGE_DB_READ, elapsed)
         self._counters.gets_served.add()
         self._counters.signatures_served.add(count)
         return next_index, count, chunks, more
@@ -300,3 +378,32 @@ class CommunixServer:
     def _rejected(self, verdict: str) -> AddOutcome:
         self._counters.note_rejection(verdict)
         return AddOutcome(accepted=False, verdict=verdict)
+
+    # --------------------------------------------------------------- stats
+    def stats_payload(self, version: int = 1) -> dict:
+        """The STATS response body for the requested schema version.
+
+        v1 is the original six-field shape, preserved byte-for-key for
+        old clients.  v2 is a superset: everything v1 has, plus the
+        rejection breakdown, ``signatures_served``, token-cache
+        occupancy, and the full registry snapshot (per-stage histograms
+        in the loadgen wire form, event-loop gauges, derived counters).
+        """
+        stats = self.stats
+        payload = {
+            "ok": True,
+            "database_size": len(self.database),
+            "adds_accepted": stats.adds_accepted,
+            "gets_served": stats.gets_served,
+            "token_cache_hits": stats.token_cache_hits,
+            "token_cache_misses": stats.token_cache_misses,
+        }
+        if version < 2:
+            return payload
+        payload["version"] = STATS_VERSION
+        payload["adds_rejected"] = stats.adds_rejected
+        payload["signatures_served"] = stats.signatures_served
+        payload["database_segments"] = self.database.segment_count
+        payload["token_cache"] = self.validator.token_cache.stats()
+        payload["metrics"] = self.metrics.snapshot()
+        return payload

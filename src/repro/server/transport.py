@@ -35,6 +35,17 @@ The syscall layer is batched (see ``benchmarks/bench_hotpath.py``):
 * workers post at most one wakeup byte per loop iteration (an armed
   flag), instead of one ``send`` per completion.
 
+The transport is also the home of the server's observability plane (see
+:mod:`repro.obs` and ``docs/architecture.md`` §9): when metrics are on it
+stamps every request through per-stage histograms (queue wait, handler,
+response flush — validate/crypto/db/WAL stages are stamped deeper in the
+stack), probes its own loop health (select wait vs. work time per
+iteration, worker queue depth, backpressure pauses, buffer-pool
+occupancy), logs any request slower than ``--slow-request-ms`` with a
+stage breakdown, and serves a plaintext-HTTP admin plane (``GET
+/metrics`` in Prometheus text format, ``/stats`` as STATS-v2 JSON,
+``/healthz``) on dedicated ``admin_endpoints`` from this same event loop.
+
 Addressing goes through :mod:`repro.net`: the transport listens on one or
 more endpoints (``tcp://host:port`` and/or ``unix:///path``)
 simultaneously, so TCP clients and local UNIX-socket clients share one
@@ -55,6 +66,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from time import perf_counter
+
 from repro.net import (
     BufferPool,
     Endpoint,
@@ -64,11 +77,19 @@ from repro.net import (
 )
 from repro.net import listen as net_listen
 
+from repro.obs import (
+    STAGE_FLUSH,
+    STAGE_HANDLER,
+    STAGE_QUEUE_WAIT,
+    RequestTrace,
+    render_prometheus,
+)
 from repro.server.protocol import (
     MAX_FRAME,
     decode_add_signature,
     decode_get_args,
     decode_request,
+    decode_stats_version,
     get_page_response_parts,
     get_response_parts,
 )
@@ -92,9 +113,29 @@ _MAX_PENDING = 32
 
 _LISTENER = "listener"
 _WAKEUP = "wakeup"
+#: Largest HTTP request head the admin plane will buffer before dropping
+#: the connection (scrapers send a one-line GET; anything bigger is abuse).
+_ADMIN_MAX_REQUEST = 8 * 1024
 #: How long accept stays paused after EMFILE/ENFILE before retrying.
 _ACCEPT_COOLDOWN = 0.2
 _FD_EXHAUSTED = {errno.EMFILE, errno.ENFILE}
+
+
+_HTTP_STATUS = {200: "OK", 404: "Not Found", 405: "Method Not Allowed",
+                500: "Internal Server Error"}
+
+
+def _http_response(status: int, body: bytes, content_type: str) -> bytes:
+    """A complete HTTP/1.0 response (the admin plane closes after each
+    response, so no keep-alive bookkeeping is needed)."""
+    head = (
+        f"HTTP/1.0 {status} {_HTTP_STATUS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
 
 
 class _OutputQueue:
@@ -105,7 +146,7 @@ class _OutputQueue:
     of a large database is never copied into one contiguous buffer.
     """
 
-    __slots__ = ("parts", "size")
+    __slots__ = ("parts", "size", "pushed", "written", "marks")
 
     #: sendmsg is capped at IOV_MAX buffers per call; stay well under it.
     MAX_VECTORS = 64
@@ -113,12 +154,35 @@ class _OutputQueue:
     def __init__(self) -> None:
         self.parts: collections.deque[memoryview] = collections.deque()
         self.size = 0
+        #: Monotonic byte counters for flush-latency marks: ``pushed``
+        #: counts every byte ever enqueued, ``written`` every byte ever
+        #: sent; a mark placed at ``pushed`` completes once ``written``
+        #: catches up to it.
+        self.pushed = 0
+        self.written = 0
+        self.marks: collections.deque[tuple[int, float]] = collections.deque()
 
     def push(self, buffers) -> None:
         for buffer in buffers:
             if buffer:
                 self.parts.append(memoryview(buffer))
                 self.size += len(buffer)
+                self.pushed += len(buffer)
+
+    def mark(self, timestamp: float) -> None:
+        """Mark the current enqueue position (a response boundary) so the
+        flush stage can measure enqueue -> last-byte-written."""
+        self.marks.append((self.pushed, timestamp))
+
+    def take_flushed(self) -> list[float]:
+        """Pop the start timestamps of every mark the writes so far have
+        fully covered."""
+        done = []
+        marks = self.marks
+        written = self.written
+        while marks and marks[0][0] <= written:
+            done.append(marks.popleft()[1])
+        return done
 
     def head(self) -> list[memoryview]:
         parts = self.parts
@@ -126,6 +190,7 @@ class _OutputQueue:
 
     def advance(self, n: int) -> None:
         self.size -= n
+        self.written += n
         parts = self.parts
         while n:
             head = parts[0]
@@ -139,6 +204,7 @@ class _OutputQueue:
     def clear(self) -> None:
         self.parts.clear()
         self.size = 0
+        self.marks.clear()
 
 
 class _Connection:
@@ -149,40 +215,61 @@ class _Connection:
     """
 
     __slots__ = ("sock", "fd", "peer", "inbuf", "out", "pending", "busy",
-                 "paused", "events", "last_activity")
+                 "paused", "events", "last_activity", "admin",
+                 "close_after_flush")
 
-    def __init__(self, sock: socket.socket, peer, now: float):
+    def __init__(self, sock: socket.socket, peer, now: float,
+                 admin: bool = False):
         self.sock = sock
         self.fd = sock.fileno()
         self.peer = peer
         self.inbuf = bytearray()
         self.out = _OutputQueue()
-        self.pending: collections.deque[bytes] = collections.deque()
+        #: Parsed request payloads awaiting dispatch, each with the
+        #: perf_counter() of the loop iteration that parsed it (0.0 when
+        #: metrics are off) — the queue-wait stage's start mark.
+        self.pending: collections.deque[tuple[bytes, float]] = (
+            collections.deque()
+        )
         self.busy = False  # one request in flight on the worker pool
         self.paused = False  # read interest dropped (backpressure)
         self.events = selectors.EVENT_READ
         self.last_activity = now
+        self.admin = admin  # HTTP metrics plane, not the framed protocol
+        self.close_after_flush = False  # admin responses close when drained
 
 
 class ServerTransport:
     def __init__(self, server: CommunixServer, host: str = "127.0.0.1",
                  port: int = 0, accept_backlog: int = 512,
                  workers: int = 8, idle_timeout: float = 60.0,
-                 drain_timeout: float = 2.0, endpoints=None):
+                 drain_timeout: float = 2.0, endpoints=None,
+                 admin_endpoints=None, slow_request_ms: float | None = None):
         """``endpoints`` is a list of endpoint URLs / :class:`Endpoint`
         objects to listen on simultaneously; when omitted, the legacy
-        ``host``/``port`` pair becomes a single TCP endpoint."""
+        ``host``/``port`` pair becomes a single TCP endpoint.
+        ``admin_endpoints`` are served as a plaintext-HTTP observability
+        plane (``GET /metrics`` Prometheus text, ``/stats`` JSON,
+        ``/healthz``) from the same event loop.  ``slow_request_ms``
+        overrides ``server.config.slow_request_ms``."""
         self._server = server
         if endpoints:
             self._endpoints = [parse_endpoint(ep) for ep in endpoints]
         else:
             self._endpoints = [tcp_endpoint(host, port)]
+        self._admin_endpoints = [parse_endpoint(ep)
+                                 for ep in (admin_endpoints or [])]
+        if slow_request_ms is None:
+            slow_request_ms = getattr(server.config, "slow_request_ms", 0.0)
+        self._slow_threshold = max(0.0, slow_request_ms) / 1000.0
         self._backlog = accept_backlog
         self._workers = max(1, workers)
         self._idle_timeout = idle_timeout
         self._drain_timeout = drain_timeout
         self._listeners: dict[int, tuple[socket.socket, Endpoint]] = {}
+        self._admin_fds: set[int] = set()
         self._bound: list[Endpoint] = []
+        self._bound_admin: list[Endpoint] = []
         self._selector: selectors.BaseSelector | None = None
         self._loop_thread: threading.Thread | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -201,6 +288,26 @@ class ServerTransport:
         #: Wakeup batching: workers send one byte per *loop iteration*,
         #: not per completion.  True = a wakeup byte is already in flight.
         self._wakeup_armed = False
+        # Observability: instruments pre-resolved off the server's
+        # registry; _obs_on gates every perf_counter() read so the
+        # --no-metrics server pays nothing.
+        metrics = server.metrics
+        self._metrics = metrics
+        self._obs_on = metrics.enabled
+        self._slow_log_on = self._slow_threshold > 0.0
+        self._h_queue_wait = metrics.histogram(f"stage.{STAGE_QUEUE_WAIT}")
+        self._h_handler = metrics.histogram(f"stage.{STAGE_HANDLER}")
+        self._h_flush = metrics.histogram(f"stage.{STAGE_FLUSH}")
+        #: loop.select_wait: time the loop sat in select() per iteration.
+        self._h_select_wait = metrics.histogram("loop.select_wait")
+        #: loop.lag: time spent *outside* select() per iteration — how
+        #: long a newly-ready event can wait for the loop's attention.
+        self._h_loop_lag = metrics.histogram("loop.lag")
+        self._c_iterations = metrics.counter("loop.iterations")
+        self._c_accepts = metrics.counter("net.accepts")
+        self._c_slow = metrics.counter("net.slow_requests")
+        self._c_pauses = metrics.counter("net.backpressure_pauses")
+        self._c_admin = metrics.counter("net.admin_requests")
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> tuple[str, int]:
@@ -208,16 +315,25 @@ class ServerTransport:
         ``(host, port)`` pair — see :attr:`address`; multi-endpoint callers
         read :attr:`bound_endpoints` for the full list."""
         bound: list[tuple[socket.socket, Endpoint]] = []
+        admin_bound: list[tuple[socket.socket, Endpoint]] = []
         try:
             for endpoint in self._endpoints:
                 bound.append(net_listen(endpoint, backlog=self._backlog))
+            for endpoint in self._admin_endpoints:
+                admin_bound.append(net_listen(endpoint, backlog=16))
         except Exception:
-            for sock, endpoint in bound:
+            for sock, endpoint in bound + admin_bound:
                 sock.close()
                 cleanup_listener(endpoint)
             raise
-        self._listeners = {sock.fileno(): (sock, ep) for sock, ep in bound}
+        # Admin listeners live in the same table (every cleanup path —
+        # pause, drain, force-close — already walks it); _admin_fds is
+        # what routes their accepted connections to the HTTP handler.
+        self._listeners = {sock.fileno(): (sock, ep)
+                           for sock, ep in bound + admin_bound}
+        self._admin_fds = {sock.fileno() for sock, _ in admin_bound}
         self._bound = [ep for _, ep in bound]
+        self._bound_admin = [ep for _, ep in admin_bound]
 
         self._wakeup_recv, self._wakeup_send = socket.socketpair()
         self._wakeup_recv.setblocking(False)
@@ -232,6 +348,7 @@ class ServerTransport:
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="communix-worker"
         )
+        self._register_gauges()
         self._stop.clear()
         self._accept_paused_until = 0.0
         self._loop_thread = threading.Thread(
@@ -257,6 +374,7 @@ class ServerTransport:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
         self._listeners = {}
+        self._admin_fds = set()
         self._selector = None
         self._wakeup_recv = None
         self._wakeup_send = None
@@ -271,11 +389,46 @@ class ServerTransport:
                 return endpoint.host, endpoint.port
         return endpoints[0].path, 0
 
+    def _register_gauges(self) -> None:
+        """Event-loop health probes, read lazily at snapshot/scrape time
+        (never on the hot path).  The queue-depth probe reaches into the
+        executor's private work queue — guarded, since it is a CPython
+        implementation detail."""
+        metrics = self._metrics
+        metrics.register_gauge("net.connections",
+                               lambda: len(self._conns))
+        metrics.register_gauge(
+            "net.paused_connections",
+            lambda: sum(1 for c in self._conns.values() if c.paused),
+        )
+        metrics.register_gauge("net.completions_pending",
+                               lambda: len(self._completions))
+        metrics.register_gauge(
+            "net.output_backlog_bytes",
+            lambda: sum(c.out.size for c in self._conns.values()),
+        )
+        metrics.register_gauge("workers.queue_depth", self._worker_queue_depth)
+        metrics.register_gauge("bufpool.allocated",
+                               lambda: self._recv_pool.allocated)
+        metrics.register_gauge("bufpool.free",
+                               lambda: self._recv_pool.free_count)
+
+    def _worker_queue_depth(self) -> int:
+        executor = self._executor
+        queue = getattr(executor, "_work_queue", None) if executor else None
+        return queue.qsize() if queue is not None else 0
+
     @property
     def bound_endpoints(self) -> list[Endpoint]:
         """Every endpoint this transport is listening on (bound ports
         resolved); empty before ``start()``."""
         return list(self._bound)
+
+    @property
+    def bound_admin_endpoints(self) -> list[Endpoint]:
+        """Admin-plane endpoints (bound ports resolved); empty when no
+        ``admin_endpoints`` were configured or before ``start()``."""
+        return list(self._bound_admin)
 
     @property
     def connection_count(self) -> int:
@@ -316,12 +469,16 @@ class ServerTransport:
     # ---------------------------------------------------------------- loop
     def _run_loop(self) -> None:
         selector = self._selector
+        obs_on = self._obs_on
         try:
             while not self._stop.is_set():
                 timeout = 0.2
                 if self._accept_paused_until:
                     timeout = min(timeout, _ACCEPT_COOLDOWN)
-                for key, mask in selector.select(timeout=timeout):
+                before_select = perf_counter() if obs_on else 0.0
+                events = selector.select(timeout=timeout)
+                work_started = perf_counter() if obs_on else 0.0
+                for key, mask in events:
                     if key.data is _LISTENER:
                         self._on_accept(key.fileobj)
                     elif key.data is _WAKEUP:
@@ -336,6 +493,10 @@ class ServerTransport:
                 self._maybe_resume_accept()
                 self._drain_completions()
                 self._sweep_idle()
+                if obs_on:
+                    self._h_select_wait.record(work_started - before_select)
+                    self._h_loop_lag.record(perf_counter() - work_started)
+                    self._c_iterations.add()
             self._drain_on_stop()
         except Exception:  # pragma: no cover - loop must never die silently
             log.exception("event loop crashed")
@@ -344,6 +505,7 @@ class ServerTransport:
 
     # -------------------------------------------------------------- accept
     def _on_accept(self, listener: socket.socket) -> None:
+        admin = listener.fileno() in self._admin_fds
         while True:
             try:
                 sock, peer = listener.accept()
@@ -358,9 +520,11 @@ class ServerTransport:
                     self._pause_accept()
                 return
             sock.setblocking(False)
-            conn = _Connection(sock, peer, time.monotonic())
+            conn = _Connection(sock, peer, time.monotonic(), admin=admin)
             self._conns[conn.fd] = conn
             self._selector.register(sock, selectors.EVENT_READ, conn)
+            if self._obs_on:
+                self._c_accepts.add()
 
     def _pause_accept(self) -> None:
         if self._accept_paused_until:
@@ -420,9 +584,12 @@ class ServerTransport:
         ``conn.inbuf``; the request/response steady state never copies
         payload bytes twice.
         """
+        if conn.admin:
+            return self._ingest_admin(conn, view)
+        enqueued_at = perf_counter() if self._obs_on else 0.0
         if conn.inbuf:
             conn.inbuf += view
-            return self._parse_frames(conn)
+            return self._parse_frames(conn, enqueued_at)
         offset, total = 0, len(view)
         pending = conn.pending
         while total - offset >= 4:
@@ -434,13 +601,16 @@ class ServerTransport:
                 return False
             if total - offset - 4 < length:
                 break
-            pending.append(bytes(view[offset + 4:offset + 4 + length]))
+            pending.append(
+                (bytes(view[offset + 4:offset + 4 + length]), enqueued_at)
+            )
             offset += 4 + length
         if offset < total:
             conn.inbuf += view[offset:]
         return True
 
-    def _parse_frames(self, conn: _Connection) -> bool:
+    def _parse_frames(self, conn: _Connection, enqueued_at: float = 0.0
+                      ) -> bool:
         """Split complete frames off the input buffer; False if the
         connection was closed for a protocol violation."""
         buf = conn.inbuf
@@ -455,7 +625,7 @@ class ServerTransport:
                 return False
             if len(buf) < 4 + length:
                 return True
-            conn.pending.append(bytes(buf[4:4 + length]))
+            conn.pending.append((bytes(buf[4:4 + length]), enqueued_at))
             del buf[:4 + length]
 
     # ------------------------------------------------------------ dispatch
@@ -464,17 +634,28 @@ class ServerTransport:
         if conn.busy or not conn.pending:
             return
         conn.busy = True
-        self._executor.submit(self._work, conn, conn.pending.popleft())
+        payload, enqueued_at = conn.pending.popleft()
+        self._executor.submit(self._work, conn, payload, enqueued_at)
 
-    def _work(self, conn: _Connection, payload: bytes) -> None:
+    def _work(self, conn: _Connection, payload: bytes,
+              enqueued_at: float = 0.0) -> None:
         """Worker-pool entry: compute a response, post it to the loop.
 
         A response is a parts list — ``[frame header, part, ...]`` — so
         large GET payloads stay as references to the database's cached
         segment chunks all the way to the socket.
         """
+        obs_on = self._obs_on
+        slow_on = self._slow_log_on
+        trace = RequestTrace() if slow_on else None
+        started = perf_counter() if (obs_on or slow_on) else 0.0
+        if enqueued_at and (obs_on or slow_on):
+            queue_wait = started - enqueued_at
+            self._h_queue_wait.record(queue_wait)
+            if trace is not None:
+                trace.stamp(STAGE_QUEUE_WAIT, queue_wait)
         try:
-            response = self._dispatch(payload)
+            response = self._dispatch(payload, trace)
         except ProtocolError as exc:
             response = canonical_json({"ok": False, "error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
@@ -482,6 +663,16 @@ class ServerTransport:
             response = canonical_json(
                 {"ok": False, "error": f"internal server error: {exc}"}
             )
+        if obs_on or slow_on:
+            handler_time = perf_counter() - started
+            self._h_handler.record(handler_time)
+            if trace is not None:
+                trace.stamp(STAGE_HANDLER, handler_time)
+                if trace.total() >= self._slow_threshold:
+                    self._c_slow.add()
+                    log.warning("slow request op=%s from %s: total=%.2fms %s",
+                                trace.op, conn.peer,
+                                trace.total() * 1000.0, trace.breakdown())
         if isinstance(response, bytes):
             response = [response]
         length = sum(len(part) for part in response)
@@ -515,6 +706,7 @@ class ServerTransport:
         completions = self._completions
         dirty: dict[int, _Connection] = {}
         now = time.monotonic()
+        obs_on = self._obs_on
         while completions:
             try:
                 conn, response_parts = completions.popleft()
@@ -524,6 +716,10 @@ class ServerTransport:
             if self._conns.get(conn.fd) is not conn:
                 continue  # connection closed while the request ran
             conn.out.push(response_parts)
+            if obs_on:
+                # Flush stage starts the moment the response is queued;
+                # it completes when the socket write covers the mark.
+                conn.out.mark(perf_counter())
             conn.last_activity = now
             dirty[conn.fd] = conn
         for fd, conn in dirty.items():
@@ -553,6 +749,13 @@ class ServerTransport:
                 break
             out.advance(sent)
             conn.last_activity = time.monotonic()
+        if out.marks:
+            ended = perf_counter()
+            for queued_at in out.take_flushed():
+                self._h_flush.record(ended - queued_at)
+        if conn.close_after_flush and not out.size:
+            self._close_conn(conn)
+            return
         self._update_events(conn)
 
     def _update_events(self, conn: _Connection) -> None:
@@ -565,6 +768,8 @@ class ServerTransport:
                 conn.paused = False
         elif backlog > _HIGH_WATERMARK or queued > _MAX_PENDING:
             conn.paused = True
+            if self._obs_on:
+                self._c_pauses.add()
         mask = 0
         if not conn.paused:
             mask |= selectors.EVENT_READ
@@ -669,13 +874,15 @@ class ServerTransport:
                 pass
 
     # ------------------------------------------------------------- dispatch
-    def _dispatch(self, payload: bytes) -> bytes | list[bytes]:
+    def _dispatch(self, payload: bytes, trace=None) -> bytes | list[bytes]:
         request = decode_request(payload)
         op = request["op"]
+        if trace is not None:
+            trace.op = op
         if op == "ADD":
             blob = decode_add_signature(request)
             token = str(request.get("token", ""))
-            outcome = self._server.process_add(blob, token)
+            outcome = self._server.process_add(blob, token, trace)
             return canonical_json(
                 {
                     "ok": outcome.accepted,
@@ -688,25 +895,66 @@ class ServerTransport:
             if max_count is None:
                 # Legacy unpaginated GET: the whole tail in one frame.
                 next_index, count, chunks, _ = self._server.process_get_wire(
-                    from_index
+                    from_index, trace=trace
                 )
                 return get_response_parts(next_index, count, chunks)
             next_index, count, chunks, more = self._server.process_get_wire(
-                from_index, max_count
+                from_index, max_count, trace=trace
             )
             return get_page_response_parts(next_index, count, chunks, more)
         if op == "ISSUE_ID":
             return canonical_json({"ok": True, "token": self._server.issue_user_token()})
         if op == "STATS":
-            stats = self._server.stats
-            return canonical_json(
-                {
-                    "ok": True,
-                    "database_size": len(self._server.database),
-                    "adds_accepted": stats.adds_accepted,
-                    "gets_served": stats.gets_served,
-                    "token_cache_hits": stats.token_cache_hits,
-                    "token_cache_misses": stats.token_cache_misses,
-                }
-            )
+            version = decode_stats_version(request)
+            return canonical_json(self._server.stats_payload(version))
         raise ProtocolError(f"unknown op {op!r}")
+
+    # ---------------------------------------------------------- admin plane
+    def _ingest_admin(self, conn: _Connection, view: memoryview) -> bool:
+        """Absorb bytes from an admin-plane connection and answer complete
+        HTTP requests.  Runs on the loop thread: rendering a snapshot is
+        O(instruments), and scrapes arrive once per interval, not per
+        request — not worth a worker-pool round trip."""
+        conn.inbuf += view
+        if len(conn.inbuf) > _ADMIN_MAX_REQUEST:
+            log.warning("dropping admin connection %s: oversized request",
+                        conn.peer)
+            self._close_conn(conn)
+            return False
+        head_end = conn.inbuf.find(b"\r\n\r\n")
+        if head_end < 0:
+            return True
+        request_line = bytes(conn.inbuf[:head_end]).split(b"\r\n", 1)[0]
+        del conn.inbuf[:]
+        try:
+            response = self._admin_response(request_line)
+        except Exception:  # pragma: no cover - defensive
+            log.exception("admin request failed")
+            response = _http_response(500, b"internal error\n",
+                                      "text/plain; charset=utf-8")
+        if self._obs_on:
+            self._c_admin.add()
+        conn.out.push([response])
+        conn.close_after_flush = True
+        self._flush(conn)
+        return self._conns.get(conn.fd) is conn
+
+    def _admin_response(self, request_line: bytes) -> bytes:
+        parts = request_line.split()
+        if len(parts) < 2 or parts[0] != b"GET":
+            return _http_response(405, b"only GET is supported\n",
+                                  "text/plain; charset=utf-8")
+        path = parts[1].split(b"?", 1)[0]
+        if path == b"/metrics":
+            body = render_prometheus(self._metrics.snapshot()).encode("utf-8")
+            return _http_response(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        if path == b"/stats":
+            body = canonical_json(self._server.stats_payload(version=2))
+            return _http_response(200, body + b"\n", "application/json")
+        if path in (b"/healthz", b"/"):
+            return _http_response(200, b"ok\n",
+                                  "text/plain; charset=utf-8")
+        return _http_response(404, b"not found\n",
+                              "text/plain; charset=utf-8")

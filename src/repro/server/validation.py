@@ -23,9 +23,11 @@ from __future__ import annotations
 import collections
 import enum
 import threading
+from time import perf_counter
 
 from repro.core.signature import DeadlockSignature
 from repro.crypto.userid import UserIdAuthority
+from repro.obs import STAGE_CRYPTO
 from repro.server.database import SignatureDatabase
 from repro.server.ratelimit import DailyQuota
 from repro.util.errors import CryptoError
@@ -97,33 +99,50 @@ class TokenCache:
 
 class ServerSideValidator:
     def __init__(self, authority: UserIdAuthority, quota: DailyQuota,
-                 database: SignatureDatabase, token_cache_size: int = 65_536):
+                 database: SignatureDatabase, token_cache_size: int = 65_536,
+                 metrics=None):
         self._authority = authority
         self._quota = quota
         self._database = database
         self._token_cache = TokenCache(token_cache_size)
+        # AES-decode time on cache misses; None when metrics are off so
+        # the hot path pays no perf_counter() reads.
+        self._h_crypto = (metrics.histogram(f"stage.{STAGE_CRYPTO}")
+                          if metrics is not None and metrics.enabled
+                          else None)
 
     @property
     def token_cache(self) -> TokenCache:
         return self._token_cache
 
     # -------------------------------------------------------------- tokens
-    def resolve_uid(self, token: str) -> int | None:
+    def resolve_uid(self, token: str, trace=None) -> int | None:
         uid = self._token_cache.get(token)
         if uid is not None:
             return uid
+        histogram = self._h_crypto
+        timed = histogram is not None or trace is not None
+        started = perf_counter() if timed else 0.0
         try:
             decoded = self._authority.decode(token)
         except CryptoError:
+            decoded = None
+        if timed:
+            elapsed = perf_counter() - started
+            if histogram is not None:
+                histogram.record(elapsed)
+            if trace is not None:
+                trace.stamp(STAGE_CRYPTO, elapsed)
+        if decoded is None:
             return None
         self._token_cache.put(token, decoded.user_id)
         return decoded.user_id
 
     # ---------------------------------------------------------- validation
-    def check_add(self, signature: DeadlockSignature, token: str
-                  ) -> tuple[ServerVerdict, int | None]:
+    def check_add(self, signature: DeadlockSignature, token: str,
+                  trace=None) -> tuple[ServerVerdict, int | None]:
         """Full §III-C2 pipeline for one ADD; returns (verdict, uid)."""
-        uid = self.resolve_uid(token)
+        uid = self.resolve_uid(token, trace)
         if uid is None:
             return ServerVerdict.BAD_TOKEN, None
         if not self._quota.try_consume(uid):

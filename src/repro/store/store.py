@@ -79,6 +79,7 @@ class SignatureStore:
         self._lock = threading.Lock()
         self._ckpt_lock = threading.Lock()  # one manifest writer at a time
         self._ckpt_failed_at = 0  # record count when a checkpoint last failed
+        self._checkpoints_written = 0  # manifests written by this process
         # Derived metadata mirrors (one slot per record) for checkpoints.
         self._sig_ids: list[str] = []
         self._top_frames: list[tuple] = []
@@ -185,9 +186,20 @@ class SignatureStore:
         entries, self._replayed = self._replayed, []
         return entries
 
+    def set_metrics(self, metrics) -> None:
+        """Attach an observability registry (see :mod:`repro.obs`): the
+        WAL's fsync waits land in the ``stage.wal_fsync`` histogram and
+        checkpoints are counted.  The server calls this on whatever store
+        it is given, so caller-constructed stores are covered too."""
+        self._log.set_metrics(metrics)
+        metrics.register_counter("store.checkpoints",
+                                 lambda: self._checkpoints_written)
+        metrics.register_gauge("store.records",
+                               lambda: self._log.record_count)
+
     # -------------------------------------------------------------- writing
     def append(self, blob: bytes, sig_id: str, sender_uid: int,
-               top_frames: frozenset) -> int:
+               top_frames: frozenset, trace=None) -> int:
         """Log one accepted signature; returns its record index.
 
         Under the ``always`` policy the record is fsynced before this
@@ -197,7 +209,7 @@ class SignatureStore:
             # Log write and metadata mirror under one lock, so concurrent
             # appenders cannot interleave them: _sig_ids[i] always
             # describes log record i (checkpoints depend on it).
-            index = self._log.append(blob, sender_uid)
+            index = self._log.append(blob, sender_uid, trace=trace)
             self._sig_ids.append(sig_id)
             self._top_frames.append(tuple(sorted(top_frames)))
             self._users.setdefault(sender_uid, []).append(index)
@@ -275,6 +287,7 @@ class SignatureStore:
             write_manifest(self.data_dir, manifest)
             with self._lock:
                 self._checkpoint_count = max(self._checkpoint_count, count)
+                self._checkpoints_written += 1
         return manifest
 
     # -------------------------------------------------------------- closing

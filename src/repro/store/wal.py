@@ -30,7 +30,9 @@ import os
 import re
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 
+from repro.obs import STAGE_WAL_FSYNC
 from repro.store.records import LogRecord, pack_record, scan_records
 from repro.util.logging import get_logger
 
@@ -153,6 +155,7 @@ class SegmentedLog:
         self._broken = False  # a failed write could not be rolled back
         self._flusher: threading.Thread | None = None
         self._flusher_stop = threading.Event()
+        self._h_fsync = None  # stage.wal_fsync histogram (set_metrics)
         os.makedirs(data_dir, exist_ok=True)
         self._recovered = self._recover()
         self._open_tail()
@@ -279,7 +282,7 @@ class SegmentedLog:
         self._tail_records = 0
         self._dirty = False
 
-    def append(self, blob: bytes, sender_uid: int) -> int:
+    def append(self, blob: bytes, sender_uid: int, trace=None) -> int:
         """Durably append one record; returns its log index.
 
         All-or-nothing: on a disk error the partial write is rolled back
@@ -305,8 +308,17 @@ class SegmentedLog:
             try:
                 self._file.write(record)
                 if self.policy.mode == FSYNC_ALWAYS:
+                    histogram = self._h_fsync
+                    timed = histogram is not None or trace is not None
+                    started = perf_counter() if timed else 0.0
                     self._file.flush()
                     os.fsync(self._file.fileno())
+                    if timed:
+                        elapsed = perf_counter() - started
+                        if histogram is not None:
+                            histogram.record(elapsed)
+                        if trace is not None:
+                            trace.stamp(STAGE_WAL_FSYNC, elapsed)
                 else:
                     self._dirty = True
             except OSError:
@@ -315,6 +327,12 @@ class SegmentedLog:
             self._count = index + 1
             self._tail_records += 1
         return index
+
+    def set_metrics(self, metrics) -> None:
+        """Record fsync waits into the registry's ``stage.wal_fsync``
+        histogram (no-op overhead when the null registry is attached)."""
+        self._h_fsync = (metrics.histogram(f"stage.{STAGE_WAL_FSYNC}")
+                         if metrics.enabled else None)
 
     def _rollback(self, pos: int) -> None:
         """Undo a failed append: drop any buffered bytes and cut the tail
@@ -357,8 +375,12 @@ class SegmentedLog:
     def _flush_locked(self) -> None:
         if self._file is None or self._file.closed:
             return
+        histogram = self._h_fsync
+        started = perf_counter() if histogram is not None else 0.0
         self._file.flush()
         os.fsync(self._file.fileno())
+        if histogram is not None:
+            histogram.record(perf_counter() - started)
         self._dirty = False
 
     # ------------------------------------------------------------- flusher

@@ -1,0 +1,188 @@
+"""StageHistogram: bucket math, snapshots, and wire parity with loadgen."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.loadgen.metrics import LatencyHistogram
+from repro.obs.histogram import (
+    BUCKET_COUNT,
+    GROWTH,
+    MIN_LATENCY,
+    StageHistogram,
+    bucket_index,
+    bucket_upper_bound,
+    summary_from_wire,
+)
+
+SAMPLES = [0.0000005, 0.000001, 0.00025, 0.0013, 0.0013, 0.047, 0.9, 2.5]
+
+
+def test_bucket_index_monotonic():
+    last = -1
+    value = MIN_LATENCY / 2
+    while value < 200.0:
+        index = bucket_index(value)
+        assert 0 <= index < BUCKET_COUNT
+        assert index >= last
+        last = index
+        value *= 1.07
+
+
+def test_bucket_bounds_cover_their_index():
+    for index in range(1, BUCKET_COUNT - 1):
+        upper = bucket_upper_bound(index)
+        # A value just under the bound maps into the bucket (or an
+        # adjacent one at the float boundary); the bound itself never
+        # maps *below* its bucket.
+        assert bucket_index(upper * 0.999) <= index
+        assert bucket_index(upper * 1.001) >= index
+
+
+def test_bucket_zero_and_cap():
+    assert bucket_index(0.0) == 0
+    assert bucket_index(MIN_LATENCY) == 0
+    assert bucket_index(1e9) == BUCKET_COUNT - 1
+    assert bucket_upper_bound(0) == MIN_LATENCY
+    assert bucket_upper_bound(3) == pytest.approx(MIN_LATENCY * GROWTH ** 3)
+
+
+def test_record_and_snapshot_totals():
+    histogram = StageHistogram()
+    for value in SAMPLES:
+        histogram.record(value)
+    snap = histogram.snapshot()
+    assert snap.count == len(SAMPLES)
+    assert snap.total == pytest.approx(sum(SAMPLES))
+    assert snap.min == min(SAMPLES)
+    assert snap.max == max(SAMPLES)
+    assert sum(snap.counts) == len(SAMPLES)
+
+
+def test_percentiles_clamped_to_observed_max():
+    histogram = StageHistogram()
+    for value in SAMPLES:
+        histogram.record(value)
+    snap = histogram.snapshot()
+    assert snap.percentile(50.0) <= snap.percentile(99.0)
+    assert snap.percentile(100.0) == snap.max
+    # The p50 bound brackets the true median within one bucket.
+    median = sorted(SAMPLES)[len(SAMPLES) // 2 - 1]
+    assert snap.percentile(50.0) >= median
+    assert snap.percentile(50.0) <= median * GROWTH * 1.001
+
+
+def test_empty_snapshot_and_summary():
+    snap = StageHistogram().snapshot()
+    assert snap.count == 0
+    assert snap.min == 0.0
+    assert snap.percentile(99.0) == 0.0
+    assert StageHistogram().summary() == {"count": 0}
+    assert StageHistogram().to_wire() == {
+        "buckets": {}, "count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+    }
+
+
+def test_wire_parity_with_loadgen_histogram():
+    """Server-side and client-side histograms share one bucket grid: the
+    same samples produce identical wire buckets, and each side's
+    percentiles agree."""
+    stage = StageHistogram()
+    client = LatencyHistogram()
+    for value in SAMPLES:
+        stage.record(value)
+        client.record(value)
+    stage_wire = stage.to_wire()
+    client_wire = client.to_wire()
+    assert stage_wire["buckets"] == client_wire["buckets"]
+    assert stage_wire["count"] == client_wire["count"]
+    assert stage_wire["total"] == pytest.approx(client_wire["total"])
+    for pct in (50.0, 95.0, 99.0):
+        assert stage.snapshot().percentile(pct) == client.percentile(pct)
+
+
+def test_loadgen_from_wire_decodes_stage_wire():
+    """The client's existing decoder consumes a server stage histogram —
+    the STATS v2 compatibility contract."""
+    stage = StageHistogram()
+    for value in SAMPLES:
+        stage.record(value)
+    decoded = LatencyHistogram.from_wire(stage.to_wire())
+    assert decoded.count == len(SAMPLES)
+    assert decoded.percentile(95) == stage.snapshot().percentile(95.0)
+
+
+def test_summary_from_wire_matches_summary():
+    stage = StageHistogram()
+    for value in SAMPLES:
+        stage.record(value)
+    direct = stage.summary()
+    via_wire = summary_from_wire(stage.to_wire())
+    for key, value in direct.items():
+        assert via_wire[key] == pytest.approx(value)
+
+
+def test_summary_from_wire_tolerates_null_min():
+    # loadgen encodes an empty histogram with "min": None.
+    assert summary_from_wire(LatencyHistogram().to_wire()) == {"count": 0}
+
+
+def test_concurrent_recording_loses_nothing():
+    """Hammer one histogram from many threads while snapshotting; the
+    final merge must account for every sample exactly once."""
+    histogram = StageHistogram()
+    threads = 8
+    per_thread = 20_000
+    start = threading.Barrier(threads + 1)
+
+    def worker(seed: int) -> None:
+        start.wait()
+        value = MIN_LATENCY * (seed + 1)
+        for _ in range(per_thread):
+            histogram.record(value)
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    start.wait()
+    # Concurrent snapshots must never raise and never see impossible
+    # state (count below zero, NaN totals).
+    for _ in range(50):
+        snap = histogram.snapshot()
+        assert 0 <= snap.count <= threads * per_thread
+        assert not math.isnan(snap.total)
+    for thread in pool:
+        thread.join()
+    final = histogram.snapshot()
+    assert final.count == threads * per_thread
+    assert sum(final.counts) == threads * per_thread
+
+
+def test_snapshot_retries_on_new_shard_mid_merge():
+    """A RuntimeError from the shard dict (thread registering a shard
+    mid-iteration) is retried, not propagated."""
+    histogram = StageHistogram()
+    histogram.record(0.001)
+    real_shards = histogram._shards
+
+    class FlakyShards:
+        def __init__(self) -> None:
+            self.failures = 2
+
+        def values(self):
+            if self.failures:
+                self.failures -= 1
+                raise RuntimeError("dictionary changed size during iteration")
+            return real_shards.values()
+
+    flaky = FlakyShards()
+    object.__setattr__(histogram, "_shards", flaky)
+    try:
+        snap = histogram.snapshot()
+    finally:
+        object.__setattr__(histogram, "_shards", real_shards)
+    assert flaky.failures == 0
+    assert snap.count == 1

@@ -1,0 +1,171 @@
+"""MetricsRegistry / ShardedCounter / NullRegistry behavior and races."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry, NullRegistry, ShardedCounter
+from repro.server.server import ShardedCounter as ServerShardedCounter
+
+
+def test_server_reexports_the_same_counter():
+    # The class moved from repro.server.server to repro.obs; the server's
+    # historical name must stay importable and identical.
+    assert ServerShardedCounter is ShardedCounter
+
+
+def test_counter_basics():
+    counter = ShardedCounter()
+    assert counter.value() == 0
+    counter.add()
+    counter.add(4)
+    assert counter.value() == 5
+
+
+def test_counter_concurrent_hammer_is_exact():
+    counter = ShardedCounter()
+    threads = 8
+    per_thread = 50_000
+    start = threading.Barrier(threads + 1)
+
+    def worker() -> None:
+        start.wait()
+        for _ in range(per_thread):
+            counter.add()
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    start.wait()
+    # Reads during the hammer must be sane (monotone-ish, bounded) and
+    # must survive new shards appearing mid-sum.
+    last = 0
+    for _ in range(100):
+        value = counter.value()
+        assert 0 <= value <= threads * per_thread
+        assert value >= last or True  # per-shard adds are not ordered
+        last = value
+    for thread in pool:
+        thread.join()
+    assert counter.value() == threads * per_thread
+
+
+def test_counter_value_retries_on_resize():
+    counter = ShardedCounter()
+    counter.add(7)
+    real_shards = counter._shards
+
+    class FlakyShards:
+        def __init__(self) -> None:
+            self.failures = 3
+
+        def values(self):
+            if self.failures:
+                self.failures -= 1
+                raise RuntimeError("dictionary changed size during iteration")
+            return real_shards.values()
+
+    flaky = FlakyShards()
+    counter._shards = flaky
+    try:
+        assert counter.value() == 7
+    finally:
+        counter._shards = real_shards
+    assert flaky.failures == 0
+
+
+def test_registry_get_or_create_is_stable():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+    assert registry.counter("a") is not registry.counter("b")
+
+
+def test_registry_concurrent_get_or_create_single_instance():
+    registry = MetricsRegistry()
+    threads = 8
+    start = threading.Barrier(threads)
+    seen = []
+
+    def worker() -> None:
+        start.wait()
+        counter = registry.counter("contended")
+        counter.add()
+        seen.append(counter)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert len(set(map(id, seen))) == 1
+    assert registry.counter("contended").value() == threads
+
+
+def test_snapshot_shape_and_derived_metrics():
+    registry = MetricsRegistry()
+    registry.counter("reqs").add(3)
+    registry.gauge("depth").set(2.5)
+    registry.histogram("stage.x").record(0.004)
+    registry.register_counter("derived.ok", lambda: 11)
+    registry.register_gauge("derived.g", lambda: 1.5)
+    registry.register_counter("derived.broken", lambda: 1 // 0)
+    registry.register_gauge("derived.broken_g", lambda: 1 // 0)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"reqs": 3, "derived.ok": 11}
+    assert snap["gauges"] == {"depth": 2.5, "derived.g": 1.5}
+    assert "derived.broken" not in snap["counters"]
+    assert "derived.broken_g" not in snap["gauges"]
+    assert snap["histograms"]["stage.x"]["count"] == 1
+
+
+def test_snapshot_while_hammered_is_coherent():
+    registry = MetricsRegistry()
+    stop = threading.Event()
+
+    def worker() -> None:
+        counter = registry.counter("hot")
+        histogram = registry.histogram("stage.hot")
+        while not stop.is_set():
+            counter.add()
+            histogram.record(0.001)
+
+    pool = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in pool:
+        thread.start()
+    try:
+        for _ in range(200):
+            snap = registry.snapshot()
+            assert snap["counters"].get("hot", 0) >= 0
+            assert snap["histograms"].get("stage.hot", {}).get("count", 0) >= 0
+    finally:
+        stop.set()
+        for thread in pool:
+            thread.join()
+    final = registry.snapshot()
+    assert final["counters"]["hot"] == final["histograms"]["stage.hot"]["count"]
+
+
+def test_null_registry_is_inert():
+    assert NULL_REGISTRY.enabled is False
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+    counter = NULL_REGISTRY.counter("anything")
+    counter.add(100)
+    assert counter.value() == 0
+    gauge = NULL_REGISTRY.gauge("g")
+    gauge.set(5.0)
+    assert gauge.value() == 0.0
+    histogram = NULL_REGISTRY.histogram("h")
+    histogram.record(1.0)
+    assert histogram.summary() == {"count": 0}
+    NULL_REGISTRY.register_counter("x", lambda: 1)
+    NULL_REGISTRY.register_gauge("y", lambda: 1.0)
+    assert NULL_REGISTRY.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+
+
+def test_enabled_flag_distinguishes_flavours():
+    assert MetricsRegistry().enabled is True
+    assert NullRegistry().enabled is False
