@@ -27,6 +27,11 @@ Scaling substitution, in three tiers:
   swarm — 100,000 distinct client sessions total, concurrency bounded by
   one wave — merged into a single throughput/latency point.
 
+A fourth section federates the *server* instead of the swarm: the top
+single-process point re-run against ``--server-procs {2,4}``
+SO_REUSEPORT worker processes over the single-writer group-commit log
+(``repro.server.federation``).
+
 Requests/second and merged p50/p95/p99 land in ``BENCH_fig2_swarm.json``
 (``BENCH_fig2_swarm.smoke.json`` under ``COMMUNIX_BENCH_SMOKE=1`` — smoke
 runs never overwrite the full series).
@@ -69,6 +74,14 @@ FED_SWEEP = ((2, 100),) if SMOKE else ((2, 14000), (2, 20000))
 #: Rolling cohort (procs, clients_per_wave, waves): distinct sessions =
 #: clients_per_wave x waves — 100k in the full run.
 ROLLING = (2, 60, 2) if SMOKE else (2, 10000, 10)
+#: Federated *server* tier (server_procs, clients): the same swarm as
+#: SWEEP's top point, but the server side runs ``--server-procs N``
+#: SO_REUSEPORT workers over the single-writer group-commit log.  On a
+#: multi-core host the workers spread request validation across cores;
+#: this container has one core, so these points price the *protocol*
+#: (ADD forwarding hop, apply-stream, extra scheduling) instead — see
+#: the docs' federated-tier section for the honest read of the numbers.
+SERVER_PROCS_SWEEP = ((2, 50),) if SMOKE else ((2, 10000), (4, 10000))
 #: Latency-under-attack point: a benign steady-state swarm with a
 #: quota-flood fleet (one valid identity each, ``attack_rounds`` spam ADDs
 #: bounded by a 10/day quota) hammering the same server — the §IV-B
@@ -82,6 +95,7 @@ LOOPS = 2
 
 _series: dict[int, dict] = {}
 _fed_series: list[dict] = []
+_server_procs_series: list[dict] = []
 _rolling: dict = {}
 _attack: dict = {}
 
@@ -277,6 +291,28 @@ def test_fig2_federated_swarm(benchmark, procs, n_clients, results_dir):
     assert point["held_simultaneously"] >= n_clients
 
 
+@pytest.mark.parametrize("server_procs,n_clients", SERVER_PROCS_SWEEP)
+def test_fig2_federated_server_tier(benchmark, server_procs, n_clients,
+                                    results_dir):
+    """SWEEP's workload against a ``--server-procs N`` federated server:
+    N SO_REUSEPORT workers, ADDs funneled through the log owner.  The
+    point's ``server_metrics`` is the coordinator's *merged* registry —
+    one snapshot pooled over every worker."""
+    point = benchmark.pedantic(
+        run_point, args=(n_clients,),
+        kwargs={"server_args": ["--server-procs", str(server_procs)]},
+        rounds=1, iterations=1,
+    )
+    point["server_procs"] = server_procs
+    _server_procs_series.append(point)
+    _write_results(results_dir)
+    benchmark.extra_info.update(
+        {k: v for k, v in point.items() if not isinstance(v, dict)}
+    )
+    assert point["requests_per_second"] > 0
+    assert point["held_simultaneously"] >= n_clients
+
+
 def test_fig2_rolling_cohort(benchmark, results_dir):
     """100k distinct client sessions cycled through the federated swarm
     in disjoint waves (concurrency = one wave's clients)."""
@@ -358,6 +394,21 @@ def _write_results(results_dir) -> None:
             f"{add['p50_ms']:.0f}/{add['p95_ms']:.0f}/{add['p99_ms']:.0f}"
             f"{'':6}{get['p50_ms']:.0f}/{get['p95_ms']:.0f}/{get['p99_ms']:.0f}"
         )
+    if _server_procs_series:
+        lines.append("")
+        lines.append("federated server tier (--server-procs N, loopback TCP"
+                     " via SO_REUSEPORT; ADDs forwarded to the log owner):")
+        lines.append("clients  server_procs  req/s  add_p50/p95/p99_ms  "
+                     "get_p50/p95/p99_ms")
+        for point in _server_procs_series:
+            add, get = point["add"], point["get_page"]
+            lines.append(
+                f"{point['clients']:7d}  {point['server_procs']:12d}  "
+                f"{point['requests_per_second']:8.0f}  "
+                f"{add['p50_ms']:.0f}/{add['p95_ms']:.0f}/{add['p99_ms']:.0f}"
+                f"{'':6}{get['p50_ms']:.0f}/{get['p95_ms']:.0f}/"
+                f"{get['p99_ms']:.0f}"
+            )
     if _rolling:
         lines.append("")
         lines.append(
@@ -389,6 +440,7 @@ def _write_results(results_dir) -> None:
             )
     peaks = [p["requests_per_second"] for p in _series.values()]
     peaks += [p["requests_per_second"] for p in _fed_series]
+    peaks += [p["requests_per_second"] for p in _server_procs_series]
     if _rolling:
         peaks.append(_rolling["requests_per_second"])
     if peaks:
@@ -407,6 +459,7 @@ def _write_results(results_dir) -> None:
         "swarm_loops": LOOPS,
         "points": [_series[n] for n in SWEEP if n in _series],
         "federated_points": list(_fed_series),
+        "federated_server_points": list(_server_procs_series),
         "rolling_cohort": dict(_rolling),
         "latency_under_attack": dict(_attack),
     }

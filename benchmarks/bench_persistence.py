@@ -13,6 +13,13 @@ Two questions the durable store must answer with numbers:
    under each fsync policy — ``memory`` (no store, the seed behavior),
    ``never``, ``interval:5``, ``always`` — on one process, one disk.
 
+3. **Group commit** — concurrent ADDs under ``always``: the WAL batches
+   every append buffered while the previous fsync was in flight into one
+   flush, so aggregate throughput scales past the one-fsync-per-ADD
+   wall that caps the single-threaded ``always`` number above.  Swept
+   over appender thread counts, plus a ``group_commit=False`` control at
+   the widest point.
+
 Results land in ``BENCH_persistence.json`` (``BENCH_persistence.smoke.json``
 under ``COMMUNIX_BENCH_SMOKE=1``) plus ``results/persistence.txt``.
 """
@@ -23,6 +30,7 @@ import json
 import os
 import random
 import shutil
+import threading
 import time
 
 import pytest
@@ -42,9 +50,14 @@ ADD_COUNT = 200 if SMOKE else 2000
 ADD_WARMUP = 20 if SMOKE else 100
 #: ``None`` is the memory-only baseline the others are compared against.
 POLICIES = (None, "never", "interval:5", "always")
+#: Concurrent appender counts for the group-commit sweep.
+GC_THREADS = (2,) if SMOKE else (1, 4, 16)
+#: Total ADDs per group-commit point (split across the threads).
+GC_ADDS = 200 if SMOKE else 2000
 
 _replay_points: list[dict] = []
 _add_points: list[dict] = []
+_gc_points: list[dict] = []
 
 
 def _make_signatures(count: int, seed: int):
@@ -150,6 +163,56 @@ def run_add_point(data_dir: str | None, policy: str | None) -> dict:
     }
 
 
+def run_group_commit_point(data_dir: str, threads: int,
+                           group_commit: bool) -> dict:
+    """Aggregate ADD throughput with ``threads`` concurrent appenders
+    under ``--fsync always``, with or without group commit."""
+    store = SignatureStore(data_dir, fsync="always",
+                           group_commit=group_commit)
+    config = ServerConfig(
+        max_signatures_per_user_per_day=10 ** 9,
+        adjacency_check=False,
+        fsync_policy="always",
+        checkpoint_every=0,
+    )
+    server = CommunixServer(config=config, store=store)
+    signatures = _make_signatures(GC_ADDS, seed=4242)
+    per_thread = GC_ADDS // threads
+    shares = [signatures[i * per_thread:(i + 1) * per_thread]
+              for i in range(threads)]
+    tokens = [server.issue_user_token() for _ in range(threads)]
+    errors: list[Exception] = []
+
+    def run(share, token):
+        try:
+            for sig in share:
+                assert server.process_add(sig.to_bytes(), token).accepted
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    workers = [threading.Thread(target=run, args=(share, token))
+               for share, token in zip(shares, tokens)]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    assert not errors
+    total = per_thread * threads
+    assert store.durable_count == total  # every ack was an fsynced record
+    fsyncs = store.fsyncs_issued
+    server.close()
+    return {
+        "threads": threads,
+        "group_commit": group_commit,
+        "adds": total,
+        "adds_per_s": round(total / elapsed, 1),
+        "fsyncs_issued": fsyncs,
+        "adds_per_fsync": round(total / fsyncs, 2) if fsyncs else None,
+    }
+
+
 @pytest.mark.parametrize("count", REPLAY_SIZES)
 def test_replay_throughput(benchmark, count, results_dir, tmp_path):
     point = benchmark.pedantic(
@@ -184,6 +247,30 @@ def test_add_latency_per_policy(benchmark, policy, results_dir, tmp_path):
         shutil.rmtree(data_dir, ignore_errors=True)
 
 
+@pytest.mark.parametrize("threads,group_commit",
+                         [(t, True) for t in GC_THREADS]
+                         + [(GC_THREADS[-1], False)],
+                         ids=lambda v: str(v).lower())
+def test_group_commit_concurrent_adds(benchmark, threads, group_commit,
+                                      results_dir, tmp_path):
+    data_dir = str(tmp_path / "wal")
+    point = benchmark.pedantic(
+        run_group_commit_point, args=(data_dir, threads, group_commit),
+        rounds=1, iterations=1,
+    )
+    _gc_points.append(point)
+    _write_results(results_dir)
+    benchmark.extra_info.update(point)
+    assert point["adds_per_s"] > 0
+    # Batching must be visible: strictly fewer fsyncs than records.  Only
+    # gated on full runs at real concurrency — with few threads on a fast
+    # disk an fsync can finish before the next append shows up, leaving
+    # nothing to batch.
+    if group_commit and threads >= 4 and not SMOKE:
+        assert point["fsyncs_issued"] < point["adds"]
+    shutil.rmtree(data_dir, ignore_errors=True)
+
+
 def _write_results(results_dir) -> None:
     baseline = next((p for p in _add_points if p["policy"] == "memory"), None)
     lines = [
@@ -211,6 +298,19 @@ def _write_results(results_dir) -> None:
             f"{p['policy']:<12} {p['adds_per_s']:7.0f}  {p['p50_ms']:7.3f}  "
             f"{p['p99_ms']:7.3f}  {overhead:15.3f}"
         )
+    if _gc_points:
+        lines += [
+            "",
+            f"group commit under fsync=always ({GC_ADDS} concurrent adds):",
+            "threads  group_commit   adds/s   fsyncs  adds/fsync",
+        ]
+        for p in _gc_points:
+            per_fsync = (f"{p['adds_per_fsync']:10.2f}"
+                         if p["adds_per_fsync"] else "         -")
+            lines.append(
+                f"{p['threads']:7d}  {str(p['group_commit']):<12} "
+                f"{p['adds_per_s']:8.0f}  {p['fsyncs_issued']:7d}  {per_fsync}"
+            )
     write_artifact(results_dir, "persistence.txt", lines)
     payload = {
         "benchmark": "persistence",
@@ -221,6 +321,7 @@ def _write_results(results_dir) -> None:
                  if baseline else None)
             for p in _add_points
         ],
+        "group_commit": list(_gc_points),
     }
     out = bench_json_path("BENCH_persistence")
     out.write_text(json.dumps(payload, indent=2) + "\n")

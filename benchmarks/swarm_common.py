@@ -60,25 +60,37 @@ def swarm_server(quota_per_day: int = 1000, idle_timeout: float = 600.0,
     )
     try:
         deadline = time.monotonic() + startup_timeout
-        line = ""
-        while True:
+        # Raw-fd reads, not readline(): a child that prints several
+        # startup lines in one write (the federation coordinator does)
+        # would land them all in the TextIO buffer on the first read,
+        # and select() on the drained fd would then block forever.
+        stdout_fd = proc.stdout.fileno()
+        pending = b""
+        address = None
+        while address is None:
+            newline = pending.find(b"\n")
+            if newline >= 0:
+                raw, pending = pending[:newline], pending[newline + 1:]
+                line = raw.decode("utf-8", "replace")
+                if line.startswith("communix-server listening on"):
+                    address = line.split("listening on", 1)[1].split()[0]
+                continue
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise RuntimeError("server did not report its address in time")
-            # readline() would block past the deadline on a silent child;
-            # poll the pipe so a wedged server fails fast instead.
-            ready, _, _ = select.select([proc.stdout], [], [],
+            # Poll the pipe so a wedged server fails fast instead.
+            ready, _, _ = select.select([stdout_fd], [], [],
                                         min(remaining, 0.5))
             if not ready:
                 if proc.poll() is not None:
                     raise RuntimeError("server process exited during startup")
                 continue
-            line = proc.stdout.readline()
-            if line.startswith("communix-server listening on"):
-                break
-            if not line and proc.poll() is not None:
-                raise RuntimeError("server process exited during startup")
-        address = line.split("listening on", 1)[1].split()[0]
+            chunk = os.read(stdout_fd, 65536)
+            if not chunk:
+                if proc.poll() is not None:
+                    raise RuntimeError("server process exited during startup")
+                continue
+            pending += chunk
         yield parse_endpoint(address)
     finally:
         if proc.poll() is None:

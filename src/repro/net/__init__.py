@@ -12,12 +12,16 @@ from repro.net.endpoints import (
     DEFAULT_TCP_HOST,
     Endpoint,
     EndpointError,
+    adopt_listener,
     cleanup_listener,
     create_dial_socket,
     dial,
     format_endpoint,
     listen,
     parse_endpoint,
+    recv_listener_fd,
+    reserve_tcp_port,
+    send_listener_fd,
     tcp_endpoint,
     unix_endpoint,
 )
@@ -27,12 +31,16 @@ __all__ = [
     "DEFAULT_TCP_HOST",
     "Endpoint",
     "EndpointError",
+    "adopt_listener",
     "cleanup_listener",
     "create_dial_socket",
     "dial",
     "format_endpoint",
     "listen",
     "parse_endpoint",
+    "recv_listener_fd",
+    "reserve_tcp_port",
+    "send_listener_fd",
     "tcp_endpoint",
     "unix_endpoint",
 ]

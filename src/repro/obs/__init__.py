@@ -52,6 +52,7 @@ from repro.obs.trace import (
 from repro.obs.export import (
     MetricsLogWriter,
     last_snapshot_line,
+    merge_registry_snapshots,
     metric_name,
     render_prometheus,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "bucket_index",
     "bucket_upper_bound",
     "last_snapshot_line",
+    "merge_registry_snapshots",
     "metric_name",
     "render_prometheus",
     "summary_from_wire",

@@ -23,7 +23,7 @@ import time
 
 from repro.obs.histogram import HistogramSnapshot, BUCKET_COUNT
 
-__all__ = ["render_prometheus", "MetricsLogWriter"]
+__all__ = ["render_prometheus", "MetricsLogWriter", "merge_registry_snapshots"]
 
 _QUANTILES = ((50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99"))
 
@@ -81,6 +81,55 @@ def _fmt(value: float) -> str:
     # Prometheus wants plain decimal; repr keeps full precision while
     # rendering integral floats as "2.0" rather than "2e+00".
     return repr(float(value))
+
+
+def merge_registry_snapshots(snapshots) -> dict:
+    """Fold several ``MetricsRegistry.snapshot()`` dicts into one.
+
+    The federated server tier runs one registry per worker process; the
+    coordinator merges them so the combined ``--metrics-log`` line (and
+    the final stats print) describes the whole tier.  Counters and gauges
+    sum by name — for additive gauges (queue depths, connection counts)
+    that is the pooled value; replicated gauges like ``db.size`` read as
+    ``procs × size`` and callers that care overwrite them from one
+    authoritative worker.  Histograms merge bucket-by-bucket with summed
+    ``count``/``total`` and pooled ``min``/``max``, so percentiles of the
+    merged histogram equal percentiles of the pooled samples (same
+    guarantee as ``loadgen.metrics.merge_snapshots``).
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, HistogramSnapshot] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + float(value)
+        for name, wire in snapshot.get("histograms", {}).items():
+            part = _snapshot_from_wire(wire)
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = part
+                continue
+            for i in range(BUCKET_COUNT):
+                merged.counts[i] += part.counts[i]
+            merged.count += part.count
+            merged.total += part.total
+            if part.count:
+                merged.min = (part.min if merged.count == part.count
+                              else min(merged.min, part.min))
+                merged.max = max(merged.max, part.max)
+    for hist in histograms.values():
+        if hist.count == 0:
+            hist.min = 0.0
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {name: histograms[name].to_wire()
+                       for name in sorted(histograms)},
+    }
 
 
 class MetricsLogWriter:

@@ -6,7 +6,7 @@ Usage::
         [--addr unix:///var/run/communix.sock]
         [--quota-per-day 10] [--no-adjacency-check]
         [--data-dir /var/lib/communix] [--fsync always]
-        [--checkpoint-every 4096]
+        [--checkpoint-every 4096] [--server-procs 4]
         [--admin-addr tcp://127.0.0.1:9199] [--metrics-log metrics.jsonl]
         [--slow-request-ms 50] [--no-metrics]
 
@@ -21,6 +21,13 @@ is flushed and sealed with a final checkpoint, UNIX socket files are
 unlinked — instead of the process dying mid-write.  The server prints its
 bound address(es) and serves until interrupted.  Clients connect with
 :class:`repro.client.SocketEndpoint` or via ``python -m repro.client``.
+
+``--server-procs N`` federates the tier over N worker processes sharing
+every listen endpoint (see :mod:`repro.server.federation` and
+``docs/architecture.md`` §10): worker 0 is the single writer of the
+write-ahead log and group-commits the ADDs its sibling replicas forward
+to it, so throughput scales with processes while durability semantics
+stay exactly those of the single-process server.
 """
 
 from __future__ import annotations
@@ -77,6 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=8,
         help="request-processing worker threads",
     )
+    parser.add_argument(
+        "--server-procs", type=int, default=1, metavar="N",
+        help="federate the server over N worker processes sharing the "
+             "listen endpoint(s) (SO_REUSEPORT for TCP; passed listening "
+             "FDs for unix://): worker 0 owns the write-ahead log and "
+             "group-commits forwarded ADDs, the others forward mutations "
+             "to it and serve GETs from replicated in-memory copies; "
+             "1 (default) keeps the single-process server",
+    )
+    # Internal federation plumbing (set by the coordinator, never by hand).
+    parser.add_argument("--federation-worker", type=int, default=None,
+                        metavar="IDX", help=argparse.SUPPRESS)
+    parser.add_argument("--internal-addr", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--fd-channel", type=int, default=None,
+                        help=argparse.SUPPRESS)
     parser.add_argument(
         "--data-dir", metavar="DIR", default=None,
         help="persist the signature database to a segmented write-ahead "
@@ -157,6 +180,12 @@ def _format_primary(endpoint) -> str:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     enable_console_logging()
+    if args.federation_worker is not None:
+        # Spawned by the federation coordinator: stdout is its JSON
+        # control channel, endpoints arrive via --addr/--fd-channel.
+        from repro.server.federation import federation_worker_main
+
+        return federation_worker_main(args)
     try:
         endpoints = resolve_endpoints(args)
     except EndpointError as exc:
@@ -177,6 +206,13 @@ def main(argv: list[str] | None = None) -> int:
                            for spec in (args.admin_addr or [])]
     except EndpointError as exc:
         print(f"error: --admin-addr: {exc}", file=sys.stderr)
+        return 2
+    if args.server_procs > 1:
+        from repro.server.federation import run_federation
+
+        return run_federation(args, endpoints, admin_endpoints)
+    if args.server_procs < 1:
+        print("error: --server-procs must be positive", file=sys.stderr)
         return 2
     config = ServerConfig(
         max_signatures_per_user_per_day=args.quota_per_day,

@@ -44,7 +44,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.core.signature import DeadlockSignature
+from repro.core.signature import DeadlockSignature, ORIGIN_REMOTE
 from repro.server.protocol import pack_signature_record
 from repro.util.logging import get_logger
 
@@ -80,6 +80,12 @@ class _Segment:
     def append(self, blob: bytes) -> None:
         with self.lock:
             self.blobs.append(blob)
+            self._snapshot = None
+            self._wire = None
+
+    def pop(self) -> None:
+        with self.lock:
+            self.blobs.pop()
             self._snapshot = None
             self._wire = None
 
@@ -190,6 +196,12 @@ class SignatureDatabase:
         self.replayed_count = 0
         if store is not None:
             self._replay_store(store)
+            if hasattr(store, "set_metadata_provider"):
+                # From here on the store pulls (sig_id, top_frames, uid)
+                # from this database at checkpoint time instead of keeping
+                # its own per-record mirrors — one copy of the metadata,
+                # not two, at million-signature scale.
+                store.set_metadata_provider(self)
 
     def _replay_store(self, store) -> None:
         """Rebuild in-memory state from the store's recovered entries
@@ -237,33 +249,139 @@ class SignatureDatabase:
         is the expected steady state.  ``trace`` rides down to the store
         so the WAL can stamp its fsync wait.
         """
+        store = self._store
+        if store is None or not getattr(store, "group_commit", False):
+            with self._append_lock:
+                existing = self._by_sig_id.get(signature.sig_id)
+                if existing is not None:
+                    return existing
+                if store is not None:
+                    # Durability before visibility: the record hits the
+                    # log before the count publishes it.  A failed write
+                    # surfaces here with the in-memory state untouched.
+                    logged = store.append(
+                        blob, signature.sig_id, sender_uid,
+                        signature.top_frames, trace=trace,
+                    )
+                    if logged != self._count:  # pragma: no cover - guard
+                        raise RuntimeError(
+                            f"store index {logged} diverged from database "
+                            f"index {self._count}"
+                        )
+                index = self._insert_locked(blob, signature.sig_id,
+                                            sender_uid,
+                                            signature.top_frames)
+                self._page_cache.invalidate()
+                return index
+        # Write-through path, in three phases so concurrent ADDs share
+        # one group-committed fsync instead of serializing behind this
+        # lock: (1) stage — log write phase plus the in-memory entry,
+        # invisible to readers until _count publishes it; (2) commit —
+        # the fsync, *outside* the append lock; (3) publish.  Durability
+        # before visibility still holds: _count only ever advances over
+        # fsync-covered records (the log's durable prefix is monotone, so
+        # a later committer publishing past an earlier stager's record is
+        # sound).
         with self._append_lock:
             existing = self._by_sig_id.get(signature.sig_id)
+            if existing is not None and existing < self._count:
+                return existing
             if existing is not None:
-                return self._entries[existing].index
-            if self._store is not None:
-                # Durability before visibility: the record hits the log
-                # (and, under ``always``, the platters) before the count
-                # publishes it.  A failed disk write surfaces here and the
-                # in-memory state stays untouched — the ADD is not acked.
-                logged = self._store.append(
-                    blob, signature.sig_id, sender_uid, signature.top_frames,
-                    trace=trace,
-                )
-                if logged != self._count:  # pragma: no cover - logic guard
+                # A concurrent append staged this signature and its fsync
+                # is in flight; wait for the same group commit below —
+                # acking a duplicate must not outrun its durability.
+                index = existing
+            else:
+                index = len(self._entries)
+                logged = store.stage_append(blob, signature.sig_id,
+                                            sender_uid,
+                                            signature.top_frames)
+                if logged != index:  # pragma: no cover - logic guard
                     raise RuntimeError(
                         f"store index {logged} diverged from database "
-                        f"index {self._count}"
+                        f"index {index}"
                     )
-            index = self._insert_locked(blob, signature.sig_id, sender_uid,
-                                        signature.top_frames)
+                self._stage_locked(blob, signature.sig_id, sender_uid,
+                                   signature.top_frames)
+        try:
+            store.commit_staged(index + 1, trace=trace)
+        except OSError:
+            with self._append_lock:
+                # Undo the stage when the log could (newest record, no
+                # covering fsync — then stage order makes ours newest
+                # here too).  Otherwise the record stays in the log
+                # unacked; a later publish or a restart replay surfaces
+                # it, which is indistinguishable from a client retry.
+                if (store.rollback_staged(index)
+                        and len(self._entries) == index + 1):
+                    self._unstage_locked(index)
+            raise
+        with self._append_lock:
+            if index >= len(self._entries) or (
+                    self._entries[index].sig_id != signature.sig_id):
+                # The stager this duplicate piggybacked on rolled its
+                # record back after the group fsync failed.
+                raise OSError("append was rolled back by a failed "
+                              "group commit")
+            if index >= self._count:
+                self._count = index + 1
+                self._page_cache.invalidate()
+        # As the store's metadata provider, this database must drive the
+        # checkpoint cadence: only now — entry published — do both
+        # layers agree on the full count.
+        if hasattr(store, "maybe_checkpoint"):
+            store.maybe_checkpoint()
+        return index
+
+    def apply_replicated(self, index: int, blob: bytes,
+                         sender_uid: int) -> bool:
+        """Install one entry from the log owner's apply-stream (federated
+        replica workers only — never mixed with local :meth:`append`).
+
+        Entries must arrive in log order; an ``index`` already present is
+        skipped idempotently (the subscription handshake can overlap the
+        backfill by a record or two), a gap is a protocol bug and raises.
+        The blob is parsed here to recover the dedup hash and top-frame
+        metadata the owner validated — same trust model as replaying the
+        WAL at startup."""
+        signature = DeadlockSignature.from_bytes(blob, origin=ORIGIN_REMOTE)
+        with self._append_lock:
+            if index < self._count:
+                return False
+            if index != self._count:
+                raise ValueError(
+                    f"apply-stream gap: expected entry {self._count}, "
+                    f"got {index}"
+                )
+            self._insert_locked(blob, signature.sig_id, sender_uid,
+                                signature.top_frames)
             self._page_cache.invalidate()
-            return index
+            return True
+
+    def checkpoint_metadata(self, lo: int, hi: int) -> list[tuple]:
+        """``(sig_id, top_frames, sender_uid)`` for entries ``[lo, hi)``
+        — the store's checkpoint metadata source once it attaches this
+        database as its provider.  ``_entries`` is append-only and ``hi``
+        never exceeds the published count, so the slice needs no lock."""
+        return [(e.sig_id, tuple(sorted(e.top_frames)), e.sender_uid)
+                for e in self._entries[lo:hi]]
 
     def _insert_locked(self, blob: bytes, sig_id: str, sender_uid: int,
                        top_frames: frozenset) -> int:
-        """In-memory append (caller holds ``_append_lock``)."""
-        index = self._count
+        """In-memory append, published immediately (caller holds
+        ``_append_lock`` and guarantees durability already — or doesn't
+        need it: replay, replicas, the storeless path)."""
+        index = self._stage_locked(blob, sig_id, sender_uid, top_frames)
+        self._count = index + 1  # publish: readers may now see it
+        return index
+
+    def _stage_locked(self, blob: bytes, sig_id: str, sender_uid: int,
+                      top_frames: frozenset) -> int:
+        """In-memory append *without* publication: the entry exists (so
+        log order and database order stay in lockstep, and a concurrent
+        duplicate finds it) but every reader is gated on ``_count``, which
+        the caller advances only once the record is durable."""
+        index = len(self._entries)
         tail = self._segments[-1]
         if len(tail.blobs) >= self._segment_size:
             tail = _Segment(index)
@@ -279,8 +397,25 @@ class SignatureDatabase:
         self._entries.append(entry)
         self._by_sig_id[sig_id] = index
         self._by_user.setdefault(sender_uid, []).append(index)
-        self._count = index + 1  # publish: readers may now see it
         return index
+
+    def _unstage_locked(self, index: int) -> None:
+        """Undo the newest :meth:`_stage_locked` after its group commit
+        failed and the log rolled the record back (caller holds
+        ``_append_lock`` and has checked the entry is still the newest
+        and unpublished)."""
+        entry = self._entries.pop()
+        if self._by_sig_id.get(entry.sig_id) == index:
+            del self._by_sig_id[entry.sig_id]
+        indices = self._by_user.get(entry.sender_uid)
+        if indices and indices[-1] == index:
+            indices.pop()
+            if not indices:
+                del self._by_user[entry.sender_uid]
+        tail = self._segments[-1]
+        tail.pop()
+        if not tail.blobs and len(self._segments) > 1:
+            self._segments.pop()
 
     # ------------------------------------------------------------- reading
     def _range(self, start: int, max_count: int | None) -> tuple[int, int, int]:

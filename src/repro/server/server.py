@@ -316,6 +316,56 @@ class CommunixServer:
         self._counters.adds_accepted.add()
         return AddOutcome(accepted=True, verdict="ok", index=index)
 
+    def process_forwarded_add(self, blob: bytes, uid: int,
+                              trace=None) -> AddOutcome:
+        """ADD forwarded over the internal endpoint by a federated replica
+        worker that already decoded the sender token to ``uid`` (see
+        :mod:`repro.server.federation`).
+
+        The log owner re-runs everything *global* — per-user quota,
+        adjacency, dedup, the durable append — plus the cheap local checks
+        (size, parse: the owner should not trust peers further than it
+        must).  Request accounting is deliberately skipped: the forwarding
+        worker already counted this ADD against its own client-facing
+        stats, and the coordinator sums those — counting here too would
+        double-book every forwarded request in the merged totals.
+        """
+        timed = self._obs_on or trace is not None
+        if len(blob) > self.config.max_signature_bytes:
+            return AddOutcome(accepted=False, verdict="oversized")
+        try:
+            signature = DeadlockSignature.from_bytes(blob, origin=ORIGIN_REMOTE)
+        except ValidationError:
+            return AddOutcome(accepted=False, verdict="malformed")
+        if self.config.require_token:
+            started = perf_counter() if timed else 0.0
+            verdict = self.validator.check_add_uid(signature, uid)
+            if timed:
+                elapsed = perf_counter() - started
+                self._h_validate.record(elapsed)
+                if trace is not None:
+                    trace.stamp(STAGE_VALIDATE, elapsed)
+            if (not self.config.adjacency_check
+                    and verdict is ServerVerdict.ADJACENT):
+                verdict = ServerVerdict.OK
+            if verdict is not ServerVerdict.OK:
+                return AddOutcome(accepted=False, verdict=verdict.value)
+        started = perf_counter() if timed else 0.0
+        try:
+            index = self.database.append(signature, blob, uid, trace=trace)
+        except (OSError, ValueError):
+            log.exception("store append failed; forwarded ADD not "
+                          "acknowledged")
+            if self.config.require_token:
+                self.quota.refund(uid)
+            return AddOutcome(accepted=False, verdict="store_error")
+        if timed:
+            elapsed = perf_counter() - started
+            self._h_db_append.record(elapsed)
+            if trace is not None:
+                trace.stamp(STAGE_DB_APPEND, elapsed)
+        return AddOutcome(accepted=True, verdict="ok", index=index)
+
     def _clamp_page(self, max_count: int | None) -> int | None:
         if max_count is None:
             return None

@@ -244,19 +244,36 @@ class ServerTransport:
                  port: int = 0, accept_backlog: int = 512,
                  workers: int = 8, idle_timeout: float = 60.0,
                  drain_timeout: float = 2.0, endpoints=None,
-                 admin_endpoints=None, slow_request_ms: float | None = None):
+                 admin_endpoints=None, slow_request_ms: float | None = None,
+                 listen_sockets=None, reuse_port: bool = False,
+                 cleanup_listeners: bool = True):
         """``endpoints`` is a list of endpoint URLs / :class:`Endpoint`
         objects to listen on simultaneously; when omitted, the legacy
         ``host``/``port`` pair becomes a single TCP endpoint.
         ``admin_endpoints`` are served as a plaintext-HTTP observability
         plane (``GET /metrics`` Prometheus text, ``/stats`` JSON,
         ``/healthz``) from the same event loop.  ``slow_request_ms``
-        overrides ``server.config.slow_request_ms``."""
+        overrides ``server.config.slow_request_ms``.
+
+        The federated tier's knobs: ``listen_sockets`` is a list of
+        ``(socket, Endpoint)`` pairs *already bound and listening*
+        (listening FDs the coordinator passed over ``SCM_RIGHTS``), served
+        alongside anything in ``endpoints``.  ``reuse_port`` binds TCP
+        endpoints with ``SO_REUSEPORT`` so sibling worker processes can
+        share them.  ``cleanup_listeners=False`` leaves UNIX socket files
+        alone at shutdown — they belong to the coordinator, and a worker
+        (least of all a crashing one) must never unlink a path its
+        siblings still serve."""
         self._server = server
         if endpoints:
             self._endpoints = [parse_endpoint(ep) for ep in endpoints]
+        elif listen_sockets:
+            self._endpoints = []
         else:
             self._endpoints = [tcp_endpoint(host, port)]
+        self._listen_sockets = list(listen_sockets or [])
+        self._reuse_port = reuse_port
+        self._cleanup_listeners = cleanup_listeners
         self._admin_endpoints = [parse_endpoint(ep)
                                  for ep in (admin_endpoints or [])]
         if slow_request_ms is None:
@@ -316,15 +333,22 @@ class ServerTransport:
         read :attr:`bound_endpoints` for the full list."""
         bound: list[tuple[socket.socket, Endpoint]] = []
         admin_bound: list[tuple[socket.socket, Endpoint]] = []
+        # Pre-bound listeners (federation: FDs the coordinator passed us)
+        # go first so they stay the primary address.
+        for sock, endpoint in self._listen_sockets:
+            sock.setblocking(False)
+            bound.append((sock, parse_endpoint(endpoint)))
         try:
             for endpoint in self._endpoints:
-                bound.append(net_listen(endpoint, backlog=self._backlog))
+                bound.append(net_listen(endpoint, backlog=self._backlog,
+                                        reuse_port=self._reuse_port))
             for endpoint in self._admin_endpoints:
                 admin_bound.append(net_listen(endpoint, backlog=16))
         except Exception:
             for sock, endpoint in bound + admin_bound:
                 sock.close()
-                cleanup_listener(endpoint)
+                if self._cleanup_listeners:
+                    cleanup_listener(endpoint)
             raise
         # Admin listeners live in the same table (every cleanup path —
         # pause, drain, force-close — already walks it); _admin_fds is
@@ -830,7 +854,8 @@ class ServerTransport:
             except (KeyError, ValueError, OSError):
                 pass
             sock.close()
-            cleanup_listener(endpoint)
+            if self._cleanup_listeners:
+                cleanup_listener(endpoint)
         deadline = time.monotonic() + self._drain_timeout
         while time.monotonic() < deadline:
             self._drain_completions()
@@ -860,7 +885,8 @@ class ServerTransport:
                 sock.close()
             except OSError:
                 pass
-            cleanup_listener(endpoint)
+            if self._cleanup_listeners:
+                cleanup_listener(endpoint)
         for sock in (self._wakeup_recv, self._wakeup_send):
             if sock is not None:
                 try:

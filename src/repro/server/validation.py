@@ -145,10 +145,19 @@ class ServerSideValidator:
         uid = self.resolve_uid(token, trace)
         if uid is None:
             return ServerVerdict.BAD_TOKEN, None
+        return self.check_add_uid(signature, uid), uid
+
+    def check_add_uid(self, signature: DeadlockSignature,
+                      uid: int) -> ServerVerdict:
+        """§III-C2 steps 2–3 (quota + adjacency) for an ADD whose token a
+        trusted peer already decoded to ``uid`` — the log owner's entry
+        point for forwarded federated ADDs, where the AES work happened on
+        the forwarding worker but quota and adjacency are *global* state
+        only the owner holds."""
         if not self._quota.try_consume(uid):
-            return ServerVerdict.QUOTA_EXCEEDED, uid
+            return ServerVerdict.QUOTA_EXCEEDED
         mine = signature.top_frames
         for previous in self._database.user_top_frames(uid):
             if adjacent(mine, previous):
-                return ServerVerdict.ADJACENT, uid
-        return ServerVerdict.OK, uid
+                return ServerVerdict.ADJACENT
+        return ServerVerdict.OK

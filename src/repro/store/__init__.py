@@ -16,7 +16,12 @@ policies, torn-tail repair, and checkpointed restart:
   server wires into :class:`~repro.server.database.SignatureDatabase`.
 """
 
-from repro.store.checkpoint import Manifest, load_manifest, write_manifest
+from repro.store.checkpoint import (
+    Manifest,
+    load_manifest,
+    load_manifest_with_deltas,
+    write_manifest,
+)
 from repro.store.records import LogRecord, pack_record, scan_records
 from repro.store.store import RecoveredEntry, SignatureStore, StoreError
 from repro.store.wal import (
@@ -36,6 +41,7 @@ __all__ = [
     "SignatureStore",
     "StoreError",
     "load_manifest",
+    "load_manifest_with_deltas",
     "pack_record",
     "parse_fsync_policy",
     "scan_records",

@@ -17,6 +17,18 @@ The file is written atomically (temp file + ``fsync`` + ``os.replace`` +
 directory ``fsync``), so a crash mid-checkpoint leaves the previous
 manifest intact.
 
+Rewriting the full manifest is O(history) — at 50k+ signatures the JSON
+dump alone stalls the appending thread for tens of milliseconds.  So only
+the *first* checkpoint (and the final one at clean shutdown) writes
+``MANIFEST.json``; periodic checkpoints append a **delta line** to
+``MANIFEST.delta.jsonl`` instead, covering just the records since the
+previous checkpoint — O(delta) work regardless of history size.  On open
+the deltas are composed over their base manifest
+(:func:`load_manifest_with_deltas`); a torn trailing delta line (crash
+mid-append) simply ends the composition there, and a delta chain whose
+base doesn't match is discarded wholesale — same "accelerator, not truth"
+stance as the manifest itself.
+
 The uid watermark has a second, *eager* home: the tiny ``UID_WATERMARK``
 sidecar, rewritten (same atomic dance) on every token issue.  Checkpoints
 are periodic, so without the sidecar a ``kill -9`` landing between a token
@@ -39,6 +51,7 @@ from repro.util.logging import get_logger
 log = get_logger("store.checkpoint")
 
 MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_DELTA_NAME = "MANIFEST.delta.jsonl"
 MANIFEST_VERSION = 1
 UID_WATERMARK_NAME = "UID_WATERMARK"
 
@@ -58,6 +71,10 @@ class Manifest:
     users: dict[int, list[int]] = field(default_factory=dict)
     #: Restart continuity for :class:`~repro.crypto.userid.UserIdAuthority`.
     next_uid: int = 1
+    #: ``record_count`` of the on-disk ``MANIFEST.json`` this object was
+    #: composed from (== ``record_count`` when no deltas applied).  Set by
+    #: :func:`load_manifest_with_deltas` only; not serialized.
+    base_record_count: int | None = None
 
     def encode(self) -> dict:
         return {
@@ -175,3 +192,101 @@ def load_manifest(data_dir: str) -> Manifest | None:
         log.warning("ignoring unusable manifest %s (%s); will fully replay",
                     path, exc)
         return None
+
+
+# ------------------------------------------------------- manifest deltas
+def manifest_delta_path(data_dir: str) -> str:
+    return os.path.join(data_dir, MANIFEST_DELTA_NAME)
+
+
+def append_manifest_delta(data_dir: str, base_count: int, from_count: int,
+                          entries: list[tuple[str, tuple[Location, ...], int]],
+                          next_uid: int) -> None:
+    """Append one checkpoint delta line covering records
+    ``[from_count, from_count + len(entries))``.
+
+    ``base_count`` pins the delta chain to the full manifest it extends
+    (its ``record_count``); ``entries`` carry ``(sig_id, top_frames,
+    sender_uid)`` — the uid rides along so the composed manifest can
+    rebuild the per-user adjacency index without a second structure.  The
+    line is flushed and fsynced before returning: a checkpoint must never
+    vouch for records less durable than itself."""
+    line = json.dumps({
+        "base": base_count,
+        "from": from_count,
+        "entries": [
+            [sig_id, [list(loc) for loc in frames], uid]
+            for sig_id, frames, uid in entries
+        ],
+        "next_uid": next_uid,
+    }, separators=(",", ":"))
+    path = manifest_delta_path(data_dir)
+    existed = os.path.exists(path)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    if not existed:
+        fsync_dir(data_dir)  # the delta file's dir entry is durable
+
+
+def clear_manifest_delta(data_dir: str) -> None:
+    """Remove the delta chain (after a full manifest made it redundant)."""
+    try:
+        os.unlink(manifest_delta_path(data_dir))
+    except FileNotFoundError:
+        pass
+
+
+def load_manifest_with_deltas(data_dir: str) -> Manifest | None:
+    """The *effective* manifest: the full ``MANIFEST.json`` with every
+    cleanly-composable delta line applied on top.
+
+    Composition stops (without failing) at the first line that is torn,
+    unparseable, pinned to a different base, or discontiguous with the
+    count composed so far — everything before it still accelerates the
+    restart, everything after it is re-validated from the log."""
+    manifest = load_manifest(data_dir)
+    if manifest is None:
+        return None
+    manifest.base_record_count = manifest.record_count
+    path = manifest_delta_path(data_dir)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except FileNotFoundError:
+        return manifest
+    except OSError as exc:
+        log.warning("ignoring unreadable manifest delta %s (%s)", path, exc)
+        return manifest
+    base_count = manifest.record_count
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+            if int(obj["base"]) != base_count:
+                raise ValueError(
+                    f"delta base {obj['base']} != manifest {base_count}")
+            if int(obj["from"]) != manifest.record_count:
+                raise ValueError(
+                    f"delta from {obj['from']} != composed "
+                    f"{manifest.record_count}")
+            entries = [
+                (str(sig_id), tuple((str(c), str(m), int(ln))
+                                    for c, m, ln in frames), int(uid))
+                for sig_id, frames, uid in obj["entries"]
+            ]
+            next_uid = int(obj.get("next_uid", 1))
+        except (ValueError, KeyError, TypeError, IndexError) as exc:
+            log.warning("stopping manifest-delta composition at line %d "
+                        "of %s (%s); later records replay from the log",
+                        lineno + 1, path, exc)
+            break
+        for sig_id, frames, uid in entries:
+            index = manifest.record_count
+            manifest.entries.append((sig_id, frames))
+            manifest.users.setdefault(uid, []).append(index)
+            manifest.record_count = index + 1
+        manifest.next_uid = max(manifest.next_uid, next_uid)
+    return manifest

@@ -31,7 +31,9 @@ from dataclasses import dataclass
 from repro.core.signature import DeadlockSignature, ORIGIN_REMOTE
 from repro.store.checkpoint import (
     Manifest,
-    load_manifest,
+    append_manifest_delta,
+    clear_manifest_delta,
+    load_manifest_with_deltas,
     load_uid_watermark,
     write_manifest,
     write_uid_watermark,
@@ -72,21 +74,25 @@ class SignatureStore:
     def __init__(self, data_dir: str,
                  fsync: str | FsyncPolicy = "always",
                  segment_records: int = DEFAULT_SEGMENT_RECORDS,
-                 checkpoint_every: int = 0):
+                 checkpoint_every: int = 0,
+                 group_commit: bool = True):
         self.data_dir = data_dir
         self.policy = parse_fsync_policy(fsync)
         self.checkpoint_every = max(0, checkpoint_every)
         self._lock = threading.Lock()
         self._ckpt_lock = threading.Lock()  # one manifest writer at a time
         self._ckpt_failed_at = 0  # record count when a checkpoint last failed
-        self._checkpoints_written = 0  # manifests written by this process
+        self._checkpoints_written = 0  # manifests/deltas written here
         # Derived metadata mirrors (one slot per record) for checkpoints.
-        self._sig_ids: list[str] = []
-        self._top_frames: list[tuple] = []
-        self._users: dict[int, list[int]] = {}
+        # Dropped entirely once a metadata provider is attached
+        # (set_metadata_provider) — the database already holds all three.
+        self._sig_ids: list[str] | None = []
+        self._top_frames: list[tuple] | None = []
+        self._uids: list[int] | None = []
+        self._provider = None  # duck-typed: __len__ + checkpoint_metadata
         self._next_uid = 1
         os.makedirs(data_dir, exist_ok=True)
-        manifest = load_manifest(data_dir)
+        manifest = load_manifest_with_deltas(data_dir)
         if manifest and manifest.segment_records != segment_records:
             # The directory's segmentation is a property of its files, not
             # of this process's configuration: adopt what it was written
@@ -102,7 +108,8 @@ class SignatureStore:
             self._log = SegmentedLog(data_dir,
                                      segment_records=segment_records,
                                      fsync=self.policy,
-                                     trusted_records=trusted)
+                                     trusted_records=trusted,
+                                     group_commit=group_commit)
         except ValueError as exc:
             raise StoreError(str(exc)) from exc
         try:
@@ -121,6 +128,11 @@ class SignatureStore:
                                          segment_records=segment_records,
                                          fsync=self.policy)
             self._checkpoint_count = manifest.record_count if manifest else 0
+            # record_count of the on-disk full MANIFEST.json (the delta
+            # chain's anchor); None forces the next checkpoint to write a
+            # fresh full manifest.
+            self._manifest_base = (manifest.base_record_count
+                                   if manifest else None)
             self._replayed = self._build_entries(
                 self._log.recovered_records(), manifest
             )
@@ -143,12 +155,6 @@ class SignatureStore:
                        manifest: Manifest | None) -> list[RecoveredEntry]:
         entries: list[RecoveredEntry] = []
         checkpointed = manifest.record_count if manifest else 0
-        if manifest:
-            # The checkpointed prefix's per-user index comes straight from
-            # the manifest snapshot; the loop below only extends it for
-            # tail records.
-            for uid, indices in manifest.users.items():
-                self._users[uid] = list(indices)
         for index, record in enumerate(records):
             if index < checkpointed:
                 sig_id, frames = manifest.entries[index]
@@ -176,8 +182,10 @@ class SignatureStore:
             ))
             self._sig_ids.append(sig_id)
             self._top_frames.append(tuple(sorted(top_frames)))
-            if index >= checkpointed:
-                self._users.setdefault(record.sender_uid, []).append(index)
+            # The log record itself carries the uid, so the per-user index
+            # needs no manifest snapshot — it is rebuilt on demand from
+            # this per-record list (checkpoints walk only their slice).
+            self._uids.append(record.sender_uid)
             self._next_uid = max(self._next_uid, record.sender_uid + 1)
         return entries
 
@@ -185,6 +193,32 @@ class SignatureStore:
         """The replayed records (consumed once, by the database load)."""
         entries, self._replayed = self._replayed, []
         return entries
+
+    def set_metadata_provider(self, provider) -> None:
+        """Stop mirroring per-record metadata; pull it from ``provider``
+        at checkpoint time instead.
+
+        ``provider`` (in practice the
+        :class:`~repro.server.database.SignatureDatabase` writing through
+        this store) must expose ``__len__`` and
+        ``checkpoint_metadata(lo, hi)`` returning ``(sig_id, top_frames,
+        sender_uid)`` per record.  Since the database already keeps every
+        one of those fields, dropping the store's own ``_sig_ids`` /
+        ``_top_frames`` / ``_uids`` lists halves the per-record metadata
+        footprint at million-signature scale.  The provider must be in
+        lockstep with the log when attached (the database attaches itself
+        right after replaying this store)."""
+        with self._lock:
+            if len(provider) != self._log.record_count:
+                raise StoreError(
+                    f"metadata provider holds {len(provider)} records but "
+                    f"the log holds {self._log.record_count}; attach it "
+                    "only when in lockstep"
+                )
+            self._provider = provider
+            self._sig_ids = None
+            self._top_frames = None
+            self._uids = None
 
     def set_metrics(self, metrics) -> None:
         """Attach an observability registry (see :mod:`repro.obs`): the
@@ -206,34 +240,112 @@ class SignatureStore:
         returns — the caller may ack the ADD the moment it does.
         """
         with self._lock:
-            # Log write and metadata mirror under one lock, so concurrent
-            # appenders cannot interleave them: _sig_ids[i] always
-            # describes log record i (checkpoints depend on it).
-            index = self._log.append(blob, sender_uid, trace=trace)
-            self._sig_ids.append(sig_id)
-            self._top_frames.append(tuple(sorted(top_frames)))
-            self._users.setdefault(sender_uid, []).append(index)
-            self._next_uid = max(self._next_uid, sender_uid + 1)
+            index = self._stage_locked(blob, sig_id, sender_uid, top_frames)
             # Back off after a failure: retry only once another
             # checkpoint_every records accumulate, not on every append
             # (the O(history) manifest build would otherwise run — and
             # fail — on every single ADD while the disk is sick).
-            watermark = max(self._checkpoint_count, self._ckpt_failed_at)
-            due = (self.checkpoint_every
-                   and self._log.record_count - watermark
-                   >= self.checkpoint_every)
+            # With a metadata provider attached the cadence trigger moves
+            # to the provider (see maybe_checkpoint): at this point the
+            # database has not published the entry yet, so a checkpoint
+            # here would always run one record short.
+            due = self._provider is None and self._cadence_due_locked()
+        try:
+            self._log.commit_appended(index + 1, trace=trace)
+        except OSError:
+            # The record never became durable and the caller will treat
+            # this append as failed — undo it (log + mirrors, atomically
+            # w.r.t. other appends) so the layers stay in lockstep.  When
+            # the rollback is impossible (a wider group-commit batch, or
+            # a later append already landed) the record stays in the log
+            # unacked; the database reconciles around it.
+            self.rollback_staged(index)
+            raise
         if due:
-            # Best-effort: the record above is already durable in the log;
-            # a failed manifest write must not turn this acked-able append
-            # into an error.  Restart just replays a longer tail.
-            try:
-                self.checkpoint()
-            except OSError:
-                with self._lock:
-                    self._ckpt_failed_at = self._log.record_count
-                log.exception("checkpoint failed; continuing with the "
-                              "previous manifest")
+            self._cadence_checkpoint()
         return index
+
+    def _stage_locked(self, blob: bytes, sig_id: str, sender_uid: int,
+                      top_frames: frozenset) -> int:
+        # Log write and metadata mirror under one lock, so concurrent
+        # appenders cannot interleave them: _sig_ids[i] always describes
+        # log record i (checkpoints depend on it).  Only the *write
+        # phase* happens here — the fsync (commit phase) runs outside
+        # this lock, so concurrent appends can share one group-committed
+        # flush instead of serializing on it.
+        index = self._log.append_unflushed(blob, sender_uid)
+        if self._provider is None:
+            self._sig_ids.append(sig_id)
+            self._top_frames.append(tuple(sorted(top_frames)))
+            self._uids.append(sender_uid)
+        self._next_uid = max(self._next_uid, sender_uid + 1)
+        return index
+
+    def stage_append(self, blob: bytes, sig_id: str, sender_uid: int,
+                     top_frames: frozenset) -> int:
+        """The write phase of :meth:`append` alone: buffer the record and
+        return its index — **no durability yet**.  For callers (the
+        database) that hold their own append lock and must not serialize
+        the fsync behind it: stage under the lock, then
+        :meth:`commit_staged` outside it (group-committed with every
+        other in-flight append), then publish; a failed commit goes
+        through :meth:`rollback_staged`."""
+        with self._lock:
+            return self._stage_locked(blob, sig_id, sender_uid, top_frames)
+
+    def commit_staged(self, target: int, trace=None) -> None:
+        """Block until the first ``target`` staged records are durable
+        (one group-committed fsync under ``always``; immediate under the
+        other policies)."""
+        self._log.commit_appended(target, trace=trace)
+
+    def rollback_staged(self, index: int) -> bool:
+        """Undo a staged record whose commit failed, if it is still the
+        newest and no fsync covered it; mirrors are trimmed with it.
+        ``False`` means the record stays in the log (unacked) and the
+        caller reconciles around it."""
+        with self._lock:
+            rolled = self._log.rollback_appended(index)
+            if rolled and self._provider is None:
+                del self._sig_ids[index:]
+                del self._top_frames[index:]
+                del self._uids[index:]
+            return rolled
+
+    def _cadence_due_locked(self) -> bool:
+        # Back off after a failure: retry only once another
+        # checkpoint_every records accumulate, not on every append
+        # (the O(history) manifest build would otherwise run — and
+        # fail — on every single ADD while the disk is sick).
+        watermark = max(self._checkpoint_count, self._ckpt_failed_at)
+        return bool(self.checkpoint_every
+                    and self._log.record_count - watermark
+                    >= self.checkpoint_every)
+
+    def _cadence_checkpoint(self) -> None:
+        # Best-effort: the records being covered are already durable in
+        # the log; a failed manifest write must not turn an acked-able
+        # append into an error.  Restart just replays a longer tail.
+        try:
+            self.checkpoint()
+        except OSError:
+            with self._lock:
+                self._ckpt_failed_at = self._log.record_count
+            log.exception("checkpoint failed; continuing with the "
+                          "previous manifest")
+
+    def maybe_checkpoint(self) -> None:
+        """Run a cadence checkpoint if one is due.
+
+        With a metadata provider attached, the provider (the database)
+        calls this right after publishing each appended entry — the only
+        moment both layers agree on the full count.  Without one,
+        :meth:`append` handles the cadence itself and this is a no-op.
+        """
+        with self._lock:
+            if self._provider is None or not self._cadence_due_locked():
+                return
+        self._cadence_checkpoint()
 
     def note_next_uid(self, next_uid: int) -> None:
         """Raise the uid watermark and persist it *eagerly* (called on
@@ -259,32 +371,73 @@ class SignatureStore:
             self._persisted_uid = max(self._persisted_uid, value)
 
     # ---------------------------------------------------------- checkpoints
-    def checkpoint(self) -> Manifest:
-        """Flush the log, then atomically write ``MANIFEST.json``.
+    def _metadata_slice(self, lo: int, hi: int) -> list[tuple]:
+        """``(sig_id, top_frames, sender_uid)`` for records ``[lo, hi)``,
+        from the provider (append-only, so a bare slice is safe) or the
+        local mirrors."""
+        if self._provider is not None:
+            return self._provider.checkpoint_metadata(lo, hi)
+        with self._lock:
+            return list(zip(self._sig_ids[lo:hi], self._top_frames[lo:hi],
+                            self._uids[lo:hi]))
 
-        The count is snapshotted *before* the flush, so the manifest never
-        vouches for a record the log has not made durable — an append that
-        lands between the snapshot and the flush is simply covered by the
-        next checkpoint (matters under ``interval``/``never``).
+    def checkpoint(self, full: bool = False) -> Manifest | None:
+        """Flush the log, then persist a checkpoint.
+
+        The first checkpoint of a data dir (and any ``full=True`` call —
+        :meth:`close` forces one) atomically rewrites ``MANIFEST.json``.
+        Every other call appends a **delta line** covering only the
+        records since the previous checkpoint — O(delta) instead of the
+        O(history) full-manifest rewrite that used to stall the appending
+        worker once the store grew past ~50k signatures.  Returns the
+        manifest for full writes, ``None`` for deltas.
+
+        The count is snapshotted *before* the flush, so the checkpoint
+        never vouches for a record the log has not made durable — an
+        append that lands between the snapshot and the flush is simply
+        covered by the next checkpoint (matters under
+        ``interval``/``never``).
         """
-        with self._ckpt_lock:  # one manifest writer at a time
+        with self._ckpt_lock:  # one checkpoint writer at a time
             with self._lock:
                 # A concurrent append may have hit the log but not yet
-                # mirrored its metadata; checkpoint what both layers
+                # mirrored its metadata (or reached the database when a
+                # provider is attached); checkpoint what both layers
                 # agree on.
-                count = min(self._log.record_count, len(self._sig_ids))
-                manifest = Manifest(
-                    record_count=count,
-                    segment_records=self._log.segment_records,
-                    segments=self._log.segment_names(),
-                    entries=list(zip(self._sig_ids[:count],
-                                     self._top_frames[:count])),
-                    users={uid: [i for i in idxs if i < count]
-                           for uid, idxs in self._users.items()},
-                    next_uid=self._next_uid,
-                )
+                mirrored = (len(self._provider) if self._provider is not None
+                            else len(self._sig_ids))
+                count = min(self._log.record_count, mirrored)
+                next_uid = self._next_uid
+            covered = self._checkpoint_count
+            base = self._manifest_base
+            if (not full and base is not None and base <= covered < count):
+                delta = self._metadata_slice(covered, count)
+                self._log.flush()  # records [0, count) durable past here
+                append_manifest_delta(self.data_dir, base, covered, delta,
+                                      next_uid)
+                with self._lock:
+                    self._checkpoint_count = max(self._checkpoint_count,
+                                                 count)
+                    self._checkpoints_written += 1
+                return None
+            meta = self._metadata_slice(0, count)
+            users: dict[int, list[int]] = {}
+            for index, (_sig_id, _frames, uid) in enumerate(meta):
+                users.setdefault(uid, []).append(index)
+            manifest = Manifest(
+                record_count=count,
+                segment_records=self._log.segment_records,
+                segments=self._log.segment_names(),
+                entries=[(sig_id, frames) for sig_id, frames, _uid in meta],
+                users=users,
+                next_uid=next_uid,
+            )
             self._log.flush()  # records [0, count) durable past this line
             write_manifest(self.data_dir, manifest)
+            # The delta chain extended the *previous* base; now redundant
+            # (and would mis-compose over the new one).
+            clear_manifest_delta(self.data_dir)
+            self._manifest_base = count
             with self._lock:
                 self._checkpoint_count = max(self._checkpoint_count, count)
                 self._checkpoints_written += 1
@@ -307,7 +460,9 @@ class SignatureStore:
             return
         try:
             if final_checkpoint:
-                self.checkpoint()
+                # Full, so restarts load one file and the delta chain
+                # (bounded only by uptime between closes) is reset.
+                self.checkpoint(full=True)
         finally:
             self._log.close()
 
@@ -319,6 +474,26 @@ class SignatureStore:
     @property
     def record_count(self) -> int:
         return self._log.record_count
+
+    @property
+    def durable_count(self) -> int:
+        """Records an fsync provably covers (== record_count under
+        ``always`` once every append has returned)."""
+        return self._log.durable_count
+
+    @property
+    def fsyncs_issued(self) -> int:
+        """Commit-phase fsyncs the log performed — the group-commit
+        batching ratio is ``record_count / fsyncs_issued``."""
+        return self._log.fsyncs_issued
+
+    @property
+    def group_commit(self) -> bool:
+        """Whether concurrent ``always`` appends may share one fsync.
+        The database checks this before taking its staged (three-phase)
+        append path — with it off, appends serialize fsync-per-record,
+        the measurement control for the batching win."""
+        return self._log.group_commit
 
     @property
     def checkpoint_count(self) -> int:

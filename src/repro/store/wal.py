@@ -9,7 +9,12 @@ so segment *n* always holds records ``[n * segment_records,
 Durability is a pluggable **fsync policy** (:func:`parse_fsync_policy`):
 
 * ``always`` — every append is flushed *and* fsynced before it returns;
-  an acked ADD survives ``kill -9``.
+  an acked ADD survives ``kill -9``.  Concurrent appends **group-commit**:
+  the first thread to reach the commit phase becomes the batch leader and
+  issues one fsync covering every record written so far; the others just
+  wait for a leader whose fsync covers them.  One disk flush amortises
+  over the whole batch — the durability contract is unchanged (no append
+  returns before its record is on disk), only the fsync count drops.
 * ``interval:<ms>`` — a background flusher thread fsyncs the tail file
   every ``<ms>`` milliseconds; a crash loses at most that window.
 * ``never`` — the OS decides; a clean :meth:`close` still flushes.
@@ -134,23 +139,33 @@ class SegmentedLog:
     def __init__(self, data_dir: str,
                  segment_records: int = DEFAULT_SEGMENT_RECORDS,
                  fsync: str | FsyncPolicy = FSYNC_ALWAYS,
-                 trusted_records: int = 0):
+                 trusted_records: int = 0,
+                 group_commit: bool = True):
         """``trusted_records`` is the checkpointed prefix length: records a
         durable manifest already vouches for skip CRC re-verification when
-        their segment is fully covered (framing is still parsed)."""
+        their segment is fully covered (framing is still parsed).
+
+        ``group_commit`` batches concurrent ``always`` appends into one
+        fsync (see the module docstring); disable it to get the original
+        one-fsync-per-append behaviour (the benchmark baseline)."""
         if segment_records < 1:
             raise ValueError("segment_records must be positive")
         self.data_dir = data_dir
         self.segment_records = segment_records
         self.trusted_records = max(0, trusted_records)
         self.policy = parse_fsync_policy(fsync)
+        self.group_commit = bool(group_commit)
         self.recovery = RecoveryReport()
         self._lock = threading.Lock()
+        self._commit_lock = threading.Lock()  # group-commit leader election
         self._file = None  # tail segment file handle (append mode)
         self._tail_seq = 0
         self._tail_records = 0
         self._count = 0
+        self._durable = 0  # records covered by a completed fsync
+        self._fsyncs_issued = 0  # commit-phase fsyncs (batching visibility)
         self._dirty = False  # bytes written since the last fsync
+        self._last_pos = 0  # file offset of the newest record's start
         self._closed = False
         self._broken = False  # a failed write could not be rolled back
         self._flusher: threading.Thread | None = None
@@ -158,6 +173,7 @@ class SegmentedLog:
         self._h_fsync = None  # stage.wal_fsync histogram (set_metrics)
         os.makedirs(data_dir, exist_ok=True)
         self._recovered = self._recover()
+        self._durable = self._count  # everything recovered is on disk
         self._open_tail()
         if self.policy.mode == FSYNC_INTERVAL:
             self._start_flusher()
@@ -291,7 +307,23 @@ class SegmentedLog:
         ahead of what the caller observed — a failed append changes
         nothing.  If even the rollback fails the log marks itself broken
         and every further append raises cleanly.
+
+        Under ``always`` with :attr:`group_commit` the write phase (under
+        the append lock) and the commit phase (leader-elected fsync) are
+        separate, so other threads keep buffering records while a batch
+        leader waits on the disk; no append returns before an fsync covers
+        its record.  When a group fsync fails with *several* records
+        pending, none of the waiters ack (each surfaces the ``OSError``)
+        but the batch cannot be rolled back — a crash-restart may then
+        recover records that were never acked, which is safe: replay is
+        idempotent at the database layer (sig_id dedup) and an unacked ADD
+        resurfacing is indistinguishable from a client retry.
         """
+        grouped = (self.policy.mode == FSYNC_ALWAYS and self.group_commit)
+        if grouped:
+            index, pos = self._write_phase(blob, sender_uid)
+            self._commit(index + 1, pos, trace)
+            return index
         record = pack_record(blob, sender_uid)
         with self._lock:
             if self._closed:
@@ -319,6 +351,8 @@ class SegmentedLog:
                             histogram.record(elapsed)
                         if trace is not None:
                             trace.stamp(STAGE_WAL_FSYNC, elapsed)
+                    if index + 1 > self._durable:
+                        self._durable = index + 1
                 else:
                     self._dirty = True
             except OSError:
@@ -327,6 +361,145 @@ class SegmentedLog:
             self._count = index + 1
             self._tail_records += 1
         return index
+
+    def append_unflushed(self, blob: bytes, sender_uid: int) -> int:
+        """The write phase alone: buffer the record under the append lock
+        and return its index — **no durability yet** under any policy.
+        The caller must follow up with :meth:`commit_appended` (outside
+        any lock of its own) before acking; this is how the store keeps
+        its metadata mirror in index-lockstep with the log without
+        serializing group commits behind its lock."""
+        index, _pos = self._write_phase(blob, sender_uid)
+        return index
+
+    def commit_appended(self, target: int, trace=None) -> None:
+        """Make the first ``target`` records durable (group-committed
+        under ``always``; a no-op under ``interval``/``never``, same as
+        an inline append).  Unlike :meth:`append`, a failed fsync here
+        never rolls the record back — the caller's mirror already points
+        at it — so the record stays in the log unacked and the ``OSError``
+        propagates (see :meth:`append` on why that is safe)."""
+        if self.policy.mode != FSYNC_ALWAYS:
+            return
+        self._commit(target, None, trace)
+
+    def _write_phase(self, blob: bytes, sender_uid: int) -> tuple[int, int]:
+        record = pack_record(blob, sender_uid)
+        with self._lock:
+            if self._closed:
+                raise ValueError("log is closed")
+            if self._broken:
+                raise OSError("log failed a write and could not roll back; "
+                              "restart to recover")
+            if self._tail_records >= self.segment_records:
+                self._rotate_locked()
+            index = self._count
+            pos = self._file.tell()
+            try:
+                self._file.write(record)
+                self._dirty = True
+            except OSError:
+                self._rollback(pos)
+                raise
+            self._count = index + 1
+            self._tail_records += 1
+            self._last_pos = pos
+        return index, pos
+
+    def rollback_appended(self, index: int) -> bool:
+        """Best-effort undo of record ``index`` after its commit phase
+        failed, for callers (the store) whose bookkeeping must stay in
+        index-lockstep with the log.  Succeeds only when the record is
+        still the newest one and no fsync covered it — otherwise the log
+        is left untouched and ``False`` says "the record stays; reconcile
+        around it"."""
+        with self._lock:
+            if (self._closed or self._broken or self._count != index + 1
+                    or self._durable > index):
+                return False
+            self._rollback(self._last_pos)
+            if self._broken:
+                return False
+            self._count = index
+            if self._tail_records > 0:
+                self._tail_records -= 1
+            return True
+
+    # --------------------------------------------------------- group commit
+    def _commit(self, target: int, pos: int | None, trace) -> None:
+        """Block until an fsync covers the first ``target`` records.
+
+        Exactly one thread holds the commit lock at a time; whoever gets
+        it while ``target`` is still uncovered becomes the batch leader
+        and fsyncs everything written so far.  Later appenders queueing on
+        the lock usually find their record already covered and return
+        without touching the disk — that wait *is* the group commit.
+        ``pos`` is the record's pre-append file offset, used to roll back
+        when the failed batch contains only this record (keeping the
+        single-writer all-or-nothing contract intact)."""
+        histogram = self._h_fsync
+        timed = histogram is not None or trace is not None
+        started = perf_counter() if timed else 0.0
+        with self._commit_lock:
+            if self._durable < target:
+                self._fsync_batch_commit_locked(target, pos)
+        if timed:
+            elapsed = perf_counter() - started
+            if histogram is not None:
+                histogram.record(elapsed)
+            if trace is not None:
+                trace.stamp(STAGE_WAL_FSYNC, elapsed)
+
+    def _fsync_batch_commit_locked(self, target: int, pos: int | None) -> None:
+        """Leader path: flush the tail under the append lock, then fsync a
+        dup of its descriptor *outside* it so concurrent appends keep
+        buffering.  The dup keeps the open file description alive even if
+        a rotation swaps the tail mid-fsync (the rotated-out segment was
+        already fsynced by ``_rotate_locked``, so syncing it again is just
+        a no-op)."""
+        fd = -1
+        try:
+            with self._lock:
+                if self._broken:
+                    raise OSError("log failed a write and could not roll "
+                                  "back; restart to recover")
+                if self._file is None or self._file.closed:
+                    raise OSError("log tail is not open")
+                covered = self._count
+                self._file.flush()
+                fd = os.dup(self._file.fileno())
+                self._dirty = False
+            os.fsync(fd)
+            self._fsyncs_issued += 1
+        except OSError:
+            self._abort_batch(target, pos)
+            raise
+        finally:
+            if fd >= 0:
+                os.close(fd)
+        if covered > self._durable:
+            self._durable = covered
+
+    def _abort_batch(self, target: int, pos: int | None) -> None:
+        """A group fsync failed.  If the batch held exactly the leader's
+        own record, roll it back (truncate to ``pos``, undo the counters)
+        so the failed append leaves no trace — the same contract as the
+        non-grouped path.  A wider batch cannot be unwound record by
+        record: leave the log as-is and let every uncovered waiter surface
+        the error itself (none of them ack).  ``pos`` of ``None`` means
+        the caller's bookkeeping already references the record
+        (:meth:`commit_appended`) — never roll back then."""
+        if pos is None:
+            return
+        with self._lock:
+            sole = (self._count == target and self._durable == target - 1)
+            if not sole or self._broken or self._closed:
+                return
+            self._rollback(pos)
+            if not self._broken:
+                self._count = target - 1
+                if self._tail_records > 0:
+                    self._tail_records -= 1
 
     def set_metrics(self, metrics) -> None:
         """Record fsync waits into the registry's ``stage.wal_fsync``
@@ -382,6 +555,8 @@ class SegmentedLog:
         if histogram is not None:
             histogram.record(perf_counter() - started)
         self._dirty = False
+        if self._count > self._durable:
+            self._durable = self._count
 
     # ------------------------------------------------------------- flusher
     def _start_flusher(self) -> None:
@@ -424,6 +599,18 @@ class SegmentedLog:
     @property
     def record_count(self) -> int:
         return self._count
+
+    @property
+    def durable_count(self) -> int:
+        """Records covered by a completed fsync (== ``record_count`` after
+        any successful ``always`` append or explicit :meth:`flush`)."""
+        return self._durable
+
+    @property
+    def fsyncs_issued(self) -> int:
+        """Commit-phase fsyncs performed so far — compare against the
+        append count to see group-commit batching in action."""
+        return self._fsyncs_issued
 
     def segment_names(self) -> list[str]:
         """Current segment file names, in record order."""

@@ -1,0 +1,80 @@
+"""Merging per-worker registry snapshots must equal pooled recording.
+
+The federation coordinator folds one ``MetricsRegistry.snapshot()`` per
+worker process into a single tier-wide snapshot; any divergence from
+"record everything into one registry" would make the merged metrics lie.
+"""
+
+import random
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    merge_registry_snapshots,
+    summary_from_wire,
+)
+
+
+def _record(registry, samples, adds):
+    histogram = registry.histogram("stage.validate")
+    for sample in samples:
+        histogram.record(sample)
+    registry.counter("net.slow_requests").add(adds)
+    registry.gauge("loop.queue_depth").set(adds)
+
+
+class TestMergeRegistrySnapshots:
+    def test_merged_equals_pooled(self):
+        rng = random.Random(7)
+        shares = [[rng.uniform(1e-6, 0.25) for _ in range(50)]
+                  for _ in range(3)]
+        workers = [MetricsRegistry() for _ in range(3)]
+        pooled = MetricsRegistry()
+        for worker, samples in zip(workers, shares):
+            _record(worker, samples, len(samples))
+        _record(pooled, [s for share in shares for s in share],
+                sum(len(share) for share in shares))
+        merged = merge_registry_snapshots(w.snapshot() for w in workers)
+        expected = pooled.snapshot()
+        assert merged["counters"] == expected["counters"]
+        assert merged["gauges"] == expected["gauges"]
+        merged_hist = merged["histograms"]["stage.validate"]
+        expected_hist = expected["histograms"]["stage.validate"]
+        assert merged_hist["buckets"] == expected_hist["buckets"]
+        assert merged_hist["count"] == expected_hist["count"]
+        assert merged_hist["total"] == pytest.approx(expected_hist["total"])
+        assert merged_hist["min"] == expected_hist["min"]
+        assert merged_hist["max"] == expected_hist["max"]
+        # Percentiles of the merged histogram are percentiles of the pool.
+        assert (summary_from_wire(merged_hist)["p95_ms"]
+                == summary_from_wire(expected_hist)["p95_ms"])
+
+    def test_empty_and_missing_snapshots_are_ignored(self):
+        registry = MetricsRegistry()
+        _record(registry, [0.01, 0.02], 2)
+        merged = merge_registry_snapshots(
+            [registry.snapshot(), {}, None,
+             {"counters": {}, "gauges": {}, "histograms": {}}]
+        )
+        assert merged["counters"] == {"net.slow_requests": 2}
+        assert merged["histograms"]["stage.validate"]["count"] == 2
+
+    def test_disjoint_names_union(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("a").add(1)
+        right.counter("b").add(2)
+        right.histogram("stage.flush").record(0.001)
+        merged = merge_registry_snapshots([left.snapshot(), right.snapshot()])
+        assert merged["counters"] == {"a": 1, "b": 2}
+        assert list(merged["histograms"]) == ["stage.flush"]
+
+    def test_empty_histogram_does_not_poison_min(self):
+        empty, busy = MetricsRegistry(), MetricsRegistry()
+        empty.histogram("stage.validate")  # created, never recorded
+        busy.histogram("stage.validate").record(0.5)
+        merged = merge_registry_snapshots([empty.snapshot(), busy.snapshot()])
+        hist = merged["histograms"]["stage.validate"]
+        assert hist["count"] == 1
+        assert hist["min"] == 0.5
+        assert hist["max"] == 0.5

@@ -1,0 +1,224 @@
+"""In-process tests for the federated tier's single-writer log protocol.
+
+One owner :class:`CommunixServer` (plus its :class:`ReplicationHub`) and
+one or two :class:`FederatedWorkerServer` replicas talk over a real
+abstract unix socket — the same wire the multi-process federation uses,
+minus the process boundary, so every assertion can look straight into
+both sides' state.
+"""
+
+import time
+import uuid
+
+import pytest
+
+from repro.loadgen.signatures import adjacent_spam_blobs, random_signature_blobs
+from repro.server.replication import (
+    FederatedWorkerServer,
+    ForwardError,
+    LogForwardClient,
+    ReplicationHub,
+)
+from repro.server.server import CommunixServer, ServerConfig
+from repro.util.errors import ProtocolError
+
+
+def _internal_addr() -> str:
+    return f"unix://@cx-test-{uuid.uuid4().hex[:12]}"
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class _Federation:
+    """Owner + hub + N replicas on one internal endpoint."""
+
+    def __init__(self, tmp_path=None, replicas: int = 1, **config_kwargs):
+        config_kwargs.setdefault("max_signatures_per_user_per_day", 100_000)
+        if tmp_path is not None:
+            config_kwargs.setdefault("data_dir", str(tmp_path))
+            config_kwargs.setdefault("fsync_policy", "always")
+        self.config = ServerConfig(**config_kwargs)
+        self.owner = CommunixServer(config=self.config)
+        self.addr = _internal_addr()
+        self.hub = ReplicationHub(self.owner, self.addr)
+        self.hub.start()
+        self.replicas = []
+        for _ in range(replicas):
+            replica = FederatedWorkerServer(self.config, self.addr)
+            replica.start_replication()
+            self.replicas.append(replica)
+
+    @property
+    def replica(self) -> FederatedWorkerServer:
+        return self.replicas[0]
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+        self.hub.stop()
+        self.owner.close()
+
+
+@pytest.fixture
+def federation(tmp_path):
+    fed = _Federation(tmp_path)
+    yield fed
+    fed.close()
+
+
+class TestForwardedAdds:
+    def test_replica_ack_means_owner_durability(self, federation):
+        token = federation.replica.issue_user_token()
+        blobs = random_signature_blobs(8, seed=11)
+        for i, blob in enumerate(blobs):
+            outcome = federation.replica.process_add(blob, token)
+            assert outcome.accepted, outcome.verdict
+            assert outcome.index == i
+            # fsync=always: by the time the replica acks, the owner's
+            # store has logged the record (append returns post-fsync).
+            assert federation.owner.store.record_count == i + 1
+        assert len(federation.owner.database) == len(blobs)
+
+    def test_replica_has_no_store(self, federation):
+        # data_dir is in the shared config, but only the owner opens it.
+        assert federation.config.data_dir is not None
+        assert federation.replica.store is None
+        assert federation.owner.store is not None
+
+    def test_owner_rejections_propagate(self, federation):
+        # Two mutually-adjacent forged signatures from one user: the
+        # owner's *global* adjacency check rejects the second, and the
+        # verdict crosses the wire back into the replica's stats.
+        token = federation.replica.issue_user_token()
+        first, second = adjacent_spam_blobs(2, seed=3)
+        assert federation.replica.process_add(first, token).accepted
+        again = federation.replica.process_add(second, token)
+        assert not again.accepted
+        assert again.verdict == "adjacent"
+        rejected = federation.replica.stats.adds_rejected
+        assert rejected.get("adjacent") == 1
+
+    def test_bad_token_rejected_locally(self, federation):
+        blob = random_signature_blobs(1, seed=4)[0]
+        outcome = federation.replica.process_add(blob, "not-a-token")
+        assert not outcome.accepted
+        assert outcome.verdict == "bad_token"
+        # Never reached the owner: local validation is the cheap half.
+        assert federation.hub.forwarded_adds == 0
+
+    def test_quota_is_global_across_workers(self, tmp_path):
+        fed = _Federation(tmp_path, replicas=2,
+                          max_signatures_per_user_per_day=3)
+        try:
+            token = fed.replicas[0].issue_user_token()
+            blobs = random_signature_blobs(5, seed=5)
+            verdicts = []
+            for i, blob in enumerate(blobs):
+                # Alternate workers: a per-process quota would admit all 5.
+                replica = fed.replicas[i % 2]
+                verdicts.append(replica.process_add(blob, token))
+            accepted = [v for v in verdicts if v.accepted]
+            assert len(accepted) == 3
+            assert all(v.verdict == "quota_exceeded"
+                       for v in verdicts if not v.accepted)
+        finally:
+            fed.close()
+
+
+class TestApplyStream:
+    def test_replica_converges_on_owner_history(self, federation):
+        token = federation.replica.issue_user_token()
+        blobs = random_signature_blobs(10, seed=21)
+        for blob in blobs:
+            assert federation.replica.process_add(blob, token).accepted
+        replica_db = federation.replica.database
+        assert _wait_until(lambda: len(replica_db) == len(blobs))
+        for i, blob in enumerate(blobs):
+            assert replica_db.entry(i).blob == blob
+        # GETs on the replica serve the replicated copy.
+        next_index, page, more = federation.replica.process_get_page(0, 100)
+        assert len(page) == len(blobs)
+        assert next_index == len(blobs)
+        assert not more
+
+    def test_late_replica_backfills(self, federation):
+        token = federation.replica.issue_user_token()
+        blobs = random_signature_blobs(6, seed=22)
+        for blob in blobs:
+            assert federation.replica.process_add(blob, token).accepted
+        late = FederatedWorkerServer(federation.config, federation.addr)
+        late.start_replication()
+        try:
+            assert _wait_until(lambda: len(late.database) == len(blobs))
+            assert late.replica_feed.applied == len(blobs)
+        finally:
+            late.close()
+
+
+class TestStatsAccounting:
+    def test_no_double_booking(self, federation):
+        token = federation.replica.issue_user_token()
+        blobs = random_signature_blobs(7, seed=31)
+        for blob in blobs:
+            assert federation.replica.process_add(blob, token).accepted
+        # The replica owns the client-facing count; the owner saw only
+        # internal forwards, which it tracks separately.  Summing worker
+        # stats therefore equals what clients experienced.
+        assert federation.replica.stats.adds_accepted == len(blobs)
+        assert federation.owner.stats.adds_accepted == 0
+        assert federation.hub.forwarded_adds == len(blobs)
+
+    def test_forwarded_issue_counted_once(self, federation):
+        token = federation.replica.issue_user_token()
+        assert token
+        assert federation.hub.forwarded_issues == 1
+
+
+class TestOwnerLoss:
+    def test_add_fails_closed_when_owner_unreachable(self, federation):
+        token = federation.replica.issue_user_token()
+        federation.hub.stop()
+        blob = random_signature_blobs(1, seed=41)[0]
+        outcome = federation.replica.process_add(blob, token)
+        assert not outcome.accepted
+        assert outcome.verdict == "store_error"
+        assert federation.replica.stats.adds_accepted == 0
+        with pytest.raises(ProtocolError):
+            federation.replica.issue_user_token()
+
+    def test_forward_client_redials_after_error(self, tmp_path):
+        fed = _Federation(tmp_path)
+        try:
+            client = LogForwardClient(fed.addr)
+            assert client.forward_issue()
+            fed.hub.stop()
+            with pytest.raises(ForwardError):
+                client.forward_issue()
+            # A fresh hub on the same endpoint: the next call redials.
+            fed.hub = ReplicationHub(fed.owner, fed.addr)
+            fed.hub.start()
+            assert client.forward_issue()
+            client.close()
+            with pytest.raises(ForwardError):
+                client.forward_issue()
+        finally:
+            fed.close()
+
+
+class TestUidAllocation:
+    def test_uids_are_globally_unique(self, federation):
+        # Tokens issued via the replica and via the owner draw from the
+        # owner's single allocator.
+        tokens = [federation.replica.issue_user_token(),
+                  federation.owner.issue_user_token(),
+                  federation.replica.issue_user_token()]
+        uids = {federation.replica.validator.resolve_uid(t) for t in tokens}
+        assert len(uids) == 3
+        assert None not in uids
