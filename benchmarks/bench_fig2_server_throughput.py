@@ -32,6 +32,13 @@ single-process point re-run against ``--server-procs {2,4}``
 SO_REUSEPORT worker processes over the single-writer group-commit log
 (``repro.server.federation``).
 
+A final section measures the PR 9 admission guard (``repro.guard``)
+against the quota flood: the attack fleet is released *first*, so every
+benign request competes with a flood in full swing, and three points —
+guarded-clean (false-positive control), unguarded-attack (degradation
+control), guarded-attack — turn the §III-C1 protection story into a
+benign-p99 comparison.
+
 Requests/second and merged p50/p95/p99 land in ``BENCH_fig2_swarm.json``
 (``BENCH_fig2_swarm.smoke.json`` under ``COMMUNIX_BENCH_SMOKE=1`` — smoke
 runs never overwrite the full series).
@@ -90,6 +97,27 @@ SERVER_PROCS_SWEEP = ((2, 50),) if SMOKE else ((2, 10000), (4, 10000))
 ATTACK = (dict(benign=50, attackers=15, attack_rounds=5) if SMOKE
           else dict(benign=2000, attackers=400, attack_rounds=25))
 ATTACK_QUOTA = 10
+#: Guard point (PR 9): benign service quality *during an ongoing flood*.
+#: The flood is released ``attack_lead_s`` before the benign swarm, so a
+#: guarded server has had a scoring window to classify the flooders by
+#: the time the first benign request arrives — the regime the guard is
+#: for (a quota flood is not a two-second event).  ``benign`` light
+#: steady-state clients (``benign_rounds`` ADD+GET rounds, ``think_time``
+#: apart — well under every per-key guard budget) measure latency; the
+#: ``attackers`` quota-flooders are pressure, not measurement, and are
+#: stopped once the benign window closes.  ``guard_tarpit`` throttles
+#: each shed closed-loop flooder to ~1/tarpit req/s, so the guarded
+#: loop sees ~attackers/tarpit cheap shed frames per second instead of
+#: the flood's full parse+validate demand.
+GUARD_FLOOD = (dict(benign=24, benign_rounds=3, think_time=0.05,
+                    start_spread_s=0.2, attackers=6, attack_rounds=400,
+                    guard_budget=16, guard_window=0.4, guard_tarpit=0.05,
+                    attack_lead_s=1.0)
+               if SMOKE else
+               dict(benign=200, benign_rounds=6, think_time=0.2,
+                    start_spread_s=1.0, attackers=300, attack_rounds=250,
+                    guard_budget=16, guard_window=1.0, guard_tarpit=0.25,
+                    attack_lead_s=2.5))
 PAGE_SIZE = 256
 LOOPS = 2
 
@@ -98,6 +126,7 @@ _fed_series: list[dict] = []
 _server_procs_series: list[dict] = []
 _rolling: dict = {}
 _attack: dict = {}
+_guard_flood: dict = {}
 
 
 def _sock_path(tag: str) -> str:
@@ -214,6 +243,110 @@ def run_point(n_clients: int, *, attackers: int = 0, attack_rounds: int = 0,
             os.unlink(metrics_log)
         except OSError:
             pass
+    return point
+
+
+def run_guard_point(*, attackers: int, guarded: bool) -> dict:
+    """One guard point: ``GUARD_FLOOD['benign']`` light steady-state
+    clients released into a quota flood already ``attack_lead_s`` old.
+    The benign engine is the measurement; the attack engine is load and
+    is stopped (mid-flood) once the last benign client finishes.  Benign
+    workload and seeds are identical across the three points, so the
+    add/get histograms compare apples to apples."""
+    g = GUARD_FLOOD
+    n_benign, rounds = g["benign"], g["benign_rounds"]
+    blobs = random_signature_blobs(n_benign * rounds, seed=7700)
+    # Staggered first ADDs: the percentiles must price steady-state
+    # service under flood, not the swarm's own barrier-release burst.
+    benign = [
+        SteadyState(blobs[i * rounds:(i + 1) * rounds], page_size=PAGE_SIZE,
+                    think_time=g["think_time"], park_after_setup=True,
+                    initial_delay=i * g["start_spread_s"] / n_benign)
+        for i in range(n_benign)
+    ]
+    flooders = [
+        QuotaFlood(off_path_flood_blobs(g["attack_rounds"],
+                                        seed=200_000 + i),
+                   park_on_connect=True)
+        for i in range(attackers)
+    ]
+    server_args = []
+    if guarded:
+        server_args += ["--guard",
+                        "--guard-budget", str(g["guard_budget"]),
+                        "--guard-window", str(g["guard_window"]),
+                        "--guard-tarpit", str(g["guard_tarpit"])]
+    metrics_log = f"/tmp/communix-fig2-guard-metrics-{os.getpid()}.jsonl"
+    try:
+        os.unlink(metrics_log)
+    except OSError:
+        pass
+    server_args += ["--metrics-log", metrics_log, "--metrics-interval", "30"]
+    with swarm_server(quota_per_day=ATTACK_QUOTA,
+                      server_args=server_args) as endpoint:
+        attack = SwarmEngine(endpoint, loops=LOOPS, connect_burst=512,
+                             connect_timeout=60.0)
+        attack.add_clients(flooders)
+        engine = SwarmEngine(endpoint, loops=LOOPS, connect_burst=512,
+                             connect_timeout=60.0)
+        engine.add_clients(benign)
+        try:
+            if attackers:
+                attack.start()
+                wait_for_barrier(attack, attackers,
+                                 timeout=max(120.0, attackers * 0.05))
+                attack.release()
+                time.sleep(g["attack_lead_s"])
+            engine.start()
+            wait_for_barrier(engine, n_benign,
+                             timeout=max(180.0, n_benign * 0.1))
+            released_at = engine.release()
+            finished = engine.wait(
+                timeout=max(240.0, n_benign * rounds * 0.5))
+            completed_at = engine.completed_at
+        finally:
+            attack.stop()  # pressure source, not a measurement
+            engine.stop()
+    snapshot = engine.snapshot()
+    assert finished, (
+        f"{engine.client_count - engine.finished_count} benign clients "
+        "unfinished"
+    )
+    assert snapshot.errors == {}, snapshot.errors
+    elapsed = completed_at - released_at
+    requests = snapshot.count(OP_ADD) + snapshot.count(OP_GET_PAGE)
+    point = {
+        "benign_clients": n_benign,
+        "benign_rounds": rounds,
+        "think_time_s": g["think_time"],
+        "attackers": attackers,
+        "guarded": guarded,
+        "quota_per_day": ATTACK_QUOTA,
+        "attack_lead_s": g["attack_lead_s"] if attackers else 0.0,
+        "timed_requests": requests,
+        "elapsed_s": round(elapsed, 3),
+        "requests_per_second": round(requests / elapsed, 1),
+        "benign_accepted": sum(s.accepted for s in benign),
+        "benign_failed": sum(1 for s in benign if s.failed),
+        "add": snapshot.histograms[OP_ADD].summary(),
+        "get_page": snapshot.histograms[OP_GET_PAGE].summary(),
+    }
+    if attackers:
+        verdicts: dict[str, int] = {}
+        for flooder in flooders:
+            for verdict, n in flooder.verdicts.items():
+                verdicts[verdict] = verdicts.get(verdict, 0) + n
+        point["attack_adds_sent"] = attack.snapshot().count(OP_ADD_ATTACK)
+        point["attack_verdicts"] = verdicts
+    point["server_metrics"] = server_metrics_summary(metrics_log)
+    point["guard_counters"] = {
+        k: v for k, v in point["server_metrics"]["counters"].items()
+        if k.startswith("guard.")
+    }
+    try:
+        os.unlink(metrics_log)
+    except OSError:
+        pass
     return point
 
 
@@ -366,6 +499,91 @@ def test_fig2_latency_under_attack(benchmark, results_dir):
     assert point["under_attack"]["benign_requests_per_second"] > 0
 
 
+def test_fig2_guard_quota_flood(benchmark, results_dir):
+    """PR 9 tentpole: benign p99 during an ongoing quota flood, guarded
+    vs unguarded, against a guarded attacker-free baseline.  The guarded
+    clean run doubles as the false-positive control (zero benign
+    requests shed)."""
+    def run_all() -> dict:
+        clean = run_guard_point(attackers=0, guarded=True)
+        unguarded = run_guard_point(attackers=GUARD_FLOOD["attackers"],
+                                    guarded=False)
+        guarded = run_guard_point(attackers=GUARD_FLOOD["attackers"],
+                                  guarded=True)
+
+        def ratio(a: float, b: float) -> float | None:
+            return round(a / b, 2) if b else None
+
+        return {
+            "config": dict(GUARD_FLOOD),
+            "guarded_clean": clean,
+            "unguarded_attack": unguarded,
+            "guarded_attack": guarded,
+            "benign_add_p99_ratio": {
+                "unguarded_over_clean": ratio(
+                    unguarded["add"]["p99_ms"], clean["add"]["p99_ms"]),
+                "guarded_over_clean": ratio(
+                    guarded["add"]["p99_ms"], clean["add"]["p99_ms"]),
+            },
+            "benign_add_p50_ratio": {
+                "unguarded_over_clean": ratio(
+                    unguarded["add"]["p50_ms"], clean["add"]["p50_ms"]),
+                "guarded_over_clean": ratio(
+                    guarded["add"]["p50_ms"], clean["add"]["p50_ms"]),
+            },
+        }
+
+    point = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _guard_flood.update(point)
+    _write_results(results_dir)
+    clean = point["guarded_clean"]
+    unguarded = point["unguarded_attack"]
+    guarded = point["guarded_attack"]
+    benchmark.extra_info.update({
+        "clean_p99_add_ms": clean["add"]["p99_ms"],
+        "unguarded_p99_add_ms": unguarded["add"]["p99_ms"],
+        "guarded_p99_add_ms": guarded["add"]["p99_ms"],
+        "guarded_shed": guarded["guard_counters"].get("guard.shed", 0),
+    })
+    expected = GUARD_FLOOD["benign"] * GUARD_FLOOD["benign_rounds"]
+    # False-positive control: a guarded server under purely benign load
+    # sheds and throttles nothing, and every benign ADD lands.
+    assert clean["benign_accepted"] == expected
+    assert clean["benign_failed"] == 0
+    assert clean["guard_counters"]["guard.shed"] == 0
+    assert clean["guard_counters"]["guard.throttled"] == 0
+    # Under the flood the guard engaged (sheds > 0) and still admitted
+    # every benign request.
+    assert guarded["guard_counters"]["guard.shed"] > 0
+    assert guarded["benign_accepted"] == expected
+    assert unguarded["benign_accepted"] == expected
+    if not SMOKE:
+        # The §III-C1 claim: guarded benign p99 stays within 2x of the
+        # attacker-free baseline.
+        p99 = point["benign_add_p99_ratio"]
+        assert p99["guarded_over_clean"] <= 2.0, p99
+        # ... while the unguarded control degrades.  The degradation is
+        # asserted at the median: the clean baseline's own p99 at this
+        # scale is a handful of scheduler/GC outliers (p50 ~2ms, p99
+        # >100ms), so a tail-over-tail ratio is noise, but the flood
+        # shifting the *typical* benign request by over 2x is signal.
+        p50 = point["benign_add_p50_ratio"]
+        assert p50["unguarded_over_clean"] > 2.0, p50
+        assert unguarded["add"]["p50_ms"] > 2.0 * guarded["add"]["p50_ms"], (
+            unguarded["add"], guarded["add"])
+
+
+def _load_previous_payload() -> dict:
+    """The artifact's last run.  ``_write_results`` rebuilds the whole
+    JSON from this module's accumulators, so a partial re-run (say, the
+    guard point alone) must seed the sections it did not measure from
+    the committed series instead of clobbering them."""
+    try:
+        return json.loads(bench_json_path("BENCH_fig2_swarm").read_text())
+    except (OSError, ValueError):
+        return {}
+
+
 def _write_results(results_dir) -> None:
     lines = [
         "Figure 2 — Communix server throughput (swarm-driven)",
@@ -438,6 +656,37 @@ def _write_results(results_dir) -> None:
                 f"{a['p95_ms']:.0f}/{a['p99_ms']:.0f}{'':16}"
                 f"+{d['p50_ms']:.0f}/+{d['p95_ms']:.0f}/+{d['p99_ms']:.0f}"
             )
+    if _guard_flood:
+        cfg = _guard_flood["config"]
+        ratios = _guard_flood["benign_add_p99_ratio"]
+        lines.append("")
+        lines.append(
+            f"admission guard vs quota flood: {cfg['benign']} benign "
+            f"clients ({cfg['benign_rounds']} rounds) arriving "
+            f"{cfg['attack_lead_s']}s into a {cfg['attackers']}-flooder "
+            f"quota flood (quota {ATTACK_QUOTA}/day, guard budget "
+            f"{cfg['guard_budget']}, window {cfg['guard_window']}s)"
+        )
+        lines.append("point             req/s  add_p50/p95/p99_ms  "
+                     "accepted  guard_shed")
+        for key in ("guarded_clean", "unguarded_attack", "guarded_attack"):
+            p = _guard_flood[key]
+            add = p["add"]
+            shed = p["guard_counters"].get("guard.shed", "-")
+            lines.append(
+                f"{key:<17} {p['requests_per_second']:6.0f}  "
+                f"{add['p50_ms']:.0f}/{add['p95_ms']:.0f}/"
+                f"{add['p99_ms']:.0f}{'':8}{p['benign_accepted']:8d}  "
+                f"{shed}"
+            )
+        p50 = _guard_flood["benign_add_p50_ratio"]
+        lines.append(
+            f"benign add p99 vs clean baseline: unguarded "
+            f"{ratios['unguarded_over_clean']}x, guarded "
+            f"{ratios['guarded_over_clean']}x "
+            f"(p50: unguarded {p50['unguarded_over_clean']}x, guarded "
+            f"{p50['guarded_over_clean']}x)"
+        )
     peaks = [p["requests_per_second"] for p in _series.values()]
     peaks += [p["requests_per_second"] for p in _fed_series]
     peaks += [p["requests_per_second"] for p in _server_procs_series]
@@ -450,6 +699,7 @@ def _write_results(results_dir) -> None:
             "swarm and server sharing it)"
         )
     write_artifact(results_dir, "fig2_swarm.txt", lines)
+    previous = _load_previous_payload()
     payload = {
         "benchmark": "fig2_swarm",
         "smoke": SMOKE,
@@ -457,11 +707,19 @@ def _write_results(results_dir) -> None:
                  "sessions",
         "page_size": PAGE_SIZE,
         "swarm_loops": LOOPS,
-        "points": [_series[n] for n in SWEEP if n in _series],
-        "federated_points": list(_fed_series),
-        "federated_server_points": list(_server_procs_series),
-        "rolling_cohort": dict(_rolling),
-        "latency_under_attack": dict(_attack),
+        "points": ([_series[n] for n in SWEEP if n in _series]
+                   or previous.get("points", [])),
+        "federated_points": (list(_fed_series)
+                             or previous.get("federated_points", [])),
+        "federated_server_points": (
+            list(_server_procs_series)
+            or previous.get("federated_server_points", [])),
+        "rolling_cohort": dict(_rolling) or previous.get(
+            "rolling_cohort", {}),
+        "latency_under_attack": dict(_attack) or previous.get(
+            "latency_under_attack", {}),
+        "guard_quota_flood": dict(_guard_flood) or previous.get(
+            "guard_quota_flood", {}),
     }
     out = bench_json_path("BENCH_fig2_swarm")
     out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,45 @@
+"""repro.guard — streaming flood detection and adaptive admission control.
+
+The paper's only flood defense is the fixed per-user daily quota
+(§III-C1), and its own §IV-B analysis concedes a Sybil fleet with a
+handful of encrypted IDs can still push thousands of signatures/day into
+the validation pipeline.  This package is the production-shaped answer
+(ROADMAP item 3, modeled on OctoSketch-style line-rate sketching):
+
+* :mod:`repro.guard.sketch` — O(1)-memory count-min sketches with
+  conservative update and a sliding two-epoch time-decay window, plus an
+  exact element-wise merge so federated workers can pool their sketches
+  through ``merge_registry_snapshots``;
+* :mod:`repro.guard.detector` — a periodic scorer classifying per-key
+  rates against a robust baseline (EWMA over a median-of-windows) as
+  benign / suspect / flooding, with hysteresis so flapping senders don't
+  oscillate;
+* :mod:`repro.guard.admission` — the admission controller the server
+  spine consults: per-uid and per-signature checks in front of
+  quota/adjacency validation, a per-endpoint check cheap enough for the
+  transport's event loop, and relax-back once pressure clears.
+
+See ``docs/architecture.md`` §11 for the full pipeline and its
+federation story.
+"""
+
+from repro.guard.admission import (
+    AdmissionGuard,
+    GuardConfig,
+)
+from repro.guard.detector import FloodDetector, FlowClass
+from repro.guard.sketch import (
+    CountMinSketch,
+    SlidingSketch,
+    merge_sketch_wire,
+)
+
+__all__ = [
+    "AdmissionGuard",
+    "GuardConfig",
+    "FloodDetector",
+    "FlowClass",
+    "CountMinSketch",
+    "SlidingSketch",
+    "merge_sketch_wire",
+]

@@ -1,0 +1,327 @@
+"""The admission controller: sketches + detectors wired to the server spine.
+
+One :class:`AdmissionGuard` guards one server process.  It watches three
+key dimensions, each with its own sliding sketch and detector:
+
+* **uid** (relative volume) — every offered ADD updates the sender's
+  count *whether or not it is admitted*, so detection persists while a
+  flooder is being shed and decay alone relaxes the classification.
+  Suspect uids get a tightened effective quota (``budget`` admitted ADDs
+  per window instead of unlimited offers racing the daily quota);
+  flooding uids are shed outright.
+* **sig** (relative volume) — per-signature-id counts catch a fleet
+  hammering one blob through many identities (the dedup path is cheap
+  but not free, and the pattern is diagnostic).
+* **endpoint** (absolute abuse) — keyed by the remote socket endpoint,
+  fed by *validation feedback* (rejected verdicts: bad tokens, quota
+  misses, adjacency spam, sheds), not raw volume — a closed-loop benign
+  client and a closed-loop attacker offer similar request *rates*, but
+  only the attacker accumulates rejections.  A flooding endpoint is shed
+  on the event loop before the frame is even parsed, with an optional
+  tarpit delay so a closed-loop flooder's round-trip rate collapses.
+
+Where the checks sit (cheapest first):
+
+1. transport loop: :meth:`AdmissionGuard.endpoint_action` — one dict
+   lookup per frame; flooding endpoints never reach the worker pool, the
+   JSON parser, or AES;
+2. validator (``check_add_uid``): :meth:`admit_add` after the token
+   resolves (a cache hit for established senders) and *before* the
+   quota/adjacency locks;
+3. federated replicas: :meth:`admit_uid` before the forward round-trip
+   to the log owner, so a flood is absorbed at the edge worker.
+
+Scoring is lazy — any observe/action call past the round deadline runs
+one round under the guard lock (no timer thread; deterministic with a
+manual ``clock``).  Sketch cell updates themselves are GIL-atomic and
+deliberately unlocked: a lost increment under contention only loosens an
+estimate that is approximate by design.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.guard.detector import FloodDetector, FlowClass
+from repro.guard.sketch import DEFAULT_SEED, SlidingSketch
+from repro.obs import ShardedCounter
+
+__all__ = ["AdmissionGuard", "GuardConfig", "ABUSE_VERDICTS"]
+
+#: Rejection verdicts that count as endpoint abuse.  ``store_error`` is
+#: the server's own failure and must never mark the client.
+ABUSE_VERDICTS = frozenset(
+    ("bad_token", "quota_exceeded", "adjacent", "malformed", "oversized",
+     "shed")
+)
+
+
+@dataclass
+class GuardConfig:
+    """Tuning for one :class:`AdmissionGuard` (CLI: ``--guard``,
+    ``--guard-budget``, ``--guard-window``)."""
+
+    #: Decay-window length in seconds; a rate estimate covers one to two
+    #: windows, detection latency is one scoring round (= one window),
+    #: and a retired key is forgotten after two.
+    window_s: float = 5.0
+    #: Master budget knob, in operations per window-pair.  Dimension
+    #: budgets derive from it: uid ``budget//4``, sig ``budget//2``,
+    #: endpoint abuse ``budget//4`` (floors keep tiny budgets sane).
+    budget: int = 64
+    #: Seconds a shed response to a flooding endpoint is delayed on the
+    #: event loop — a closed-loop flooder is throttled to ~1/tarpit_s
+    #: requests/s per connection.  0 answers sheds immediately.
+    tarpit_s: float = 0.025
+    #: Sketch geometry: overestimate ≤ ε·N with probability ≥ 1-δ.
+    epsilon: float = 0.01
+    delta: float = 0.02
+    #: Cap on distinct keys remembered per dimension per window for the
+    #: scoring round (the sketch itself keeps counting past it; the cap
+    #: bounds only the detector's candidate enumeration).
+    max_keys: int = 8192
+    seed: int = DEFAULT_SEED
+
+    @property
+    def uid_budget(self) -> int:
+        return max(8, self.budget // 4)
+
+    @property
+    def sig_budget(self) -> int:
+        return max(8, self.budget // 2)
+
+    @property
+    def endpoint_budget(self) -> int:
+        return max(4, self.budget // 4)
+
+
+class GuardDimension:
+    """One keyed dimension: sliding sketch + per-window candidate set +
+    detector + published classification map."""
+
+    def __init__(self, name: str, budget: int, config: GuardConfig,
+                 mode: str):
+        self.name = name
+        self.budget = budget
+        self.sketch = SlidingSketch.from_error(
+            config.window_s, epsilon=config.epsilon, delta=config.delta,
+            seed=config.seed,
+        )
+        self.detector = FloodDetector(budget, mode=mode)
+        self._max_keys = config.max_keys
+        self._window_s = config.window_s
+        #: First-N distinct keys seen this round (unlocked set.add; the
+        #: sketch keeps exact-enough counts for keys past the cap, they
+        #: just wait a round to become candidates).
+        self._window_keys: set = set()
+        #: Published by score(); replaced wholesale so readers never see
+        #: a half-updated map.
+        self.classes: dict = {}
+        #: Suspect allowance: key -> [window epoch, ops admitted in it].
+        self._allow: dict = {}
+
+    def observe(self, key, now: float) -> None:
+        self.sketch.update(key, 1, now=now)
+        if len(self._window_keys) < self._max_keys:
+            self._window_keys.add(key)
+
+    def flow_class(self, key) -> FlowClass:
+        return self.classes.get(key, FlowClass.BENIGN)
+
+    def admit(self, key, now: float) -> str:
+        """'admit' | 'throttle' | 'shed' for one offered operation."""
+        cls = self.classes.get(key)
+        if cls is None:
+            return "admit"
+        if cls is FlowClass.FLOODING:
+            return "shed"
+        # Suspect: a tightened effective quota of `budget` admitted ops
+        # per window, enforced exactly (the map only ever holds keys the
+        # detector currently classifies, so it stays small).
+        epoch = int(now // self._window_s)
+        entry = self._allow.get(key)
+        if entry is None or entry[0] != epoch:
+            self._allow[key] = [epoch, 1]
+            return "admit"
+        if entry[1] < self.budget:
+            entry[1] += 1
+            return "admit"
+        return "throttle"
+
+    def score(self, now: float) -> None:
+        """One detector round over this round's candidates plus every
+        currently-classified key (so calm rounds are observed and the
+        classification can relax)."""
+        candidates = self._window_keys
+        self._window_keys = set()
+        candidates |= set(self.classes)
+        rates = {key: self.sketch.estimate(key, now=now)
+                 for key in candidates}
+        self.classes = dict(self.detector.observe_round(rates))
+        for key in list(self._allow):
+            if key not in self.classes:
+                del self._allow[key]
+
+    def stats(self) -> dict:
+        counts = self.detector.class_counts()
+        return {
+            "budget": self.budget,
+            "mode": self.detector.mode,
+            "baseline": round(self.detector.baseline, 3),
+            "suspect": counts["suspect"],
+            "flooding": counts["flooding"],
+            "sketch_total": self.sketch.total,
+        }
+
+
+class AdmissionGuard:
+    """Process-wide admission control (see module docstring)."""
+
+    def __init__(self, config: GuardConfig | None = None, *,
+                 clock=time.monotonic, metrics=None):
+        self.config = config or GuardConfig()
+        self._clock = clock
+        self.uid_dim = GuardDimension(
+            "uid", self.config.uid_budget, self.config, "relative")
+        self.sig_dim = GuardDimension(
+            "sig", self.config.sig_budget, self.config, "relative")
+        self.endpoint_dim = GuardDimension(
+            "endpoint", self.config.endpoint_budget, self.config, "absolute")
+        self._dims = (self.uid_dim, self.sig_dim, self.endpoint_dim)
+        self._lock = threading.Lock()
+        # First round only after one *full* window: scoring a partial
+        # opening window would seed the relative baselines with tiny
+        # rates and make the first real round look like a global surge.
+        self._next_score = self._clock() + self.config.window_s
+        self.admitted = ShardedCounter()
+        self.throttled = ShardedCounter()
+        self.shed_uid = ShardedCounter()
+        self.shed_sig = ShardedCounter()
+        self.shed_endpoint = ShardedCounter()
+        if metrics is not None:
+            self.register_metrics(metrics)
+
+    # -------------------------------------------------------------- scoring
+    def _maybe_score(self, now: float) -> None:
+        if now < self._next_score:
+            return
+        with self._lock:
+            if now < self._next_score:
+                return
+            self._next_score = now + self.config.window_s
+            for dim in self._dims:
+                dim.score(now)
+
+    def force_score(self, now: float | None = None) -> None:
+        """Run a scoring round immediately (tests, stats endpoints)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            self._next_score = now + self.config.window_s
+            for dim in self._dims:
+                dim.score(now)
+
+    # ------------------------------------------------------------ the spine
+    def admit_add(self, uid, sig_id, now: float | None = None) -> bool:
+        """Validator entry: one offered ADD whose token resolved to
+        ``uid`` carrying signature ``sig_id``.  Observes both volume
+        dimensions (offered, not admitted — see module docstring), then
+        decides."""
+        if now is None:
+            now = self._clock()
+        self.uid_dim.observe(uid, now)
+        self.sig_dim.observe(sig_id, now)
+        self._maybe_score(now)
+        uid_action = self.uid_dim.admit(uid, now)
+        if uid_action == "shed":
+            self.shed_uid.add()
+            return False
+        if uid_action == "throttle":
+            self.throttled.add()
+            return False
+        sig_action = self.sig_dim.admit(sig_id, now)
+        if sig_action != "admit":
+            self.shed_sig.add()
+            return False
+        self.admitted.add()
+        return True
+
+    def admit_uid(self, uid, now: float | None = None) -> bool:
+        """Replica fast path: uid dimension only (the blob is not parsed
+        on replicas; the owner's guard screens the sig dimension)."""
+        if now is None:
+            now = self._clock()
+        self.uid_dim.observe(uid, now)
+        self._maybe_score(now)
+        action = self.uid_dim.admit(uid, now)
+        if action == "admit":
+            self.admitted.add()
+            return True
+        (self.shed_uid if action == "shed" else self.throttled).add()
+        return False
+
+    def endpoint_action(self, endpoint_key, now: float | None = None) -> str:
+        """Event-loop precheck: 'admit' or 'shed'.  One dict lookup on
+        the hot path; no sketch update (the endpoint dimension counts
+        abuse feedback, not raw frames)."""
+        if now is None:
+            now = self._clock()
+        self._maybe_score(now)
+        if self.endpoint_dim.flow_class(endpoint_key) is FlowClass.FLOODING:
+            self.shed_endpoint.add()
+            return "shed"
+        return "admit"
+
+    def note_rejection(self, endpoint_key, verdict: str,
+                       now: float | None = None) -> None:
+        """Validation feedback: a request from ``endpoint_key`` was
+        rejected with ``verdict``.  Abusive verdicts feed the endpoint
+        sketch; sheds feed it too, which is what keeps a flooding
+        endpoint classified while it is being shed."""
+        if endpoint_key is None or verdict not in ABUSE_VERDICTS:
+            return
+        if now is None:
+            now = self._clock()
+        self.endpoint_dim.observe(endpoint_key, now)
+
+    # ---------------------------------------------------------------- stats
+    def shed_total(self) -> int:
+        return (self.shed_uid.value() + self.shed_sig.value()
+                + self.shed_endpoint.value())
+
+    def stats_payload(self) -> dict:
+        return {
+            "window_s": self.config.window_s,
+            "budget": self.config.budget,
+            "admitted": self.admitted.value(),
+            "throttled": self.throttled.value(),
+            "shed": {
+                "uid": self.shed_uid.value(),
+                "sig": self.shed_sig.value(),
+                "endpoint": self.shed_endpoint.value(),
+            },
+            "detector_rounds": self.uid_dim.detector.rounds,
+            "dimensions": {dim.name: dim.stats() for dim in self._dims},
+        }
+
+    def register_metrics(self, metrics) -> None:
+        """Derived guard instruments + the mergeable sketch exports."""
+        metrics.register_counter("guard.admitted", self.admitted.value)
+        metrics.register_counter("guard.throttled", self.throttled.value)
+        metrics.register_counter("guard.shed", self.shed_total)
+        metrics.register_counter("guard.shed_uid", self.shed_uid.value)
+        metrics.register_counter("guard.shed_sig", self.shed_sig.value)
+        metrics.register_counter("guard.shed_endpoint",
+                                 self.shed_endpoint.value)
+        register_sketch = getattr(metrics, "register_sketch", None)
+        for dim in self._dims:
+            metrics.register_gauge(
+                f"guard.{dim.name}.suspect_keys",
+                lambda d=dim: d.detector.class_counts()["suspect"])
+            metrics.register_gauge(
+                f"guard.{dim.name}.flooding_keys",
+                lambda d=dim: d.detector.class_counts()["flooding"])
+            if register_sketch is not None:
+                register_sketch(f"guard.{dim.name}", dim.sketch.to_wire)

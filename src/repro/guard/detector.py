@@ -1,0 +1,171 @@
+"""Per-key flow classification against a robust baseline, with hysteresis.
+
+The detector is deliberately dumb about *where* rates come from — the
+admission layer feeds it ``{key: windowed_count}`` maps once per scoring
+round and it answers ``{key: FlowClass}``.  Two scoring modes cover the
+guard's two kinds of signal:
+
+* ``relative`` — for *volume* dimensions (offered ADDs per uid, per
+  signature id) where a "normal" rate exists and the flood is whoever
+  towers over it.  The baseline is an EWMA over the median of the last
+  few rounds' per-key medians: the inner median is robust against the
+  attackers themselves (a flood can dominate traffic *volume*, but the
+  keys sampled each round are distinct senders, so the median key stays
+  benign until attackers outnumber benign *identities*), the
+  median-of-rounds absorbs one weird round, and the EWMA smooths the
+  rest.  Classification needs both a ratio over baseline AND an absolute
+  budget floor — a lone key in a quiet system scores high on ratio
+  alone, and a fleet-wide lull must not turn ordinary senders suspect.
+* ``absolute`` — for *abuse* dimensions (rejected requests per source
+  endpoint) where any sustained signal is bad and a population median
+  would self-normalize (only abusers have abuse, so the "typical abuser"
+  is no baseline at all).  The budget itself is the threshold.
+
+Hysteresis: upgrades (benign → suspect → flooding) take effect on the
+round that observes them; downgrades require ``calm_rounds`` consecutive
+calm rounds and step down one level at a time, so a sender oscillating
+around a threshold cannot flap the admission decision.
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+
+__all__ = ["FlowClass", "FloodDetector"]
+
+
+class FlowClass(enum.IntEnum):
+    """Ordered so max()/comparisons express severity."""
+
+    BENIGN = 0
+    SUSPECT = 1
+    FLOODING = 2
+
+
+class FloodDetector:
+    """Periodic scorer; not thread-safe (callers serialize rounds)."""
+
+    def __init__(self, budget: float, *, mode: str = "relative",
+                 suspect_ratio: float = 4.0, flood_ratio: float = 8.0,
+                 calm_rounds: int = 3, ewma_alpha: float = 0.3,
+                 median_windows: int = 5, baseline_floor: float = 1.0):
+        if mode not in ("relative", "absolute"):
+            raise ValueError(f"unknown detector mode {mode!r}")
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.budget = float(budget)
+        self.mode = mode
+        self.suspect_ratio = float(suspect_ratio)
+        self.flood_ratio = float(flood_ratio)
+        self.calm_rounds = max(1, int(calm_rounds))
+        self.ewma_alpha = float(ewma_alpha)
+        self.baseline_floor = float(baseline_floor)
+        self._round_medians: list[float] = []
+        self._median_windows = max(1, int(median_windows))
+        self._ewma: float | None = None
+        #: key -> [FlowClass, consecutive calm rounds]
+        self._state: dict = {}
+        self.rounds = 0
+        self.upgrades = 0
+        self.downgrades = 0
+
+    # ------------------------------------------------------------ baseline
+    def _update_baseline(self, rates) -> float:
+        if self.mode == "absolute":
+            return self.budget
+        # Classified keys are excluded from their own baseline: a flood
+        # left to run would otherwise drag the median up round by round
+        # until it self-normalized and the class relaxed mid-attack.
+        # (``_state`` still holds last round's classes here — baseline
+        # updates before classification.)
+        state = self._state
+        positive = [r for k, r in rates.items() if r > 0 and k not in state]
+        if positive:
+            round_median = float(statistics.median(positive))
+            self._round_medians.append(round_median)
+            if len(self._round_medians) > self._median_windows:
+                del self._round_medians[0]
+        if self._round_medians:
+            base = float(statistics.median(self._round_medians))
+            if self._ewma is None:
+                self._ewma = base
+            else:
+                alpha = self.ewma_alpha
+                self._ewma = alpha * base + (1.0 - alpha) * self._ewma
+        return max(self._ewma or 0.0, self.baseline_floor)
+
+    @property
+    def baseline(self) -> float:
+        if self.mode == "absolute":
+            return self.budget
+        return max(self._ewma or 0.0, self.baseline_floor)
+
+    # ---------------------------------------------------------------- raw
+    def _raw_class(self, rate: float, baseline: float) -> FlowClass:
+        if self.mode == "absolute":
+            if rate >= self.budget:
+                return FlowClass.FLOODING
+            if rate >= self.budget / 2.0:
+                return FlowClass.SUSPECT
+            return FlowClass.BENIGN
+        score = rate / baseline
+        if rate >= self.budget and score >= self.flood_ratio:
+            return FlowClass.FLOODING
+        if rate >= self.budget / 2.0 and score >= self.suspect_ratio:
+            return FlowClass.SUSPECT
+        return FlowClass.BENIGN
+
+    def score(self, key, rate: float) -> float:
+        """The key's anomaly score under the current baseline (for
+        stats/debugging; classification goes through rounds)."""
+        return float(rate) / max(self.baseline, 1e-9)
+
+    # -------------------------------------------------------------- rounds
+    def observe_round(self, rates: dict) -> dict:
+        """Fold one scoring round in; returns ``{key: FlowClass}`` for
+        every currently *non-benign* key (after hysteresis).
+
+        ``rates`` should cover every key worth classifying this round —
+        the caller includes all currently-classified keys (their rate may
+        be 0 now: that is how a retired flooder serves its calm rounds
+        and relaxes back).
+        """
+        baseline = self._update_baseline(rates)
+        state = self._state
+        for key in set(rates) | set(state):
+            raw = self._raw_class(float(rates.get(key, 0.0)), baseline)
+            entry = state.get(key)
+            current = entry[0] if entry else FlowClass.BENIGN
+            if raw > current:
+                state[key] = [raw, 0]
+                self.upgrades += 1
+            elif raw == current:
+                if entry is not None:
+                    entry[1] = 0
+            else:
+                # Calmer than the held class: serve out the hysteresis.
+                entry[1] += 1
+                if entry[1] >= self.calm_rounds:
+                    self.downgrades += 1
+                    stepped = FlowClass(current - 1)
+                    if stepped is FlowClass.BENIGN:
+                        del state[key]
+                    else:
+                        state[key] = [stepped, 0]
+        self.rounds += 1
+        return {key: entry[0] for key, entry in state.items()}
+
+    @property
+    def classes(self) -> dict:
+        """Current non-benign keys and their class."""
+        return {key: entry[0] for key, entry in self._state.items()}
+
+    def class_counts(self) -> dict[str, int]:
+        counts = {"suspect": 0, "flooding": 0}
+        for entry in self._state.values():
+            if entry[0] is FlowClass.FLOODING:
+                counts["flooding"] += 1
+            elif entry[0] is FlowClass.SUSPECT:
+                counts["suspect"] += 1
+        return counts

@@ -1,0 +1,306 @@
+"""Count-min sketches with conservative update and sliding decay windows.
+
+A count-min sketch answers "how many times has key *k* been seen?" in
+O(1) time and O(width × depth) memory regardless of how many distinct
+keys flow past — exactly what a flood detector needs when the keys are
+attacker-chosen (sender uids, source endpoints, signature ids) and an
+exact table would itself be a memory-exhaustion target.
+
+Guarantees (for ``width = ⌈e/ε⌉``, ``depth = ⌈ln(1/δ)⌉``):
+
+* estimates never *under*-count: ``estimate(k) >= true_count(k)``;
+* with probability at least ``1 - δ`` the overestimate is bounded:
+  ``estimate(k) <= true_count(k) + ε·N`` where ``N`` is the stream total.
+
+Two implementation choices matter here:
+
+* **Conservative update** bumps only the cells that are at the current
+  minimum for the key, which tightens overestimates substantially on
+  skewed streams (a flood is maximally skewed) without weakening either
+  guarantee.
+* **Deterministic hashing.**  Row indexes come from one ``blake2b``
+  digest per key via Kirsch-Mitzenmacher double hashing (``h1 + i·h2``
+  per row), *not* the builtin ``hash`` — ``PYTHONHASHSEED`` randomizes
+  the builtin per process, and sketches from sibling federated workers
+  must agree cell-for-cell to merge exactly.
+
+:class:`SlidingSketch` adds time decay with two epoch-aligned sketches
+(current + previous window): an estimate sums both, a window boundary
+retires previous and rotates current into it, so a key that stops
+sending is fully forgotten after two windows.  Merging aligns epochs
+first, which keeps the federated pooled view exact for workers whose
+clocks agree on the epoch (coordinator-spawned siblings do).
+"""
+
+from __future__ import annotations
+
+import math
+from hashlib import blake2b
+
+__all__ = [
+    "CountMinSketch",
+    "SlidingSketch",
+    "merge_cms_wire",
+    "merge_sketch_wire",
+]
+
+#: One shared default so every federated worker builds merge-compatible
+#: sketches without coordination.
+DEFAULT_SEED = 0x5EED
+
+
+def _key_bytes(key) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        return key.to_bytes(16, "big", signed=True)
+    return repr(key).encode("utf-8")
+
+
+class CountMinSketch:
+    """A fixed-geometry count-min sketch (rows of Python ints).
+
+    Cell updates are GIL-atomic list writes, so concurrent ``update``
+    calls from the worker pool race only by *losing* an increment now
+    and then — a direction the sketch already tolerates (it is an
+    estimator, and the no-underestimate guarantee is per observed
+    update, not per attempted one).
+    """
+
+    __slots__ = ("width", "depth", "seed", "rows", "total", "_salt")
+
+    def __init__(self, width: int, depth: int, seed: int = DEFAULT_SEED):
+        if width < 1 or depth < 1:
+            raise ValueError("sketch needs width >= 1 and depth >= 1")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self.rows = [[0] * self.width for _ in range(self.depth)]
+        self.total = 0
+        self._salt = self.seed.to_bytes(8, "big", signed=False)
+
+    @classmethod
+    def from_error(cls, epsilon: float = 0.01, delta: float = 0.02,
+                   seed: int = DEFAULT_SEED) -> "CountMinSketch":
+        """Geometry for an (ε, δ) guarantee: overestimate ≤ ε·N with
+        probability ≥ 1-δ."""
+        if not (0.0 < epsilon < 1.0 and 0.0 < delta < 1.0):
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width, depth, seed=seed)
+
+    def _indexes(self, key) -> list[int]:
+        digest = blake2b(_key_bytes(key), digest_size=16,
+                         salt=self._salt).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        width = self.width
+        return [(h1 + i * h2) % width for i in range(self.depth)]
+
+    def update(self, key, count: int = 1) -> int:
+        """Conservative update; returns the key's new estimate."""
+        if count <= 0:
+            return self.estimate(key)
+        rows = self.rows
+        indexes = self._indexes(key)
+        current = min(rows[i][indexes[i]] for i in range(self.depth))
+        new = current + count
+        for i in range(self.depth):
+            row = rows[i]
+            j = indexes[i]
+            if row[j] < new:
+                row[j] = new
+        self.total += count
+        return new
+
+    def estimate(self, key) -> int:
+        rows = self.rows
+        return min(rows[i][j] for i, j in enumerate(self._indexes(key)))
+
+    # ------------------------------------------------------------- merging
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if (self.width, self.depth, self.seed) != (
+                other.width, other.depth, other.seed):
+            raise ValueError(
+                "cannot merge sketches with different geometry/seed: "
+                f"({self.width}x{self.depth}, seed {self.seed}) vs "
+                f"({other.width}x{other.depth}, seed {other.seed})"
+            )
+
+    def merge_from(self, other: "CountMinSketch") -> None:
+        """Element-wise add (exact: commutative, associative, and the
+        no-underestimate guarantee survives — each cell already bounds
+        its own stream's counts, so the sum bounds the pooled stream)."""
+        self._check_compatible(other)
+        for mine, theirs in zip(self.rows, other.rows):
+            for j, value in enumerate(theirs):
+                if value:
+                    mine[j] += value
+        self.total += other.total
+
+    # ---------------------------------------------------------------- wire
+    def to_wire(self) -> dict:
+        return {
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            "total": self.total,
+            "rows": [list(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "CountMinSketch":
+        sketch = cls(int(data["width"]), int(data["depth"]),
+                     seed=int(data.get("seed", DEFAULT_SEED)))
+        rows = data.get("rows", [])
+        for i in range(min(sketch.depth, len(rows))):
+            row = rows[i]
+            for j in range(min(sketch.width, len(row))):
+                sketch.rows[i][j] = int(row[j])
+        sketch.total = int(data.get("total", 0))
+        return sketch
+
+
+class SlidingSketch:
+    """Two-epoch time-decayed count-min sketch.
+
+    Time is bucketed into windows of ``window_s`` seconds.  Updates land
+    in the *current* window's sketch; estimates sum current + previous,
+    so a rate estimate covers between one and two windows of history and
+    a retired key decays to zero within two window rotations.  Rotation
+    happens lazily on the next update/estimate — no timer thread, and a
+    :class:`~repro.util.clock.ManualClock`-style ``now`` makes every
+    transition deterministic in tests.
+    """
+
+    __slots__ = ("width", "depth", "seed", "window_s", "epoch",
+                 "current", "previous")
+
+    def __init__(self, width: int, depth: int, window_s: float,
+                 seed: int = DEFAULT_SEED):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.seed = int(seed)
+        self.window_s = float(window_s)
+        self.epoch = 0
+        self.current = CountMinSketch(width, depth, seed=seed)
+        self.previous = CountMinSketch(width, depth, seed=seed)
+
+    @classmethod
+    def from_error(cls, window_s: float, epsilon: float = 0.01,
+                   delta: float = 0.02,
+                   seed: int = DEFAULT_SEED) -> "SlidingSketch":
+        proto = CountMinSketch.from_error(epsilon, delta, seed=seed)
+        return cls(proto.width, proto.depth, window_s, seed=seed)
+
+    def _epoch_of(self, now: float) -> int:
+        return int(now // self.window_s)
+
+    def advance(self, now: float) -> None:
+        """Rotate window state up to ``now`` (lazy, idempotent)."""
+        epoch = self._epoch_of(now)
+        if epoch <= self.epoch:
+            return
+        if epoch == self.epoch + 1:
+            self.previous = self.current
+        else:
+            # A gap of 2+ windows: everything decays.
+            self.previous = CountMinSketch(self.width, self.depth,
+                                           seed=self.seed)
+        self.current = CountMinSketch(self.width, self.depth,
+                                      seed=self.seed)
+        self.epoch = epoch
+
+    def update(self, key, count: int = 1, *, now: float) -> int:
+        self.advance(now)
+        return self.current.update(key, count)
+
+    def estimate(self, key, *, now: float) -> int:
+        """The key's count over the trailing one-to-two windows."""
+        self.advance(now)
+        return self.current.estimate(key) + self.previous.estimate(key)
+
+    @property
+    def total(self) -> int:
+        return self.current.total + self.previous.total
+
+    # ---------------------------------------------------------------- wire
+    def to_wire(self) -> dict:
+        return {
+            "window_s": self.window_s,
+            "epoch": self.epoch,
+            "current": self.current.to_wire(),
+            "previous": self.previous.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SlidingSketch":
+        current = CountMinSketch.from_wire(data["current"])
+        sketch = cls(current.width, current.depth,
+                     float(data["window_s"]), seed=current.seed)
+        sketch.current = current
+        sketch.previous = CountMinSketch.from_wire(data["previous"])
+        sketch.epoch = int(data.get("epoch", 0))
+        return sketch
+
+
+# --------------------------------------------------------- wire-form merging
+def merge_cms_wire(a: dict, b: dict) -> dict:
+    """Merge two :meth:`CountMinSketch.to_wire` dicts (exact sum)."""
+    merged = CountMinSketch.from_wire(a)
+    merged.merge_from(CountMinSketch.from_wire(b))
+    return merged.to_wire()
+
+
+def _rotated_to(wire: dict, epoch: int) -> tuple[dict, dict]:
+    """A sliding wire's (current, previous) layers as seen from a later
+    ``epoch``: one window behind shifts current into previous; two or
+    more behind has fully decayed."""
+    empty = CountMinSketch(int(wire["current"]["width"]),
+                           int(wire["current"]["depth"]),
+                           seed=int(wire["current"].get(
+                               "seed", DEFAULT_SEED))).to_wire()
+    behind = epoch - int(wire.get("epoch", 0))
+    if behind <= 0:
+        return wire["current"], wire["previous"]
+    if behind == 1:
+        return empty, wire["current"]
+    return empty, dict(empty)
+
+
+def merge_sliding_wire(a: dict, b: dict) -> dict:
+    """Merge two :meth:`SlidingSketch.to_wire` dicts.
+
+    Epochs are aligned to the newer of the two first (the older sketch's
+    layers decay exactly as its own :meth:`~SlidingSketch.advance` would
+    have), then each layer merges element-wise — so the pooled sketch
+    equals what one sketch observing both streams would hold, assuming
+    the sources agreed on wall-clock epochs (federated siblings on one
+    host do).
+    """
+    if float(a["window_s"]) != float(b["window_s"]):
+        raise ValueError("cannot merge sliding sketches with different "
+                         "window sizes")
+    epoch = max(int(a.get("epoch", 0)), int(b.get("epoch", 0)))
+    a_cur, a_prev = _rotated_to(a, epoch)
+    b_cur, b_prev = _rotated_to(b, epoch)
+    return {
+        "window_s": float(a["window_s"]),
+        "epoch": epoch,
+        "current": merge_cms_wire(a_cur, b_cur),
+        "previous": merge_cms_wire(a_prev, b_prev),
+    }
+
+
+def merge_sketch_wire(a: dict, b: dict) -> dict:
+    """Merge two sketch wire dicts of either flavour — the entry point
+    ``repro.obs.export.merge_registry_snapshots`` dispatches through for
+    the ``sketches`` section of a registry snapshot."""
+    if "window_s" in a or "window_s" in b:
+        return merge_sliding_wire(a, b)
+    return merge_cms_wire(a, b)

@@ -32,6 +32,7 @@ from repro.loadgen.scenarios import (
     ForgedTokens,
     Park,
     QuotaFlood,
+    RampingFlood,
     Reconnect,
     SCENARIO_NAMES,
     Scenario,
@@ -54,6 +55,7 @@ __all__ = [
     "MetricsSnapshot",
     "Park",
     "QuotaFlood",
+    "RampingFlood",
     "Reconnect",
     "SCENARIO_NAMES",
     "Scenario",

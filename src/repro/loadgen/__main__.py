@@ -16,7 +16,7 @@ Usage::
         --procs 2 --clients 20000 --scenario steady --rounds 1
 
 ``--scenario`` takes one scenario name (``cold``, ``steady``, ``churn``,
-``forged``, ``adjacent``, ``flood``), a weighted mix such as
+``forged``, ``adjacent``, ``flood``, ``rampflood``), a weighted mix such as
 ``"cold=1,steady=2"``, or the shorthand ``mix`` (an even benign+attack
 blend).  ``--procs N`` forks N worker processes (each with its own FD
 budget — how sweeps pass the 20k-FD per-process cap); ``--waves M``

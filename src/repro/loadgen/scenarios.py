@@ -18,12 +18,16 @@ The built-in scenarios cover the paper's workloads:
 * :class:`AdjacentSpam` — forged critical-path signatures the adjacency
   check must reject (§IV-B);
 * :class:`QuotaFlood` — distinct off-path signatures stopped only by the
-  per-user daily quota (§III-C1).
+  per-user daily quota (§III-C1);
+* :class:`RampingFlood` — the same flood starting at a benign-looking
+  pace and accelerating to full blast, the shape the admission guard's
+  detector (``repro.guard``) has to catch mid-ramp.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
 from repro.loadgen import signatures as siggen
@@ -162,17 +166,22 @@ class SteadyState(Scenario):
     The client first obtains a token (``ISSUE_ID``), optionally parks at
     the start barrier (so a benchmark can connect everyone before timing
     begins), then alternates uploads with cursor-resumed page downloads —
-    the paper's steady-state node behavior.
+    the paper's steady-state node behavior.  A per-client
+    ``initial_delay`` staggers the first ADD after release: a swarm of
+    barrier-parked clients otherwise fires its first round as one burst,
+    and that synchronized spike — not steady-state service time — ends
+    up owning the tail percentiles.
     """
 
     def __init__(self, blobs: list[bytes], page_size: int = 256,
                  think_time: float = 0.0, park_after_setup: bool = False,
-                 park_on_connect: bool = False):
+                 park_on_connect: bool = False, initial_delay: float = 0.0):
         self.blobs = blobs
         self.page_size = page_size
         self.think_time = think_time
         self.park_after_setup = park_after_setup
         self.park_on_connect = park_on_connect
+        self.initial_delay = initial_delay
         self.token: str | None = None
         self.cursor = 0
         self.round = 0
@@ -189,7 +198,7 @@ class SteadyState(Scenario):
             self.completed = True
             return Stop()
         blob = self.blobs[self.round]
-        delay = 0.0 if first else self.think_time
+        delay = self.initial_delay if first else self.think_time
         return Send(encode_add_request(blob, self.token), OP_ADD, delay=delay)
 
     def on_response(self, ctx: ClientContext, op: str, payload: bytes) -> Action:
@@ -344,6 +353,43 @@ class QuotaFlood(_AuthenticatedSpam):
     quota (§III-C1) bounds how many the server accepts."""
 
 
+class RampingFlood(_AuthenticatedSpam):
+    """A quota flood that sneaks up: the client starts with
+    ``start_delay`` of think time per ADD (indistinguishable from a
+    steady-state node) and linearly sheds the delay over ``ramp_s``
+    seconds until it is sending flat-out.  Exercises the admission
+    guard's detection latency — a threshold tuned on the opening rate
+    misses the flood entirely; a sliding-window detector catches the
+    ramp as it crosses the budget."""
+
+    def __init__(self, blobs: list[bytes], start_delay: float = 0.05,
+                 ramp_s: float = 5.0, park_on_connect: bool = False,
+                 clock=time.monotonic):
+        super().__init__(blobs, park_on_connect=park_on_connect)
+        self.start_delay = start_delay
+        self.ramp_s = ramp_s
+        self._clock = clock
+        self._ramp_started: float | None = None
+
+    def current_delay(self) -> float:
+        """Think time at this point of the ramp (0 once fully ramped)."""
+        now = self._clock()
+        if self._ramp_started is None:
+            self._ramp_started = now
+        if self.ramp_s <= 0.0:
+            return 0.0
+        remaining = 1.0 - (now - self._ramp_started) / self.ramp_s
+        return self.start_delay * max(0.0, remaining)
+
+    def _next_add(self) -> Action:
+        action = super()._next_add()
+        if isinstance(action, Send):
+            delay = self.current_delay()
+            if delay > 0.0:
+                action = Send(action.payload, action.op, delay=delay)
+        return action
+
+
 # ------------------------------------------------------------ scenario mixes
 def _steady_blobs(rng: random.Random, rounds: int) -> list[bytes]:
     return [siggen.random_signature(rng).to_bytes() for _ in range(rounds)]
@@ -375,10 +421,14 @@ def make_scenario(name: str, rng: random.Random, *, rounds: int = 5,
     if name == "flood":
         return QuotaFlood(siggen.off_path_flood_blobs(rounds, seed=seed),
                           park_on_connect=park)
+    if name == "rampflood":
+        return RampingFlood(siggen.off_path_flood_blobs(rounds, seed=seed),
+                            park_on_connect=park)
     raise ValueError(f"unknown scenario {name!r} (have {sorted(SCENARIO_NAMES)})")
 
 
-SCENARIO_NAMES = ("cold", "steady", "churn", "forged", "adjacent", "flood")
+SCENARIO_NAMES = ("cold", "steady", "churn", "forged", "adjacent", "flood",
+                  "rampflood")
 
 
 def parse_mix(spec: str) -> list[tuple[str, float]]:

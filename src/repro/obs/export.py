@@ -100,9 +100,27 @@ def merge_registry_snapshots(snapshots) -> dict:
     counters: dict[str, int] = {}
     gauges: dict[str, float] = {}
     histograms: dict[str, HistogramSnapshot] = {}
+    sketches: dict[str, dict] = {}
+    have_sketches = False
     for snapshot in snapshots:
         if not snapshot:
             continue
+        for name, wire in snapshot.get("sketches", {}).items():
+            have_sketches = True
+            held = sketches.get(name)
+            if held is None:
+                sketches[name] = wire
+                continue
+            # Lazy import: obs must stay importable without the guard
+            # package in degenerate environments, and guard imports obs.
+            from repro.guard.sketch import merge_sketch_wire
+
+            try:
+                sketches[name] = merge_sketch_wire(held, wire)
+            except ValueError:
+                # Geometry mismatch (heterogeneous worker configs): keep
+                # the first rather than poisoning the whole merge.
+                continue
         for name, value in snapshot.get("counters", {}).items():
             counters[name] = counters.get(name, 0) + int(value)
         for name, value in snapshot.get("gauges", {}).items():
@@ -124,12 +142,16 @@ def merge_registry_snapshots(snapshots) -> dict:
     for hist in histograms.values():
         if hist.count == 0:
             hist.min = 0.0
-    return {
+    merged = {
         "counters": {name: counters[name] for name in sorted(counters)},
         "gauges": {name: gauges[name] for name in sorted(gauges)},
         "histograms": {name: histograms[name].to_wire()
                        for name in sorted(histograms)},
     }
+    if have_sketches:
+        merged["sketches"] = {name: sketches[name]
+                              for name in sorted(sketches)}
+    return merged
 
 
 class MetricsLogWriter:

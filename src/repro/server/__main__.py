@@ -128,6 +128,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on the validator's decoded-token LRU cache",
     )
     parser.add_argument(
+        "--guard", action="store_true",
+        help="enable the streaming admission guard (repro.guard): "
+             "count-min sketches over sender uid / signature id / source "
+             "endpoint feed a flood detector that sheds or throttles "
+             "flooding keys before crypto and quota work is spent",
+    )
+    parser.add_argument(
+        "--guard-budget", type=int, default=64, metavar="N",
+        help="guard master budget in operations per decay window-pair "
+             "(per-dimension budgets derive from it; see repro.guard)",
+    )
+    parser.add_argument(
+        "--guard-window", type=float, default=5.0, metavar="SECONDS",
+        help="guard decay-window length; detection reacts within about "
+             "one window and a retired flooder is forgotten after two",
+    )
+    parser.add_argument(
+        "--guard-tarpit", type=float, default=0.025, metavar="SECONDS",
+        help="delay before a loop-shed response is flushed; the shed "
+             "connection is held busy meanwhile, so a closed-loop "
+             "flooder is throttled to ~1/tarpit requests per second",
+    )
+    parser.add_argument(
         "--admin-addr", action="append", metavar="URL", default=None,
         help="serve a plaintext-HTTP observability plane on this endpoint "
              "(GET /metrics Prometheus text, /stats JSON, /healthz); "
@@ -224,6 +247,10 @@ def main(argv: list[str] | None = None) -> int:
         token_cache_size=args.token_cache_size,
         metrics_enabled=not args.no_metrics,
         slow_request_ms=args.slow_request_ms,
+        guard_enabled=args.guard,
+        guard_budget=args.guard_budget,
+        guard_window_s=args.guard_window,
+        guard_tarpit_s=args.guard_tarpit,
     )
     try:
         server = CommunixServer(config=config)

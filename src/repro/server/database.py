@@ -192,6 +192,7 @@ class SignatureDatabase:
         self._by_sig_id: dict[str, int] = {}
         self._by_user: dict[int, list[int]] = {}  # uid -> entry indices
         self._page_cache = _PageCache(page_cache_capacity)
+        self._publish_listeners: list = []
         self._store = store
         self.replayed_count = 0
         if store is not None:
@@ -223,6 +224,24 @@ class SignatureDatabase:
     @property
     def store(self):
         return self._store
+
+    # -------------------------------------------------------- publish hooks
+    def add_publish_listener(self, fn) -> None:
+        """Register ``fn()`` to run after new entries become visible.
+
+        Listeners fire *outside* the append lock, after ``_count`` has
+        advanced — the replication hub uses this to wake its apply-stream
+        subscribers the instant an entry publishes instead of polling.
+        Listeners must be cheap and must not raise (failures are swallowed
+        so one bad subscriber can't poison the write path)."""
+        self._publish_listeners.append(fn)
+
+    def _notify_publish(self) -> None:
+        for fn in self._publish_listeners:
+            try:
+                fn()
+            except Exception:  # pragma: no cover - defensive
+                log.exception("publish listener failed")
 
     def __len__(self) -> int:
         return self._count
@@ -272,7 +291,8 @@ class SignatureDatabase:
                                             sender_uid,
                                             signature.top_frames)
                 self._page_cache.invalidate()
-                return index
+            self._notify_publish()
+            return index
         # Write-through path, in three phases so concurrent ADDs share
         # one group-committed fsync instead of serializing behind this
         # lock: (1) stage — log write phase plus the in-memory entry,
@@ -323,9 +343,12 @@ class SignatureDatabase:
                 # record back after the group fsync failed.
                 raise OSError("append was rolled back by a failed "
                               "group commit")
-            if index >= self._count:
+            published = index >= self._count
+            if published:
                 self._count = index + 1
                 self._page_cache.invalidate()
+        if published:
+            self._notify_publish()
         # As the store's metadata provider, this database must drive the
         # checkpoint cadence: only now — entry published — do both
         # layers agree on the full count.
@@ -356,7 +379,8 @@ class SignatureDatabase:
             self._insert_locked(blob, signature.sig_id, sender_uid,
                                 signature.top_frames)
             self._page_cache.invalidate()
-            return True
+        self._notify_publish()
+        return True
 
     def checkpoint_metadata(self, lo: int, hi: int) -> list[tuple]:
         """``(sig_id, top_frames, sender_uid)`` for entries ``[lo, hi)``

@@ -103,6 +103,9 @@ def _worker_config(args):
         token_cache_size=args.token_cache_size,
         metrics_enabled=not args.no_metrics,
         slow_request_ms=args.slow_request_ms,
+        guard_enabled=args.guard,
+        guard_budget=args.guard_budget,
+        guard_window_s=args.guard_window,
     )
 
 
@@ -299,6 +302,12 @@ def _spawn_worker(index: int, args, tcp_endpoints, unix_listeners,
         command += ["--addr", endpoint.url()]
     if args.no_adjacency_check:
         command.append("--no-adjacency-check")
+    if args.guard:
+        # Every worker runs its own guard over the traffic it terminates
+        # (per-worker sketches); the coordinator's merged metrics pool
+        # them into the owner-merged view via merge_registry_snapshots.
+        command += ["--guard", "--guard-budget", str(args.guard_budget),
+                    "--guard-window", str(args.guard_window)]
     if args.crypto_backend:
         command += ["--crypto-backend", args.crypto_backend]
     if args.no_metrics:

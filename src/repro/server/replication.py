@@ -33,6 +33,7 @@ trust boundary stays the public transport.
 
 from __future__ import annotations
 
+import select
 import socket
 import struct
 import threading
@@ -55,11 +56,13 @@ REPLY_TOKEN = b"t"
 REPLY_ERROR = b"x"
 STREAM_ENTRY = b"e"
 
-#: How often the owner's publisher thread polls the database tail for
-#: entries to stream out.  Polling (vs hooking the append path) keeps the
-#: owner's hot path untouched; 2 ms of replica lag is invisible next to
-#: client round-trip times.
-PUBLISH_POLL_S = 0.002
+#: Safety-net wait for the apply-stream publisher.  The owner *pushes* a
+#: wakeup to every subscriber the instant the database publishes an entry
+#: (see :meth:`SignatureDatabase.add_publish_listener`), so the stream
+#: normally never sleeps this long — the timeout only bounds staleness if
+#: a wakeup were ever lost, and keeps idle streams cheap (20 wakeups/s
+#: instead of the 500/s the old 2 ms poll-walk burned).
+PUBLISH_FALLBACK_S = 0.05
 
 _U64 = struct.Struct(">Q")
 
@@ -84,18 +87,31 @@ class ReplicationHub:
     and no less scalable than folding this into the event loop."""
 
     def __init__(self, server: CommunixServer, endpoint,
-                 poll_interval: float = PUBLISH_POLL_S):
+                 fallback_wait: float = PUBLISH_FALLBACK_S):
         self._server = server
         self._endpoint = parse_endpoint(endpoint)
-        self._poll_interval = poll_interval
+        self._fallback_wait = fallback_wait
         self._listener: socket.socket | None = None
         self.bound_endpoint = None
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._conns: list[socket.socket] = []
         self._conns_lock = threading.Lock()
+        #: Per-subscriber wakeup events, set by the database's publish
+        #: listener so streams tail new entries push-style.
+        self._wakeups: list[threading.Event] = []
         self.forwarded_adds = 0  # owner-side visibility (not client stats)
         self.forwarded_issues = 0
+        server.database.add_publish_listener(self._on_publish)
+
+    def _on_publish(self) -> None:
+        """Database publish hook: runs on the appender's thread, outside
+        the append lock.  Event.set() is cheap and never blocks, so the
+        owner's write path pays nanoseconds, not a poll interval."""
+        with self._conns_lock:
+            wakeups = list(self._wakeups)
+        for event in wakeups:
+            event.set()
 
     def start(self) -> None:
         sock, bound = net_listen(self._endpoint, backlog=64)
@@ -164,13 +180,20 @@ class ReplicationHub:
     def _stream(self, conn: socket.socket, from_index: int) -> None:
         """Feed one replica the apply-stream from ``from_index`` on:
         everything the database already holds, then the live tail as the
-        publisher poll observes it.  The database is append-only and
+        owner pushes publish wakeups.  The database is append-only and
         ``entry(i)`` is stable once published, so a plain index walk — no
-        queue between appender and publisher — is race-free."""
+        queue between appender and publisher — is race-free.  Clearing
+        the wakeup *before* sampling ``len(database)`` makes the handoff
+        lose-proof: a publish after the clear re-sets the event, a
+        publish before it is already visible in the length."""
         database = self._server.database
         next_index = from_index
+        wakeup = threading.Event()
+        with self._conns_lock:
+            self._wakeups.append(wakeup)
         try:
             while not self._stop.is_set():
+                wakeup.clear()
                 published = len(database)
                 while next_index < published:
                     entry = database.entry(next_index)
@@ -178,10 +201,22 @@ class ReplicationHub:
                         entry.index, entry.sender_uid, entry.blob
                     ))
                     next_index += 1
-                if self._stop.wait(self._poll_interval):
-                    return
+                if next_index >= len(database):
+                    if not wakeup.wait(self._fallback_wait):
+                        # Idle past the fallback: probe for peer EOF so a
+                        # dead replica's stream thread (and its wakeup
+                        # registration) doesn't linger until the next
+                        # publish tries to write.  Subscribers never send
+                        # after SUBSCRIBE, so readable means closed.
+                        ready, _, _ = select.select([conn], [], [], 0)
+                        if ready and not conn.recv(1, socket.MSG_PEEK):
+                            return
         except OSError:
             return  # replica went away; its crash is the coordinator's job
+        finally:
+            with self._conns_lock:
+                if wakeup in self._wakeups:
+                    self._wakeups.remove(wakeup)
 
     def _drop_conn(self, conn: socket.socket) -> None:
         with self._conns_lock:
@@ -194,6 +229,10 @@ class ReplicationHub:
 
     def stop(self) -> None:
         self._stop.set()
+        with self._conns_lock:
+            wakeups = list(self._wakeups)
+        for event in wakeups:
+            event.set()  # streams re-check _stop instead of sleeping it off
         if self._listener is not None:
             # shutdown() before close(): a close alone does not wake a
             # thread blocked inside accept() — the in-kernel syscall keeps
@@ -399,6 +438,12 @@ class FederatedWorkerServer(CommunixServer):
                 return self._rejected("bad_token")
         else:
             uid = 0
+        if self.guard is not None and not self.guard.admit_uid(uid):
+            # Replica-local shed on the sender dimension: a flooding uid
+            # never costs the owner a forward round-trip.  The signature
+            # dimension (which needs the parsed sig_id) still runs on the
+            # owner, whose own guard re-checks the forwarded ADD.
+            return self._rejected("shed")
         try:
             outcome = self._forward.forward_add(uid, blob)
         except ForwardError:

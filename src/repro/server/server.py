@@ -80,6 +80,23 @@ class ServerConfig:
     #: Log a stage breakdown for any request slower than this many
     #: milliseconds (0 disables the slow-request log).
     slow_request_ms: float = 0.0
+    #: Admission guard (``repro.guard``, ``--guard``): streaming flood
+    #: detection in front of validation — per-uid/per-signature sketch
+    #: checks before the quota lock, flooding source endpoints shed on
+    #: the event loop before crypto.  Off by default: the fixed daily
+    #: quota alone is the paper's §III-C1 behavior.
+    guard_enabled: bool = False
+    #: Master guard budget in operations per decay window-pair
+    #: (``--guard-budget``); per-dimension budgets derive from it — see
+    #: :class:`repro.guard.GuardConfig`.
+    guard_budget: int = 64
+    #: Guard decay-window length in seconds (``--guard-window``):
+    #: detection latency is about one window, relax-back several.
+    guard_window_s: float = 5.0
+    #: Tarpit delay for loop-shed responses (``--guard-tarpit``): a shed
+    #: connection is held busy this long per response, throttling a
+    #: closed-loop flooder to ~1/tarpit requests per second.
+    guard_tarpit_s: float = 0.025
 
 
 @dataclass
@@ -188,10 +205,20 @@ class CommunixServer:
         self.quota = DailyQuota(
             self.clock, self.config.max_signatures_per_user_per_day
         )
+        self.guard = None
+        if self.config.guard_enabled:
+            from repro.guard import AdmissionGuard, GuardConfig
+
+            self.guard = AdmissionGuard(
+                GuardConfig(window_s=self.config.guard_window_s,
+                            budget=self.config.guard_budget,
+                            tarpit_s=self.config.guard_tarpit_s),
+                metrics=metrics,
+            )
         self.validator = ServerSideValidator(
             self.authority, self.quota, self.database,
             token_cache_size=self.config.token_cache_size,
-            metrics=metrics,
+            metrics=metrics, guard=self.guard,
         )
         self._counters = _StatsCounters()
         # Pre-resolved stage histograms: the hot path must not pay a
@@ -455,5 +482,7 @@ class CommunixServer:
         payload["signatures_served"] = stats.signatures_served
         payload["database_segments"] = self.database.segment_count
         payload["token_cache"] = self.validator.token_cache.stats()
+        if self.guard is not None:
+            payload["guard"] = self.guard.stats_payload()
         payload["metrics"] = self.metrics.snapshot()
         return payload

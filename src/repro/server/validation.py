@@ -39,6 +39,10 @@ class ServerVerdict(enum.Enum):
     QUOTA_EXCEEDED = "quota_exceeded"
     ADJACENT = "adjacent"
     MALFORMED = "malformed"
+    #: The admission guard (``repro.guard``) classified the sender or
+    #: signature as flooding/over-allowance and dropped the request
+    #: before the quota and adjacency checks ran.
+    SHED = "shed"
 
 
 def adjacent(top_frames_a: frozenset, top_frames_b: frozenset) -> bool:
@@ -100,10 +104,11 @@ class TokenCache:
 class ServerSideValidator:
     def __init__(self, authority: UserIdAuthority, quota: DailyQuota,
                  database: SignatureDatabase, token_cache_size: int = 65_536,
-                 metrics=None):
+                 metrics=None, guard=None):
         self._authority = authority
         self._quota = quota
         self._database = database
+        self._guard = guard  # repro.guard.AdmissionGuard | None
         self._token_cache = TokenCache(token_cache_size)
         # AES-decode time on cache misses; None when metrics are off so
         # the hot path pays no perf_counter() reads.
@@ -154,6 +159,13 @@ class ServerSideValidator:
         point for forwarded federated ADDs, where the AES work happened on
         the forwarding worker but quota and adjacency are *global* state
         only the owner holds."""
+        if (self._guard is not None
+                and not self._guard.admit_add(uid, signature.sig_id)):
+            # Shed *before* the quota lock: a flooding sender must not
+            # contend on (or consume) shared quota state, and the offered
+            # signature still fed the guard's sketches so the
+            # classification keeps tracking the flood while it sheds.
+            return ServerVerdict.SHED
         if not self._quota.try_consume(uid):
             return ServerVerdict.QUOTA_EXCEEDED
         mine = signature.top_frames

@@ -1,0 +1,244 @@
+"""AdmissionGuard behavior under a manual clock (repro.guard.admission)."""
+
+import pytest
+
+from repro.guard import AdmissionGuard, GuardConfig
+from repro.guard.admission import ABUSE_VERDICTS
+from repro.guard.detector import FlowClass
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def clock():
+    return ManualClock(start=1_000_000.0)
+
+
+def make_guard(clock, **overrides):
+    defaults = dict(window_s=5.0, budget=64)
+    defaults.update(overrides)
+    return AdmissionGuard(GuardConfig(**defaults), clock=clock.now)
+
+
+def flood(guard, clock, uid, per_round=400, rounds=3):
+    """Offer `per_round` ADDs from one uid, then run a scoring round —
+    repeated `rounds` times so the classification takes hold."""
+    for r in range(rounds):
+        for i in range(per_round):
+            guard.admit_add(uid, f"sig-{uid}-{r}-{i}")
+        clock.advance(guard.config.window_s)
+        guard.force_score()
+
+
+class TestBenignTraffic:
+    def test_everything_admits_with_zero_shed(self, clock):
+        guard = make_guard(clock)
+        for round_no in range(4):
+            for uid in range(30):
+                assert guard.admit_add(uid, f"sig-{round_no}-{uid}")
+            clock.advance(guard.config.window_s)
+            guard.force_score()
+        assert guard.shed_total() == 0
+        assert guard.throttled.value() == 0
+        assert guard.stats_payload()["admitted"] == 120
+
+    def test_replica_fast_path_admits_benign(self, clock):
+        guard = make_guard(clock)
+        for uid in range(20):
+            assert guard.admit_uid(uid)
+        assert guard.shed_total() == 0
+
+
+class TestFloodingUid:
+    def test_flooder_is_shed_and_benign_unaffected(self, clock):
+        guard = make_guard(clock)
+        # A benign population establishes the baseline...
+        for round_no in range(3):
+            for uid in range(1, 25):
+                guard.admit_add(uid, f"sig-{round_no}-{uid}")
+            clock.advance(guard.config.window_s)
+            guard.force_score()
+        # ...then uid 999 blasts distinct signatures.
+        flood(guard, clock, 999)
+        assert guard.uid_dim.flow_class(999) is FlowClass.FLOODING
+        assert not guard.admit_add(999, "sig-one-more")
+        assert guard.shed_uid.value() > 0
+        # Benign senders keep flowing while the flood is shed.
+        for uid in range(1, 25):
+            assert guard.admit_add(uid, f"sig-after-{uid}")
+
+    def test_detection_persists_while_shedding(self, clock):
+        guard = make_guard(clock)
+        for round_no in range(3):  # benign baseline first
+            for uid in range(1, 25):
+                guard.admit_add(uid, f"sig-{round_no}-{uid}")
+            clock.advance(guard.config.window_s)
+            guard.force_score()
+        flood(guard, clock, 999)
+        assert guard.uid_dim.flow_class(999) is FlowClass.FLOODING
+        # Keep offering at flood rate while classified: each shed still
+        # lands in the sketch, so the next rounds keep seeing the rate.
+        flood(guard, clock, 999, rounds=3)
+        assert guard.uid_dim.flow_class(999) is FlowClass.FLOODING
+
+    def test_flood_alone_self_normalizes_by_design(self, clock):
+        # Relative mode needs a benign population to define "normal" —
+        # a stream that is 100% one flooder seeds the median with its
+        # own rate and never reaches the flooding ratio.  This is
+        # exactly why the endpoint dimension runs in absolute mode on
+        # abuse feedback instead.
+        guard = make_guard(clock)
+        flood(guard, clock, 999, rounds=6)
+        assert guard.uid_dim.flow_class(999) is not FlowClass.FLOODING
+
+    def test_relaxes_back_when_pressure_clears(self, clock):
+        guard = make_guard(clock)
+        for round_no in range(3):  # benign baseline first
+            for uid in range(1, 25):
+                guard.admit_add(uid, f"sig-{round_no}-{uid}")
+            clock.advance(guard.config.window_s)
+            guard.force_score()
+        flood(guard, clock, 999)
+        assert not guard.admit_add(999, "sig-x")
+        # Silence: the sliding window forgets, calm rounds accrue, and
+        # the class steps flooding -> suspect -> benign.
+        for _ in range(8):
+            clock.advance(guard.config.window_s)
+            guard.force_score()
+        assert guard.uid_dim.flow_class(999) is FlowClass.BENIGN
+        assert guard.admit_add(999, "sig-back")
+
+
+class TestSuspectThrottling:
+    def test_suspect_gets_tightened_allowance(self, clock):
+        guard = make_guard(clock)
+        dim = guard.uid_dim
+        # Force a suspect classification directly through the detector
+        # (ratio tests live in test_detector; here we care about the
+        # allowance mechanics).  force_score first so no lazy round
+        # fires mid-test and swaps the injected map away.
+        guard.force_score()
+        dim.classes = {42: FlowClass.SUSPECT}
+        admitted = sum(
+            1 for i in range(dim.budget * 3)
+            if guard.admit_add(42, f"sig-{i}")
+        )
+        assert admitted == dim.budget
+        assert guard.throttled.value() == dim.budget * 2
+        # A fresh window refills the allowance.
+        clock.advance(guard.config.window_s)
+        dim.classes = {42: FlowClass.SUSPECT}  # survive the score swap
+        assert guard.admit_add(42, "sig-fresh")
+
+
+class TestEndpointDimension:
+    def test_rejections_past_budget_shed_the_endpoint(self, clock):
+        guard = make_guard(clock)
+        key = "10.0.0.9:4242"
+        assert guard.endpoint_action(key) == "admit"
+        for _ in range(guard.config.endpoint_budget * 2):
+            guard.note_rejection(key, "quota_exceeded")
+        clock.advance(guard.config.window_s)
+        guard.force_score()
+        assert guard.endpoint_action(key) == "shed"
+        assert guard.shed_endpoint.value() == 1
+
+    def test_store_error_never_marks_the_client(self, clock):
+        guard = make_guard(clock)
+        key = "10.0.0.9:4242"
+        assert "store_error" not in ABUSE_VERDICTS
+        for _ in range(guard.config.endpoint_budget * 4):
+            guard.note_rejection(key, "store_error")
+        clock.advance(guard.config.window_s)
+        guard.force_score()
+        assert guard.endpoint_action(key) == "admit"
+
+    def test_accepted_traffic_never_feeds_the_endpoint_sketch(self, clock):
+        guard = make_guard(clock)
+        key = "10.0.0.9:4242"
+        for _ in range(1000):
+            guard.note_rejection(key, "ok")  # not a rejection verdict
+        assert guard.endpoint_dim.sketch.total == 0
+
+    def test_shed_feedback_keeps_the_flooder_classified(self, clock):
+        guard = make_guard(clock)
+        key = "10.0.0.9:4242"
+        for _ in range(guard.config.endpoint_budget * 2):
+            guard.note_rejection(key, "quota_exceeded")
+        clock.advance(guard.config.window_s)
+        guard.force_score()
+        # While shed, the loop keeps reporting "shed" rejections; the
+        # classification must hold round after round.
+        for _ in range(4):
+            for _ in range(guard.config.endpoint_budget * 2):
+                guard.note_rejection(key, "shed")
+            clock.advance(guard.config.window_s)
+            guard.force_score()
+        assert guard.endpoint_action(key) == "shed"
+
+
+class TestLazyScoring:
+    def test_rounds_fire_from_the_hot_path(self, clock):
+        guard = make_guard(clock)
+        guard.admit_add(1, "sig-a")
+        rounds = guard.uid_dim.detector.rounds
+        clock.advance(guard.config.window_s * 2)
+        guard.admit_add(1, "sig-b")  # crosses the deadline: scores inline
+        assert guard.uid_dim.detector.rounds == rounds + 1
+
+
+class TestStatsAndMetrics:
+    def test_stats_payload_shape(self, clock):
+        guard = make_guard(clock)
+        guard.admit_add(1, "sig-a")
+        payload = guard.stats_payload()
+        assert payload["budget"] == 64
+        assert payload["admitted"] == 1
+        assert set(payload["shed"]) == {"uid", "sig", "endpoint"}
+        assert set(payload["dimensions"]) == {"uid", "sig", "endpoint"}
+        for dim in payload["dimensions"].values():
+            assert {"budget", "mode", "baseline", "suspect",
+                    "flooding", "sketch_total"} <= set(dim)
+
+    def test_register_metrics_exports_counters_and_sketches(self, clock):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        guard = make_guard(clock)
+        guard.register_metrics(registry)
+        guard.admit_add(7, "sig-a")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["guard.admitted"] == 1
+        assert snapshot["counters"]["guard.shed"] == 0
+        assert {"guard.uid", "guard.sig", "guard.endpoint"} <= set(
+            snapshot["sketches"])
+        assert snapshot["sketches"]["guard.uid"]["window_s"] == 5.0
+
+
+class TestSnapshotMerging:
+    def test_federated_sketch_pool(self, clock):
+        from repro.obs import MetricsRegistry
+        from repro.obs.export import merge_registry_snapshots
+
+        registries = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            guard = make_guard(clock)
+            guard.register_metrics(registry)
+            guard.admit_add(7, "sig-a")
+            registries.append(registry)
+        merged = merge_registry_snapshots(
+            [r.snapshot() for r in registries])
+        assert merged["counters"]["guard.admitted"] == 2
+        from repro.guard.sketch import SlidingSketch
+
+        pooled = SlidingSketch.from_wire(merged["sketches"]["guard.uid"])
+        assert pooled.estimate(7, now=clock.now()) == 2
+
+    def test_sketch_free_snapshots_merge_unchanged(self):
+        from repro.obs import MetricsRegistry
+        from repro.obs.export import merge_registry_snapshots
+
+        registry = MetricsRegistry()
+        registry.counter("x").add()
+        merged = merge_registry_snapshots([registry.snapshot()])
+        assert "sketches" not in merged

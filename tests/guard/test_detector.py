@@ -1,0 +1,107 @@
+"""Flow-classification tests (repro.guard.detector)."""
+
+import pytest
+
+from repro.guard.detector import FloodDetector, FlowClass
+
+
+def _benign_rates(n=20, rate=4.0):
+    return {f"benign-{i}": rate for i in range(n)}
+
+
+class TestRelativeMode:
+    def test_flooder_towers_over_benign_population(self):
+        detector = FloodDetector(budget=16, mode="relative")
+        rates = _benign_rates()
+        rates["attacker"] = 200.0
+        classes = detector.observe_round(rates)
+        assert classes == {"attacker": FlowClass.FLOODING}
+
+    def test_moderate_excess_is_suspect(self):
+        detector = FloodDetector(budget=16, mode="relative")
+        rates = _benign_rates()
+        rates["pushy"] = 18.0  # >= budget/2 and >= 4x the median of 4.0
+        classes = detector.observe_round(rates)
+        assert classes == {"pushy": FlowClass.SUSPECT}
+
+    def test_budget_floor_protects_quiet_systems(self):
+        # One lonely key with a high ratio over an empty baseline must
+        # not be flagged while its absolute rate is under budget/2.
+        detector = FloodDetector(budget=64, mode="relative")
+        assert detector.observe_round({"only": 10.0}) == {}
+
+    def test_fleet_wide_lull_does_not_flag_ordinary_senders(self):
+        detector = FloodDetector(budget=16, mode="relative")
+        for _ in range(5):
+            detector.observe_round(_benign_rates(rate=4.0))
+        # Traffic collapses; the remaining senders keep their old rate.
+        classes = detector.observe_round(_benign_rates(n=2, rate=4.0))
+        assert classes == {}
+
+    def test_baseline_tracks_median_not_attacker(self):
+        detector = FloodDetector(budget=16, mode="relative")
+        rates = _benign_rates(n=21, rate=4.0)
+        rates["attacker"] = 10_000.0
+        detector.observe_round(rates)
+        # 21 benign keys vs 1 attacker: the median key is benign.
+        assert detector.baseline <= 8.0
+
+
+class TestAbsoluteMode:
+    def test_budget_is_the_threshold(self):
+        detector = FloodDetector(budget=8, mode="absolute")
+        classes = detector.observe_round(
+            {"a": 8.0, "b": 4.0, "c": 3.0})
+        assert classes["a"] is FlowClass.FLOODING
+        assert classes["b"] is FlowClass.SUSPECT
+        assert "c" not in classes
+
+    def test_population_of_abusers_cannot_self_normalize(self):
+        # Every key is abusive: a relative median would score them all
+        # ~1.0; absolute mode flags each against the budget.
+        detector = FloodDetector(budget=8, mode="absolute")
+        classes = detector.observe_round({f"bot-{i}": 50.0 for i in range(10)})
+        assert all(c is FlowClass.FLOODING for c in classes.values())
+        assert len(classes) == 10
+
+
+class TestHysteresis:
+    def test_upgrade_is_immediate(self):
+        detector = FloodDetector(budget=8, mode="absolute")
+        assert detector.observe_round({"k": 100.0})["k"] is FlowClass.FLOODING
+        assert detector.upgrades == 1
+
+    def test_downgrade_steps_one_level_per_calm_streak(self):
+        detector = FloodDetector(budget=8, mode="absolute", calm_rounds=3)
+        detector.observe_round({"k": 100.0})
+        # Calm rounds 1-2: still flooding (hysteresis holds the class).
+        for _ in range(2):
+            assert detector.observe_round({"k": 0.0})["k"] is FlowClass.FLOODING
+        # Calm round 3: steps down to suspect, not straight to benign.
+        assert detector.observe_round({"k": 0.0})["k"] is FlowClass.SUSPECT
+        for _ in range(2):
+            assert detector.observe_round({"k": 0.0})["k"] is FlowClass.SUSPECT
+        assert detector.observe_round({"k": 0.0}) == {}
+        assert detector.downgrades == 2
+
+    def test_relapse_resets_the_calm_streak(self):
+        detector = FloodDetector(budget=8, mode="absolute", calm_rounds=2)
+        detector.observe_round({"k": 100.0})
+        detector.observe_round({"k": 0.0})  # calm 1
+        detector.observe_round({"k": 100.0})  # relapse
+        assert detector.observe_round({"k": 0.0})["k"] is FlowClass.FLOODING
+
+    def test_class_counts(self):
+        detector = FloodDetector(budget=8, mode="absolute")
+        detector.observe_round({"a": 100.0, "b": 5.0})
+        assert detector.class_counts() == {"suspect": 1, "flooding": 1}
+
+
+class TestValidation:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            FloodDetector(budget=8, mode="psychic")
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            FloodDetector(budget=0)

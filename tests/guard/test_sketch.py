@@ -1,0 +1,178 @@
+"""Unit tests for the guard's count-min machinery (repro.guard.sketch)."""
+
+import random
+
+import pytest
+
+from repro.guard.sketch import (
+    CountMinSketch,
+    SlidingSketch,
+    merge_cms_wire,
+    merge_sketch_wire,
+    merge_sliding_wire,
+)
+
+
+class TestCountMinSketch:
+    def test_exact_on_sparse_stream(self):
+        sketch = CountMinSketch.from_error(0.01, 0.02)
+        for i in range(50):
+            for _ in range(i + 1):
+                sketch.update(f"key-{i}")
+        for i in range(50):
+            # 50 keys in a ~272-wide sketch: collisions are possible but
+            # the estimate can never fall below the true count.
+            assert sketch.estimate(f"key-{i}") >= i + 1
+        assert sketch.total == sum(range(1, 51))
+
+    def test_never_underestimates(self):
+        rng = random.Random(7)
+        sketch = CountMinSketch(width=32, depth=3)  # deliberately tiny
+        truth: dict[int, int] = {}
+        for _ in range(2000):
+            key = rng.randrange(200)
+            truth[key] = truth.get(key, 0) + 1
+            sketch.update(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_unseen_key_can_read_zero_when_empty(self):
+        sketch = CountMinSketch.from_error()
+        assert sketch.estimate("never") == 0
+
+    def test_update_returns_new_estimate(self):
+        sketch = CountMinSketch.from_error()
+        assert sketch.update("k") == 1
+        assert sketch.update("k", 4) == 5
+
+    def test_geometry_from_error(self):
+        sketch = CountMinSketch.from_error(epsilon=0.01, delta=0.02)
+        assert sketch.width == 272  # ceil(e / 0.01)
+        assert sketch.depth == 4  # ceil(ln 50)
+
+    def test_deterministic_across_instances(self):
+        # Same seed => identical cells for an identical stream; this is
+        # what makes sibling workers' sketches merge exactly.
+        a = CountMinSketch(64, 4, seed=123)
+        b = CountMinSketch(64, 4, seed=123)
+        for i in range(100):
+            a.update(i)
+            b.update(i)
+        assert a.rows == b.rows
+
+    def test_merge_requires_matching_geometry(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(64, 4).merge_from(CountMinSketch(32, 4))
+        with pytest.raises(ValueError):
+            CountMinSketch(64, 4, seed=1).merge_from(
+                CountMinSketch(64, 4, seed=2))
+
+    def test_merge_bounds_pooled_stream(self):
+        a = CountMinSketch(64, 4)
+        b = CountMinSketch(64, 4)
+        for _ in range(10):
+            a.update("x")
+        for _ in range(7):
+            b.update("x")
+        b.update("y", 3)
+        a.merge_from(b)
+        assert a.estimate("x") >= 17
+        assert a.estimate("y") >= 3
+        assert a.total == 20
+
+    def test_wire_roundtrip(self):
+        sketch = CountMinSketch(16, 2, seed=9)
+        sketch.update("k", 5)
+        clone = CountMinSketch.from_wire(sketch.to_wire())
+        assert clone.rows == sketch.rows
+        assert clone.total == sketch.total
+        assert clone.estimate("k") == 5
+
+
+class TestSlidingSketch:
+    def test_estimate_spans_two_windows(self):
+        sketch = SlidingSketch(64, 4, window_s=10.0)
+        sketch.update("k", 3, now=5.0)
+        assert sketch.estimate("k", now=5.0) == 3
+        # Next window: the count moved to `previous` but still estimates.
+        sketch.update("k", 2, now=15.0)
+        assert sketch.estimate("k", now=15.0) == 5
+
+    def test_retired_key_forgotten_after_two_windows(self):
+        sketch = SlidingSketch(64, 4, window_s=10.0)
+        sketch.update("k", 100, now=5.0)
+        assert sketch.estimate("k", now=15.0) == 100  # one window later
+        assert sketch.estimate("k", now=25.0) == 0  # two windows later
+
+    def test_long_gap_decays_everything(self):
+        sketch = SlidingSketch(64, 4, window_s=10.0)
+        sketch.update("k", 100, now=5.0)
+        assert sketch.estimate("k", now=500.0) == 0
+        assert sketch.total == 0
+
+    def test_advance_is_idempotent(self):
+        sketch = SlidingSketch(64, 4, window_s=10.0)
+        sketch.update("k", 1, now=5.0)
+        for _ in range(3):
+            sketch.advance(5.0)
+        assert sketch.estimate("k", now=5.0) == 1
+
+    def test_wire_roundtrip(self):
+        sketch = SlidingSketch(32, 3, window_s=2.0)
+        sketch.update("a", 4, now=1.0)
+        sketch.update("b", 1, now=3.0)
+        clone = SlidingSketch.from_wire(sketch.to_wire())
+        assert clone.epoch == sketch.epoch
+        assert clone.estimate("a", now=3.0) == 4
+        assert clone.estimate("b", now=3.0) == 1
+
+
+class TestWireMerging:
+    def test_cms_merge_is_sum(self):
+        a = CountMinSketch(64, 4)
+        b = CountMinSketch(64, 4)
+        a.update("k", 2)
+        b.update("k", 5)
+        merged = CountMinSketch.from_wire(merge_cms_wire(a.to_wire(),
+                                                         b.to_wire()))
+        assert merged.estimate("k") == 7
+        assert merged.total == 7
+
+    def test_sliding_merge_same_epoch(self):
+        a = SlidingSketch(64, 4, window_s=10.0)
+        b = SlidingSketch(64, 4, window_s=10.0)
+        a.update("k", 2, now=5.0)
+        b.update("k", 3, now=6.0)
+        merged = SlidingSketch.from_wire(
+            merge_sliding_wire(a.to_wire(), b.to_wire()))
+        assert merged.estimate("k", now=6.0) == 5
+
+    def test_sliding_merge_aligns_older_epoch(self):
+        a = SlidingSketch(64, 4, window_s=10.0)
+        b = SlidingSketch(64, 4, window_s=10.0)
+        a.update("k", 2, now=5.0)  # epoch 0
+        b.update("k", 3, now=15.0)  # epoch 1
+        merged = SlidingSketch.from_wire(
+            merge_sliding_wire(a.to_wire(), b.to_wire()))
+        # a's current rotates into previous when aligned to epoch 1 —
+        # exactly what a.advance(15.0) would have produced.
+        assert merged.epoch == 1
+        assert merged.estimate("k", now=15.0) == 5
+        # Two windows on, only b's epoch-1 count survives as previous.
+        assert merged.estimate("k", now=25.0) == 3
+
+    def test_sliding_merge_window_mismatch_raises(self):
+        a = SlidingSketch(64, 4, window_s=10.0)
+        b = SlidingSketch(64, 4, window_s=5.0)
+        with pytest.raises(ValueError):
+            merge_sliding_wire(a.to_wire(), b.to_wire())
+
+    def test_dispatcher_picks_flavour(self):
+        cms = CountMinSketch(16, 2)
+        cms.update("k")
+        sliding = SlidingSketch(16, 2, window_s=1.0)
+        sliding.update("k", 1, now=0.5)
+        assert "window_s" not in merge_sketch_wire(cms.to_wire(),
+                                                   cms.to_wire())
+        assert "window_s" in merge_sketch_wire(sliding.to_wire(),
+                                               sliding.to_wire())

@@ -1,0 +1,155 @@
+"""Property-based tests for the sketch layer (Hypothesis).
+
+Three properties the admission guard leans on:
+
+* the (ε, δ) overestimate bound — a count-min estimate never undercounts
+  and rarely overcounts by more than ε·N;
+* wire-level merging is commutative and associative (federated workers
+  pool sketches in whatever order snapshots arrive);
+* the sliding window fully forgets a retired key within two windows.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.guard.sketch import (
+    CountMinSketch,
+    SlidingSketch,
+    merge_sketch_wire,
+)
+
+#: Streams as (key, count) pairs; small alphabets force collisions.
+_streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=500),
+              st.integers(min_value=1, max_value=20)),
+    max_size=200,
+)
+
+
+def _fill(sketch, stream):
+    truth: dict[int, int] = {}
+    for key, count in stream:
+        sketch.update(key, count)
+        truth[key] = truth.get(key, 0) + count
+    return truth
+
+
+class TestEpsilonDeltaBound:
+    @given(stream=_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_never_underestimates(self, stream):
+        sketch = CountMinSketch(width=16, depth=2)  # tiny: many collisions
+        truth = _fill(sketch, stream)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_overestimate_bounded_by_epsilon_n(self, seed):
+        # ~Zipf-ish stream of 3000 updates over 400 keys through an
+        # (ε=0.05, δ=0.05) sketch: the fraction of keys whose estimate
+        # exceeds truth + ε·N must stay around δ.  The bound is per-query
+        # with probability 1-δ; conservative update only tightens it, so
+        # allowing 2δ of the keys to breach keeps the test sharp without
+        # flaking on an unlucky seed.
+        epsilon, delta = 0.05, 0.05
+        sketch = CountMinSketch.from_error(epsilon, delta)
+        rng = random.Random(seed)
+        truth: dict[int, int] = {}
+        for _ in range(3000):
+            key = min(rng.randrange(400), rng.randrange(400))
+            truth[key] = truth.get(key, 0) + 1
+            sketch.update(key)
+        allowed = epsilon * sketch.total
+        breaches = sum(
+            1 for key, count in truth.items()
+            if sketch.estimate(key) > count + allowed
+        )
+        assert breaches <= max(1, int(2 * delta * len(truth)))
+
+
+class TestMergeAlgebra:
+    @given(sa=_streams, sb=_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutative(self, sa, sb):
+        a = CountMinSketch(16, 2)
+        b = CountMinSketch(16, 2)
+        _fill(a, sa)
+        _fill(b, sb)
+        ab = merge_sketch_wire(a.to_wire(), b.to_wire())
+        ba = merge_sketch_wire(b.to_wire(), a.to_wire())
+        assert ab == ba
+
+    @given(sa=_streams, sb=_streams, sc=_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_associative(self, sa, sb, sc):
+        sketches = []
+        for stream in (sa, sb, sc):
+            sketch = CountMinSketch(16, 2)
+            _fill(sketch, stream)
+            sketches.append(sketch.to_wire())
+        a, b, c = sketches
+        left = merge_sketch_wire(merge_sketch_wire(a, b), c)
+        right = merge_sketch_wire(a, merge_sketch_wire(b, c))
+        assert left == right
+
+    @given(sa=_streams, sb=_streams,
+           epoch_a=st.integers(min_value=0, max_value=4),
+           epoch_b=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_sliding_merge_commutative_across_epochs(
+            self, sa, sb, epoch_a, epoch_b):
+        window = 10.0
+        a = SlidingSketch(16, 2, window_s=window)
+        b = SlidingSketch(16, 2, window_s=window)
+        for key, count in sa:
+            a.update(key, count, now=epoch_a * window + 1.0)
+        for key, count in sb:
+            b.update(key, count, now=epoch_b * window + 1.0)
+        ab = merge_sketch_wire(a.to_wire(), b.to_wire())
+        ba = merge_sketch_wire(b.to_wire(), a.to_wire())
+        assert ab == ba
+
+    @given(stream=_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_merged_estimate_covers_both_streams(self, stream):
+        # Split one stream across two sketches; the merge must estimate
+        # every key at least as high as the undivided truth.
+        a = CountMinSketch(16, 2)
+        b = CountMinSketch(16, 2)
+        truth: dict[int, int] = {}
+        for i, (key, count) in enumerate(stream):
+            (a if i % 2 == 0 else b).update(key, count)
+            truth[key] = truth.get(key, 0) + count
+        merged = CountMinSketch.from_wire(
+            merge_sketch_wire(a.to_wire(), b.to_wire()))
+        for key, count in truth.items():
+            assert merged.estimate(key) >= count
+
+
+class TestDecayForgets:
+    @given(stream=_streams,
+           windows_later=st.integers(min_value=2, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_two_windows_forget_everything(self, stream, windows_later):
+        window = 5.0
+        sketch = SlidingSketch(16, 2, window_s=window)
+        for key, count in stream:
+            sketch.update(key, count, now=1.0)
+        later = windows_later * window + 1.0
+        for key, _ in stream:
+            assert sketch.estimate(key, now=later) == 0
+        assert sketch.total == 0
+
+    @given(stream=_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_one_window_still_remembers(self, stream):
+        window = 5.0
+        sketch = SlidingSketch(16, 2, window_s=window)
+        truth: dict[int, int] = {}
+        for key, count in stream:
+            sketch.update(key, count, now=1.0)
+            truth[key] = truth.get(key, 0) + count
+        for key, count in truth.items():
+            assert sketch.estimate(key, now=window + 1.0) >= count

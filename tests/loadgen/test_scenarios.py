@@ -12,6 +12,7 @@ from repro.loadgen.scenarios import (
     ForgedTokens,
     Park,
     QuotaFlood,
+    RampingFlood,
     Reconnect,
     Send,
     SteadyState,
@@ -120,6 +121,16 @@ class TestSteadyState:
         later = scenario.on_response(CTX, "get_page", page(1, [], False))
         assert later.delay == 0.5
 
+    def test_initial_delay_staggers_first_add_only(self):
+        scenario = SteadyState(random_signature_blobs(2, seed=9),
+                               think_time=0.5, initial_delay=0.125)
+        scenario.on_connect(CTX)
+        first = scenario.on_response(CTX, "issue_id", self._token_response())
+        assert first.delay == 0.125
+        scenario.on_response(CTX, "add", canonical_json({"ok": True}))
+        later = scenario.on_response(CTX, "get_page", page(1, [], False))
+        assert later.delay == 0.5  # later rounds pace by think_time
+
 
 class TestChurn:
     def test_cycles_and_reconnects(self):
@@ -182,6 +193,58 @@ class TestAttackScenarios:
     def test_forged_token_mismatch_rejected(self):
         with pytest.raises(ValueError):
             ForgedTokens(off_path_flood_blobs(3), forged_tokens(2))
+
+
+class TestRampingFlood:
+    def _drive(self, scenario, n):
+        """Run n ADD rounds; returns the delay carried by each Send."""
+        action = scenario.on_connect(CTX)
+        action = scenario.on_response(
+            CTX, "issue_id", canonical_json({"ok": True, "token": "aa"})
+        )
+        delays = []
+        for _ in range(n):
+            assert drive_request(action)["op"] == "ADD"
+            delays.append(action.delay)
+            action = scenario.on_response(
+                CTX, "add_attack",
+                canonical_json({"ok": False, "verdict": "quota_exceeded"}),
+            )
+        return delays, action
+
+    def test_delay_ramps_linearly_to_zero(self):
+        clock = iter(float(t) for t in range(0, 100)).__next__
+        scenario = RampingFlood(off_path_flood_blobs(8, seed=4),
+                                start_delay=0.1, ramp_s=4.0, clock=clock)
+        delays, _ = self._drive(scenario, 8)
+        # Clock ticks one second per send: 4 ramping sends, then flat out.
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.075)
+        assert delays[2] == pytest.approx(0.05)
+        assert delays[3] == pytest.approx(0.025)
+        assert delays[4:] == [0.0] * 4
+
+    def test_completes_and_tallies_like_a_flood(self):
+        scenario = RampingFlood(off_path_flood_blobs(3, seed=5),
+                                start_delay=0.0, ramp_s=0.0)
+        _, action = self._drive(scenario, 3)
+        assert isinstance(action, Stop)
+        assert scenario.completed
+        assert scenario.verdicts == {"quota_exceeded": 3}
+
+    def test_zero_ramp_means_immediate_full_rate(self):
+        scenario = RampingFlood(off_path_flood_blobs(2, seed=6),
+                                start_delay=0.5, ramp_s=0.0)
+        delays, _ = self._drive(scenario, 2)
+        assert delays == [0.0, 0.0]
+
+    def test_registered_in_make_scenario(self):
+        scenario = make_scenario("rampflood", random.Random(1), rounds=4)
+        assert isinstance(scenario, RampingFlood)
+        assert len(scenario.blobs) == 4
+        mixed = build_mix("steady=1,rampflood=1", 4, seed=2)
+        kinds = {type(s).__name__ for s in mixed}
+        assert "RampingFlood" in kinds
 
 
 class TestMixBuilding:

@@ -162,6 +162,89 @@ class TestApplyStream:
             late.close()
 
 
+class TestPushWakeup:
+    """The owner pushes publish wakeups; the fallback wait is only a
+    safety net.  Both tests cripple the fallback to prove the push."""
+
+    def _build(self, tmp_path, fallback_wait: float):
+        config = ServerConfig(data_dir=str(tmp_path), fsync_policy="always",
+                              max_signatures_per_user_per_day=100_000)
+        owner = CommunixServer(config=config)
+        addr = _internal_addr()
+        hub = ReplicationHub(owner, addr, fallback_wait=fallback_wait)
+        hub.start()
+        replica = FederatedWorkerServer(config, addr)
+        replica.start_replication()
+        return owner, hub, replica
+
+    def test_publish_wakes_stream_before_fallback(self, tmp_path):
+        # With a 30 s fallback, a poll-walk stream would not deliver
+        # inside the 5 s wait below; only the push can.
+        owner, hub, replica = self._build(tmp_path, fallback_wait=30.0)
+        try:
+            token = replica.issue_user_token()
+            blob = random_signature_blobs(1, seed=31)[0]
+            assert replica.process_add(blob, token).accepted
+            assert _wait_until(lambda: len(replica.database) == 1,
+                               timeout=5.0)
+        finally:
+            replica.close()
+            hub.stop()
+            owner.close()
+
+    def test_stop_wakes_sleeping_streams(self, tmp_path):
+        owner, hub, replica = self._build(tmp_path, fallback_wait=30.0)
+        try:
+            token = replica.issue_user_token()
+            blob = random_signature_blobs(1, seed=32)[0]
+            assert replica.process_add(blob, token).accepted
+            assert _wait_until(lambda: len(replica.database) == 1,
+                               timeout=5.0)
+        finally:
+            replica.close()
+            hub.stop()
+            owner.close()
+        # stop() set the stream's wakeup: the thread exited instead of
+        # sleeping out the 30 s fallback (join would have timed out).
+        assert all(not t.is_alive() for t in hub._threads)
+
+    def test_stream_wakeups_deregister_on_disconnect(self, tmp_path):
+        owner, hub, replica = self._build(tmp_path, fallback_wait=0.05)
+        try:
+            assert _wait_until(lambda: len(hub._wakeups) == 1)
+            replica.close()
+            assert _wait_until(lambda: len(hub._wakeups) == 0)
+        finally:
+            replica.close()
+            hub.stop()
+            owner.close()
+
+
+class TestReplicaGuard:
+    def test_flooding_uid_shed_before_forward(self, tmp_path):
+        fed = _Federation(tmp_path, guard_enabled=True, guard_budget=16,
+                          guard_window_s=0.2)
+        try:
+            token = fed.replica.issue_user_token()
+            guard = fed.replica.guard
+            assert guard is not None
+            # Pin the classification instead of racing real windows:
+            # the wiring under test is process_add -> admit_uid -> shed
+            # without a forward round-trip.
+            uid = fed.replica.validator.resolve_uid(token)
+            guard.force_score()
+            from repro.guard.detector import FlowClass
+            guard.uid_dim.classes = {uid: FlowClass.FLOODING}
+            forwarded_before = fed.hub.forwarded_adds
+            blob = random_signature_blobs(1, seed=33)[0]
+            outcome = fed.replica.process_add(blob, token)
+            assert not outcome.accepted
+            assert outcome.verdict == "shed"
+            assert fed.hub.forwarded_adds == forwarded_before
+        finally:
+            fed.close()
+
+
 class TestStatsAccounting:
     def test_no_double_booking(self, federation):
         token = federation.replica.issue_user_token()
