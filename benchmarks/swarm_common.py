@@ -121,11 +121,38 @@ def server_metrics_summary(metrics_log_path: str) -> dict | None:
     snapshot = last_snapshot_line(metrics_log_path)
     if snapshot is None:
         return None
+    histograms = snapshot.get("histograms", {})
     return {
         "counters": snapshot.get("counters", {}),
         "gauges": snapshot.get("gauges", {}),
         "stages": {
             name: summary_from_wire(wire)
-            for name, wire in sorted(snapshot.get("histograms", {}).items())
+            for name, wire in sorted(histograms.items())
         },
+        "attribution": stage_attribution(histograms),
     }
+
+
+def stage_attribution(histograms: dict) -> dict:
+    """Per-stage share of total handler time, from stage histograms.
+
+    For each ``stage.<name>`` histogram, report the stage's cumulative
+    seconds and its fraction of the cumulative ``stage.handler`` seconds
+    — "where did the server's request time actually go".  Stages that
+    nest inside another (wal_fsync inside db_append, group_commit inside
+    wal_fsync) will overlap; shares answer "how much of a typical
+    request touched this stage", not a partition summing to 1.
+    """
+    totals = {
+        name[len("stage."):]: float(wire.get("total", 0.0))
+        for name, wire in histograms.items()
+        if name.startswith("stage.")
+    }
+    handler_total = totals.get("handler", 0.0)
+    attribution = {}
+    for stage in sorted(totals):
+        entry = {"total_s": round(totals[stage], 6)}
+        if handler_total > 0.0 and stage != "handler":
+            entry["share_of_handler"] = round(totals[stage] / handler_total, 4)
+        attribution[stage] = entry
+    return attribution

@@ -39,15 +39,25 @@ from repro.obs.registry import (
 )
 from repro.obs.trace import (
     ALL_STAGES,
+    STAGE_APPLY_LAG,
     STAGE_CRYPTO,
     STAGE_DB_APPEND,
     STAGE_DB_READ,
     STAGE_FLUSH,
+    STAGE_GROUP_COMMIT,
+    STAGE_GUARD_CHECK,
     STAGE_HANDLER,
+    STAGE_OWNER_QUEUE,
     STAGE_QUEUE_WAIT,
+    STAGE_REPL_FORWARD,
     STAGE_VALIDATE,
     STAGE_WAL_FSYNC,
     RequestTrace,
+    TraceBuffer,
+    decode_trace_stages,
+    encode_trace_stages,
+    format_trace_id,
+    mint_trace_id,
 )
 from repro.obs.export import (
     MetricsLogWriter,
@@ -66,21 +76,31 @@ __all__ = [
     "NULL_REGISTRY",
     "NullRegistry",
     "RequestTrace",
+    "STAGE_APPLY_LAG",
     "STAGE_CRYPTO",
     "STAGE_DB_APPEND",
     "STAGE_DB_READ",
     "STAGE_FLUSH",
+    "STAGE_GROUP_COMMIT",
+    "STAGE_GUARD_CHECK",
     "STAGE_HANDLER",
+    "STAGE_OWNER_QUEUE",
     "STAGE_QUEUE_WAIT",
+    "STAGE_REPL_FORWARD",
     "STAGE_VALIDATE",
     "STAGE_WAL_FSYNC",
     "ShardedCounter",
     "StageHistogram",
+    "TraceBuffer",
     "bucket_index",
     "bucket_upper_bound",
+    "decode_trace_stages",
+    "encode_trace_stages",
+    "format_trace_id",
     "last_snapshot_line",
     "merge_registry_snapshots",
     "metric_name",
+    "mint_trace_id",
     "render_prometheus",
     "summary_from_wire",
 ]

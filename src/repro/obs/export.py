@@ -22,8 +22,11 @@ import threading
 import time
 
 from repro.obs.histogram import HistogramSnapshot, BUCKET_COUNT
+from repro.util.logging import get_logger
 
 __all__ = ["render_prometheus", "MetricsLogWriter", "merge_registry_snapshots"]
+
+log = get_logger("obs.export")
 
 _QUANTILES = ((50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99"))
 
@@ -43,12 +46,18 @@ def _snapshot_from_wire(data: dict) -> HistogramSnapshot:
         if 0 <= index < BUCKET_COUNT:
             counts[index] = int(value)
     minimum = data.get("min")
+    exemplars: dict[int, str] = {}
+    for key, trace_id in data.get("exemplars", {}).items():
+        index = int(key)
+        if 0 <= index < BUCKET_COUNT:
+            exemplars[index] = str(trace_id)
     return HistogramSnapshot(
         counts,
         int(data.get("count", 0)),
         float(data.get("total", 0.0)),
         0.0 if minimum is None else float(minimum),
         float(data.get("max", 0.0)),
+        exemplars,
     )
 
 
@@ -139,6 +148,10 @@ def merge_registry_snapshots(snapshots) -> dict:
                 merged.min = (part.min if merged.count == part.count
                               else min(merged.min, part.min))
                 merged.max = max(merged.max, part.max)
+            # Exemplars are "most recent trace in bucket"; across workers
+            # there is no ordering, so any representative will do — later
+            # snapshots win.
+            merged.exemplars.update(part.exemplars)
     for hist in histograms.values():
         if hist.count == 0:
             hist.min = 0.0
@@ -163,6 +176,11 @@ class MetricsLogWriter:
         self._interval = max(0.05, float(interval))
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # Failed writes are counted (so a wedged disk shows up in the
+        # other exporters) and warned about exactly once — a full disk
+        # must not turn the metrics thread into a log flood.
+        self._write_errors = registry.counter("obs.log_write_errors")
+        self._warned = False
 
     def start(self) -> None:
         self._thread = threading.Thread(
@@ -189,8 +207,15 @@ class MetricsLogWriter:
         try:
             with open(self._path, "a", encoding="utf-8") as fh:
                 fh.write(line)
-        except OSError:
-            pass
+        except OSError as exc:
+            self._write_errors.add()
+            if not self._warned:
+                self._warned = True
+                log.warning(
+                    "metrics log write to %s failed (%s); counting "
+                    "further failures on obs.log_write_errors",
+                    self._path, exc,
+                )
 
 
 def last_snapshot_line(path: str) -> dict | None:

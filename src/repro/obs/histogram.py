@@ -68,14 +68,17 @@ _HDR = 4
 class HistogramSnapshot:
     """Immutable merged view of a :class:`StageHistogram`."""
 
-    __slots__ = ("counts", "count", "total", "min", "max")
+    __slots__ = ("counts", "count", "total", "min", "max", "exemplars")
 
-    def __init__(self, counts, count, total, minimum, maximum):
+    def __init__(self, counts, count, total, minimum, maximum,
+                 exemplars=None):
         self.counts = counts
         self.count = count
         self.total = total
         self.min = minimum
         self.max = maximum
+        # bucket index -> most recent trace id (hex) seen in that bucket.
+        self.exemplars: dict[int, str] = exemplars or {}
 
     def percentile(self, pct: float) -> float:
         if self.count == 0:
@@ -89,8 +92,13 @@ class HistogramSnapshot:
         return self.max
 
     def to_wire(self) -> dict:
-        """Same wire schema as ``loadgen.metrics.LatencyHistogram.to_wire``."""
-        return {
+        """Same wire schema as ``loadgen.metrics.LatencyHistogram.to_wire``.
+
+        The ``exemplars`` key is added only when any were recorded, so
+        exemplar-free histograms keep the exact historical wire dict
+        (``loadgen``'s ``from_wire`` ignores unknown keys either way).
+        """
+        wire = {
             "buckets": {
                 str(i): c for i, c in enumerate(self.counts) if c
             },
@@ -99,6 +107,18 @@ class HistogramSnapshot:
             "min": self.min if self.count else 0.0,
             "max": self.max,
         }
+        if self.exemplars:
+            wire["exemplars"] = {
+                str(i): trace_id
+                for i, trace_id in sorted(self.exemplars.items())
+            }
+        return wire
+
+    def slowest_exemplar(self) -> str | None:
+        """Trace id behind the highest occupied exemplar bucket, if any."""
+        if not self.exemplars:
+            return None
+        return self.exemplars[max(self.exemplars)]
 
     def summary(self) -> dict:
         if self.count == 0:
@@ -126,11 +146,15 @@ class StageHistogram:
     the same mild raciness ``ShardedCounter.value()`` accepts.
     """
 
-    __slots__ = ("_shards", "_local")
+    __slots__ = ("_shards", "_local", "_exemplars")
 
     def __init__(self) -> None:
         self._shards: dict[int, list] = {}
         self._local = threading.local()
+        # bucket index -> hex trace id of the most recent traced sample
+        # landing there.  A single dict-item store per traced sample is
+        # GIL-atomic, so last-write-wins without a lock is fine.
+        self._exemplars: dict[int, str] = {}
 
     def _shard(self) -> list:
         try:
@@ -141,7 +165,7 @@ class StageHistogram:
             self._local.shard = shard
             return shard
 
-    def record(self, seconds: float) -> None:
+    def record(self, seconds: float, exemplar: str | None = None) -> None:
         shard = self._shard()
         shard[_COUNT] += 1
         shard[_TOTAL] += seconds
@@ -149,7 +173,10 @@ class StageHistogram:
             shard[_MIN] = seconds
         if seconds > shard[_MAX]:
             shard[_MAX] = seconds
-        shard[bucket_index(seconds) + _HDR] += 1
+        bucket = bucket_index(seconds)
+        shard[bucket + _HDR] += 1
+        if exemplar is not None:
+            self._exemplars[bucket] = exemplar
 
     def snapshot(self) -> HistogramSnapshot:
         while True:
@@ -175,7 +202,9 @@ class StageHistogram:
                 counts[i] += shard[_HDR + i]
         if count == 0:
             minimum = 0.0
-        return HistogramSnapshot(counts, count, total, minimum, maximum)
+        return HistogramSnapshot(
+            counts, count, total, minimum, maximum, dict(self._exemplars)
+        )
 
     def to_wire(self) -> dict:
         return self.snapshot().to_wire()

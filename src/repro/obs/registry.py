@@ -103,7 +103,7 @@ class _NullGauge:
 class _NullHistogram:
     __slots__ = ()
 
-    def record(self, seconds: float) -> None:
+    def record(self, seconds: float, exemplar: str | None = None) -> None:
         pass
 
     def to_wire(self) -> dict:

@@ -1,67 +1,133 @@
-"""Per-request stage tracing for the slow-request log.
+"""Per-request stage tracing for the slow-request log and ``/traces``.
 
 A :class:`RequestTrace` is a cheap stamp card handed down the pipeline
 (transport → server → validator → database → store → WAL) that each
-stage stamps with its elapsed seconds.  Traces are only allocated when
-the slow-request log is armed (``--slow-request-ms``); the always-on
-per-stage *histograms* live in the registry and don't need one.
+stage stamps with its elapsed seconds.  Traces are allocated when the
+slow-request log is armed (``--slow-request-ms``) or metrics are on;
+the always-on per-stage *histograms* live in the registry and don't
+need one, but they borrow the trace's id as a per-bucket exemplar.
+
+Since the federated tier (PR 8) a single ADD can cross a process
+boundary: the replica mints a trace id, carries it on the forward hop,
+and the owner stamps its stages on *the same* id; the durability reply
+ships the owner-side stamps back (:func:`encode_trace_stages` /
+:func:`decode_trace_stages`) so the replica folds them into one trace.
 
 Stage names are shared constants so histogram names, trace keys, and the
 docs' stage diagram can never drift apart:
 
-    queue_wait -> validate (crypto on cache miss) -> db_append
-    (wal_fsync inside) -> handler (end-to-end dispatch) -> flush
+    queue_wait -> guard_check -> validate (crypto on cache miss)
+    -> repl_forward (replica->owner hop; owner_queue inside)
+    -> db_append (wal_fsync inside; group_commit is the leader wait)
+    -> handler (end-to-end dispatch) -> flush
+    apply_lag rides the apply stream, not the request path.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import random
+import struct
+import threading
+
 __all__ = [
     "STAGE_QUEUE_WAIT",
+    "STAGE_GUARD_CHECK",
     "STAGE_VALIDATE",
     "STAGE_CRYPTO",
+    "STAGE_REPL_FORWARD",
+    "STAGE_OWNER_QUEUE",
     "STAGE_DB_APPEND",
     "STAGE_DB_READ",
     "STAGE_WAL_FSYNC",
+    "STAGE_GROUP_COMMIT",
     "STAGE_HANDLER",
     "STAGE_FLUSH",
+    "STAGE_APPLY_LAG",
     "ALL_STAGES",
     "RequestTrace",
+    "TraceBuffer",
+    "mint_trace_id",
+    "format_trace_id",
+    "encode_trace_stages",
+    "decode_trace_stages",
 ]
 
-STAGE_QUEUE_WAIT = "queue_wait"  # frame parsed -> worker dequeues it
-STAGE_VALIDATE = "validate"      # token decode + quota + adjacency
-STAGE_CRYPTO = "crypto"          # authority.decode on token-cache miss
-STAGE_DB_APPEND = "db_append"    # database append incl. durable store
-STAGE_DB_READ = "db_read"        # wire-page composition for GET
-STAGE_WAL_FSYNC = "wal_fsync"    # flush + fsync wait inside the WAL
-STAGE_HANDLER = "handler"        # whole dispatch on the worker
-STAGE_FLUSH = "flush"            # response queued -> last byte written
+STAGE_QUEUE_WAIT = "queue_wait"      # frame parsed -> worker dequeues it
+STAGE_GUARD_CHECK = "guard_check"    # admission-guard verdict (uid/sig)
+STAGE_VALIDATE = "validate"          # token decode + quota + adjacency
+STAGE_CRYPTO = "crypto"              # authority.decode on token-cache miss
+STAGE_REPL_FORWARD = "repl_forward"  # replica->owner round-trip, whole hop
+STAGE_OWNER_QUEUE = "owner_queue"    # forward hop minus owner's own stages
+STAGE_DB_APPEND = "db_append"        # database append incl. durable store
+STAGE_DB_READ = "db_read"            # wire-page composition for GET
+STAGE_WAL_FSYNC = "wal_fsync"        # flush + fsync wait inside the WAL
+STAGE_GROUP_COMMIT = "group_commit"  # commit-leader wait inside wal_fsync
+STAGE_HANDLER = "handler"            # whole dispatch on the worker
+STAGE_FLUSH = "flush"                # response queued -> last byte written
+STAGE_APPLY_LAG = "apply_lag"        # owner publish -> replica apply
 
 ALL_STAGES = (
     STAGE_QUEUE_WAIT,
+    STAGE_GUARD_CHECK,
     STAGE_VALIDATE,
     STAGE_CRYPTO,
+    STAGE_REPL_FORWARD,
+    STAGE_OWNER_QUEUE,
     STAGE_DB_APPEND,
     STAGE_DB_READ,
     STAGE_WAL_FSYNC,
+    STAGE_GROUP_COMMIT,
     STAGE_HANDLER,
     STAGE_FLUSH,
+    STAGE_APPLY_LAG,
 )
+
+# Trace ids are u64: a random per-process prefix (so ids minted by
+# different federated workers can't collide) over a monotonically
+# increasing suffix.  next() on an itertools.count is GIL-atomic, so
+# minting needs no lock.
+_TRACE_ID_BITS = 64
+_SEQ_BITS = 40
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+_trace_base = random.getrandbits(_TRACE_ID_BITS - _SEQ_BITS) << _SEQ_BITS
+_trace_seq = itertools.count(1)
+
+
+def mint_trace_id() -> int:
+    """A fresh non-zero u64 trace id (0 is reserved for "untraced")."""
+    trace_id = _trace_base | (next(_trace_seq) & _SEQ_MASK)
+    return trace_id if trace_id else 1
+
+
+def format_trace_id(trace_id: int) -> str:
+    """Canonical 16-hex-digit rendering used in logs and ``/traces``."""
+    return f"{trace_id:016x}"
 
 
 class RequestTrace:
     """Stage -> elapsed-seconds stamps for one request."""
 
-    __slots__ = ("op", "stages")
+    __slots__ = ("op", "trace_id", "stages")
 
-    def __init__(self, op: str = "?") -> None:
+    def __init__(self, op: str = "?", trace_id: int = 0) -> None:
         self.op = op
+        self.trace_id = trace_id if trace_id else mint_trace_id()
         self.stages: dict[str, float] = {}
 
     def stamp(self, stage: str, seconds: float) -> None:
         # A stage can run more than once per request (e.g. wal_fsync
         # under rotation); accumulate.
         self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def merge_stages(self, stages: dict[str, float]) -> None:
+        """Fold another process's stamps (the owner's) into this trace."""
+        for stage, seconds in stages.items():
+            self.stamp(stage, seconds)
+
+    def hex_id(self) -> str:
+        return format_trace_id(self.trace_id)
 
     def total(self) -> float:
         return self.stages.get(STAGE_HANDLER, 0.0) + self.stages.get(
@@ -76,3 +142,118 @@ class RequestTrace:
             if stage in self.stages
         ]
         return " ".join(parts) if parts else "no stages stamped"
+
+
+# ---------------------------------------------------------------------------
+# Trace-context wire form
+# ---------------------------------------------------------------------------
+#
+# The replication reply carries the owner-side stamps back to the
+# replica as:  u8 entry count, then per entry u8 name length + UTF-8
+# stage name + f64 big-endian seconds.  Stage names are short constants,
+# so u8 lengths are ample; the codec round-trips losslessly (f64 in,
+# f64 out — property-tested in tests/obs).
+
+_F64 = struct.Struct(">d")
+
+
+def encode_trace_stages(stages: dict[str, float]) -> bytes:
+    """Serialise stage stamps for the replication reply (lossless)."""
+    if not stages:
+        return b"\x00"
+    items = list(stages.items())[:255]
+    parts = [bytes((len(items),))]
+    for name, seconds in items:
+        raw = name.encode("utf-8")
+        if len(raw) > 255:
+            raise ValueError(f"stage name too long: {name!r}")
+        parts.append(bytes((len(raw),)))
+        parts.append(raw)
+        parts.append(_F64.pack(float(seconds)))
+    return b"".join(parts)
+
+
+def decode_trace_stages(data: bytes) -> dict[str, float]:
+    """Inverse of :func:`encode_trace_stages`."""
+    if not data:
+        return {}
+    count = data[0]
+    offset = 1
+    stages: dict[str, float] = {}
+    for _ in range(count):
+        name_len = data[offset]
+        offset += 1
+        name = data[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        (seconds,) = _F64.unpack_from(data, offset)
+        offset += _F64.size
+        stages[name] = seconds
+    return stages
+
+
+class TraceBuffer:
+    """Bounded ring of the N slowest completed traces.
+
+    Backed by a min-heap keyed on trace total, so a new trace evicts the
+    *fastest* retained one; ``snapshot()`` returns slowest-first.  A
+    lock-free floor pre-check keeps the steady-state cost of a fast
+    request at one comparison once the buffer is full.
+    """
+
+    __slots__ = ("_capacity", "_lock", "_heap", "_seq", "_floor")
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        # Heap items: (total_seconds, tiebreak_seq, entry_dict).
+        self._heap: list[tuple[float, int, dict]] = []
+        self._seq = itertools.count()
+        self._floor = -1.0  # eviction threshold once full; racy read ok
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def note(self, trace: RequestTrace) -> None:
+        if trace is None or not trace.stages:
+            return
+        total = trace.total()
+        if total <= 0.0:
+            # A partial trace (the owner's side of a forwarded ADD) has
+            # no handler/queue_wait stamps; rank it by its stage sum.
+            total = sum(trace.stages.values())
+        if total <= self._floor:
+            return
+        entry = {
+            "trace_id": trace.hex_id(),
+            "op": trace.op,
+            "total_ms": total * 1000.0,
+            "stages_ms": {
+                stage: trace.stages[stage] * 1000.0
+                for stage in ALL_STAGES
+                if stage in trace.stages
+            },
+        }
+        item = (total, next(self._seq), entry)
+        with self._lock:
+            if len(self._heap) < self._capacity:
+                heapq.heappush(self._heap, item)
+            elif total > self._heap[0][0]:
+                heapq.heapreplace(self._heap, item)
+            else:
+                return
+            if len(self._heap) >= self._capacity:
+                self._floor = self._heap[0][0]
+
+    def snapshot(self) -> list[dict]:
+        """Retained traces, slowest first (dicts are JSON-ready copies)."""
+        with self._lock:
+            items = sorted(self._heap, reverse=True)
+        return [dict(entry) for _, _, entry in items]
+
+    def find(self, trace_id: str) -> dict | None:
+        """Look up one retained trace by its 16-hex-digit id."""
+        with self._lock:
+            for _, _, entry in self._heap:
+                if entry["trace_id"] == trace_id:
+                    return dict(entry)
+        return None

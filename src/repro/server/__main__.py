@@ -153,8 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--admin-addr", action="append", metavar="URL", default=None,
         help="serve a plaintext-HTTP observability plane on this endpoint "
-             "(GET /metrics Prometheus text, /stats JSON, /healthz); "
-             "repeatable",
+             "(GET /metrics Prometheus text, /stats JSON, /traces slowest "
+             "request traces, /healthz); repeatable",
     )
     parser.add_argument(
         "--metrics-log", metavar="PATH", default=None,
@@ -169,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-request-ms", type=float, default=0.0, metavar="MS",
         help="log any request slower than MS milliseconds with a "
              "per-stage breakdown (0: disabled)",
+    )
+    parser.add_argument(
+        "--trace-buffer", type=int, default=64, metavar="N",
+        help="retain the N slowest completed request traces in memory "
+             "for the admin plane's /traces endpoint",
     )
     parser.add_argument(
         "--no-metrics", action="store_true",
@@ -251,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
         guard_budget=args.guard_budget,
         guard_window_s=args.guard_window,
         guard_tarpit_s=args.guard_tarpit,
+        trace_buffer_size=args.trace_buffer,
     )
     try:
         server = CommunixServer(config=config)

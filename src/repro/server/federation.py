@@ -106,6 +106,8 @@ def _worker_config(args):
         guard_enabled=args.guard,
         guard_budget=args.guard_budget,
         guard_window_s=args.guard_window,
+        guard_tarpit_s=args.guard_tarpit,
+        trace_buffer_size=args.trace_buffer,
     )
 
 
@@ -183,9 +185,13 @@ def federation_worker_main(args) -> int:
         server, endpoints=endpoints,
         accept_backlog=args.backlog, workers=args.workers,
         idle_timeout=args.idle_timeout,
+        # Every worker serves its own admin plane: per-worker metrics
+        # (a replica's replication.lag, the owner's group-commit stages)
+        # are only scrapeable from the process that records them.  The
+        # coordinator gives replicas ephemeral-port planes and prints
+        # every resolved URL.
         admin_endpoints=[parse_endpoint(spec)
-                         for spec in (args.admin_addr or [])] if is_owner
-                        else [],
+                         for spec in (args.admin_addr or [])],
         listen_sockets=listen_sockets,
         reuse_port=True,
         cleanup_listeners=False,  # socket files are the coordinator's
@@ -297,6 +303,7 @@ def _spawn_worker(index: int, args, tcp_endpoints, unix_listeners,
         "--checkpoint-every", str(args.checkpoint_every),
         "--token-cache-size", str(args.token_cache_size),
         "--slow-request-ms", str(args.slow_request_ms),
+        "--trace-buffer", str(args.trace_buffer),
     ]
     for endpoint in tcp_endpoints:
         command += ["--addr", endpoint.url()]
@@ -307,7 +314,8 @@ def _spawn_worker(index: int, args, tcp_endpoints, unix_listeners,
         # (per-worker sketches); the coordinator's merged metrics pool
         # them into the owner-merged view via merge_registry_snapshots.
         command += ["--guard", "--guard-budget", str(args.guard_budget),
-                    "--guard-window", str(args.guard_window)]
+                    "--guard-window", str(args.guard_window),
+                    "--guard-tarpit", str(args.guard_tarpit)]
     if args.crypto_backend:
         command += ["--crypto-backend", args.crypto_backend]
     if args.no_metrics:
@@ -317,6 +325,12 @@ def _spawn_worker(index: int, args, tcp_endpoints, unix_listeners,
             command += ["--data-dir", args.data_dir]
         for spec in args.admin_addr or []:
             command += ["--admin-addr", spec]
+    elif args.admin_addr:
+        # The user asked for an admin plane: replicas get their own on an
+        # ephemeral port (the user's explicit addresses belong to the
+        # owner; two processes cannot share one without SO_REUSEPORT
+        # scrape ambiguity).  Resolved URLs surface in the ready event.
+        command += ["--admin-addr", "tcp://127.0.0.1:0"]
     channel = None
     pass_fds = ()
     if unix_listeners:
@@ -508,8 +522,11 @@ def run_federation(args, endpoints, admin_endpoints) -> int:
               f"{procs} worker processes)")
         for endpoint in bound[1:]:
             print(f"communix-server also listening on {endpoint.url()}")
-        for url in ready0.get("admin", []):
-            print(f"communix-server admin plane on {url}")
+        for worker in workers:
+            ready = worker.events.get("ready", {})
+            role = "owner" if worker.index == 0 else f"replica {worker.index}"
+            for url in ready.get("admin", []):
+                print(f"communix-server admin plane ({role}) on {url}")
 
         # ----------------------------------------------------- serve loop
         stop = threading.Event()

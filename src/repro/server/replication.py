@@ -37,8 +37,21 @@ import select
 import socket
 import struct
 import threading
+import time
+from time import perf_counter
 
 from repro.net import dial, listen as net_listen, parse_endpoint
+from repro.obs import (
+    STAGE_APPLY_LAG,
+    STAGE_GUARD_CHECK,
+    STAGE_OWNER_QUEUE,
+    STAGE_REPL_FORWARD,
+    STAGE_DB_APPEND,
+    STAGE_VALIDATE,
+    RequestTrace,
+    decode_trace_stages,
+    encode_trace_stages,
+)
 from repro.server.protocol import read_frame, write_frame
 from repro.server.server import AddOutcome, CommunixServer, ServerConfig
 from repro.util.errors import ProtocolError
@@ -65,14 +78,27 @@ STREAM_ENTRY = b"e"
 PUBLISH_FALLBACK_S = 0.05
 
 _U64 = struct.Struct(">Q")
+_U16 = struct.Struct(">H")
+_F64 = struct.Struct(">d")
+
+#: Forward-ADD request: opcode, uid, the replica's trace id (0 =
+#: untraced), then the signature blob to the end of the frame.
+_ADD_HDR = 1 + 2 * _U64.size
+#: Stream entry: opcode, entry index, sender uid, the owner's published
+#: count and CLOCK_MONOTONIC timestamp at send time (system-wide on
+#: Linux, so the replica can subtract it — the apply-lag instrument),
+#: then the blob.
+_STREAM_HDR = 1 + 3 * _U64.size + _F64.size
 
 
-def _add_request(uid: int, blob: bytes) -> bytes:
-    return OP_FORWARD_ADD + _U64.pack(uid) + blob
+def _add_request(uid: int, blob: bytes, trace_id: int = 0) -> bytes:
+    return OP_FORWARD_ADD + _U64.pack(uid) + _U64.pack(trace_id) + blob
 
 
-def _stream_entry(index: int, uid: int, blob: bytes) -> bytes:
-    return STREAM_ENTRY + _U64.pack(index) + _U64.pack(uid) + blob
+def _stream_entry(index: int, uid: int, blob: bytes,
+                  published: int, publish_ts: float) -> bytes:
+    return (STREAM_ENTRY + _U64.pack(index) + _U64.pack(uid)
+            + _U64.pack(published) + _F64.pack(publish_ts) + blob)
 
 
 class ForwardError(Exception):
@@ -103,6 +129,15 @@ class ReplicationHub:
         self.forwarded_adds = 0  # owner-side visibility (not client stats)
         self.forwarded_issues = 0
         server.database.add_publish_listener(self._on_publish)
+        # Owner-side replication telemetry, derived so the attributes
+        # above stay the single source of truth.
+        metrics = server.metrics
+        metrics.register_counter("replication.forwarded_adds",
+                                 lambda: self.forwarded_adds)
+        metrics.register_counter("replication.forwarded_issues",
+                                 lambda: self.forwarded_issues)
+        metrics.register_gauge("replication.subscribers",
+                               lambda: len(self._wakeups))
 
     def _on_publish(self) -> None:
         """Database publish hook: runs on the appender's thread, outside
@@ -149,15 +184,28 @@ class ReplicationHub:
                 op = frame[:1]
                 if op == OP_FORWARD_ADD:
                     uid = _U64.unpack_from(frame, 1)[0]
+                    trace_id = _U64.unpack_from(frame, 1 + _U64.size)[0]
+                    # The owner stamps its stages onto the *replica's*
+                    # trace id — one trace across the process boundary;
+                    # the stamps ride back in the durability reply.
+                    trace = (RequestTrace(op="fwd_add", trace_id=trace_id)
+                             if trace_id else None)
                     outcome = self._server.process_forwarded_add(
-                        frame[1 + _U64.size:], uid
+                        frame[_ADD_HDR:], uid, trace
                     )
                     self.forwarded_adds += 1
+                    if trace is not None:
+                        # Owner-side /traces can resolve the id too.
+                        self._server.traces.note(trace)
+                    stages = (encode_trace_stages(trace.stages)
+                              if trace is not None else b"\x00")
+                    verdict_raw = outcome.verdict.encode("utf-8")
                     reply = (REPLY_ADD
                              + (b"\x01" if outcome.accepted else b"\x00")
                              + _U64.pack(outcome.index if outcome.index
                                          is not None else 2**64 - 1)
-                             + outcome.verdict.encode("utf-8"))
+                             + _U16.pack(len(verdict_raw)) + verdict_raw
+                             + stages)
                     write_frame(conn, reply)
                 elif op == OP_FORWARD_ISSUE:
                     try:
@@ -198,7 +246,8 @@ class ReplicationHub:
                 while next_index < published:
                     entry = database.entry(next_index)
                     write_frame(conn, _stream_entry(
-                        entry.index, entry.sender_uid, entry.blob
+                        entry.index, entry.sender_uid, entry.blob,
+                        published, time.monotonic()
                     ))
                     next_index += 1
                 if next_index >= len(database):
@@ -315,16 +364,30 @@ class LogForwardClient:
             raise ForwardError("log owner closed the internal connection")
         return reply
 
-    def forward_add(self, uid: int, blob: bytes) -> AddOutcome:
-        reply = self._roundtrip(_add_request(uid, blob))
-        if reply[:1] != REPLY_ADD or len(reply) < 2 + _U64.size:
+    def forward_add(self, uid: int, blob: bytes, trace_id: int = 0
+                    ) -> tuple[AddOutcome, dict[str, float]]:
+        """Forward one ADD; returns the owner's outcome plus the stage
+        stamps the owner recorded on ``trace_id`` (empty when untraced
+        or when the reply's stage section is malformed)."""
+        reply = self._roundtrip(_add_request(uid, blob, trace_id))
+        if reply[:1] != REPLY_ADD or len(reply) < 2 + _U64.size + _U16.size:
             self._drop()
             raise ForwardError("malformed ADD reply from log owner")
         accepted = reply[1:2] == b"\x01"
         index = _U64.unpack_from(reply, 2)[0]
-        verdict = reply[2 + _U64.size:].decode("utf-8", "replace")
-        return AddOutcome(accepted=accepted, verdict=verdict,
-                          index=index if index != 2**64 - 1 else None)
+        offset = 2 + _U64.size
+        (verdict_len,) = _U16.unpack_from(reply, offset)
+        offset += _U16.size
+        verdict = reply[offset:offset + verdict_len].decode("utf-8", "replace")
+        offset += verdict_len
+        try:
+            stages = decode_trace_stages(reply[offset:])
+        except (IndexError, struct.error):
+            # Telemetry must never fail the request it describes.
+            stages = {}
+        outcome = AddOutcome(accepted=accepted, verdict=verdict,
+                             index=index if index != 2**64 - 1 else None)
+        return outcome, stages
 
     def forward_issue(self) -> str:
         reply = self._roundtrip(OP_FORWARD_ISSUE)
@@ -347,13 +410,22 @@ class ReplicaFeed(threading.Thread):
     """Replica-side apply-stream consumer: one long-lived subscription
     installing owner-published entries into the local database."""
 
-    def __init__(self, database, endpoint):
+    def __init__(self, database, endpoint, metrics=None):
         super().__init__(name="communix-replica-feed", daemon=True)
         self._database = database
         self._endpoint = parse_endpoint(endpoint)
         self._stop_event = threading.Event()
         self._sock: socket.socket | None = None
         self.applied = 0
+        # Replication health: per-entry owner-publish -> local-apply
+        # latency (CLOCK_MONOTONIC is system-wide, so the cross-process
+        # subtraction is sound on Linux) and the entry-count lag gauge.
+        if metrics is not None and metrics.enabled:
+            self._h_apply_lag = metrics.histogram(f"stage.{STAGE_APPLY_LAG}")
+            self._g_lag = metrics.gauge("replication.lag")
+        else:
+            self._h_apply_lag = None
+            self._g_lag = None
 
     def run(self) -> None:
         try:
@@ -373,9 +445,18 @@ class ReplicaFeed(threading.Thread):
                     raise ProtocolError("unexpected apply-stream frame")
                 index = _U64.unpack_from(frame, 1)[0]
                 uid = _U64.unpack_from(frame, 1 + _U64.size)[0]
-                blob = frame[1 + 2 * _U64.size:]
+                published = _U64.unpack_from(frame, 1 + 2 * _U64.size)[0]
+                (publish_ts,) = _F64.unpack_from(frame, 1 + 3 * _U64.size)
+                blob = frame[_STREAM_HDR:]
                 if self._database.apply_replicated(index, blob, uid):
                     self.applied += 1
+                if self._h_apply_lag is not None:
+                    self._h_apply_lag.record(
+                        max(0.0, time.monotonic() - publish_ts)
+                    )
+                    self._g_lag.set(
+                        max(0, published - len(self._database))
+                    )
         except (ProtocolError, OSError, ValueError):
             if not self._stop_event.is_set():
                 log.exception("replica apply-stream failed; local GETs "
@@ -418,7 +499,21 @@ class FederatedWorkerServer(CommunixServer):
         super().__init__(config=replica_config, authority=authority,
                          clock=clock, metrics=metrics)
         self._forward = LogForwardClient(internal_endpoint)
-        self._feed = ReplicaFeed(self.database, internal_endpoint)
+        self._feed = ReplicaFeed(self.database, internal_endpoint,
+                                 metrics=self.metrics)
+        # Cross-process stage histograms (pre-resolved; see CommunixServer
+        # on why): the whole forward hop, and the hop minus the owner's
+        # own stamped stages — wire transit plus owner-side queueing.
+        self._h_forward = self.metrics.histogram(
+            f"stage.{STAGE_REPL_FORWARD}"
+        )
+        self._h_owner_queue = self.metrics.histogram(
+            f"stage.{STAGE_OWNER_QUEUE}"
+        )
+        self._h_guard_uid = (
+            self.metrics.histogram(f"stage.{STAGE_GUARD_CHECK}")
+            if self.guard is not None else None
+        )
 
     def start_replication(self) -> None:
         self._feed.start()
@@ -429,7 +524,14 @@ class FederatedWorkerServer(CommunixServer):
 
     def process_add(self, blob: bytes, token: str, trace=None) -> AddOutcome:
         """Local cheap checks + AES decode, then forward; the ack waits
-        for the owner's durability reply, never this process's state."""
+        for the owner's durability reply, never this process's state.
+
+        The request's trace id rides the forward hop, the owner stamps
+        its stages on it, and the durability reply's stamps are folded
+        back into ``trace`` — one end-to-end trace for a two-process ADD.
+        """
+        timed = self._obs_on or trace is not None
+        exemplar = trace.hex_id() if trace is not None else None
         if len(blob) > self.config.max_signature_bytes:
             return self._rejected("oversized")
         if self.config.require_token:
@@ -438,17 +540,44 @@ class FederatedWorkerServer(CommunixServer):
                 return self._rejected("bad_token")
         else:
             uid = 0
-        if self.guard is not None and not self.guard.admit_uid(uid):
-            # Replica-local shed on the sender dimension: a flooding uid
-            # never costs the owner a forward round-trip.  The signature
-            # dimension (which needs the parsed sig_id) still runs on the
-            # owner, whose own guard re-checks the forwarded ADD.
-            return self._rejected("shed")
+        if self.guard is not None:
+            started = perf_counter() if timed else 0.0
+            admitted = self.guard.admit_uid(uid)
+            if timed:
+                elapsed = perf_counter() - started
+                if self._h_guard_uid is not None:
+                    self._h_guard_uid.record(elapsed, exemplar)
+                if trace is not None:
+                    trace.stamp(STAGE_GUARD_CHECK, elapsed)
+            if not admitted:
+                # Replica-local shed on the sender dimension: a flooding
+                # uid never costs the owner a forward round-trip.  The
+                # signature dimension (which needs the parsed sig_id)
+                # still runs on the owner, whose own guard re-checks the
+                # forwarded ADD.
+                return self._rejected("shed")
+        started = perf_counter() if timed else 0.0
         try:
-            outcome = self._forward.forward_add(uid, blob)
+            outcome, owner_stages = self._forward.forward_add(
+                uid, blob, trace.trace_id if trace is not None else 0
+            )
         except ForwardError:
             log.exception("ADD forward failed; not acknowledged")
             return self._rejected("store_error")
+        if timed:
+            hop = perf_counter() - started
+            self._h_forward.record(hop, exemplar)
+            # Clocks across processes can't subtract per-stage, but both
+            # ends of the hop are this thread's clock: hop minus the
+            # owner's top-level stamps = wire transit + owner queueing.
+            owner_time = (owner_stages.get(STAGE_VALIDATE, 0.0)
+                          + owner_stages.get(STAGE_DB_APPEND, 0.0))
+            owner_queue = max(0.0, hop - owner_time)
+            self._h_owner_queue.record(owner_queue, exemplar)
+            if trace is not None:
+                trace.stamp(STAGE_REPL_FORWARD, hop)
+                trace.stamp(STAGE_OWNER_QUEUE, owner_queue)
+                trace.merge_stages(owner_stages)
         if outcome.accepted:
             self._counters.adds_accepted.add()
             return outcome

@@ -26,6 +26,7 @@ from repro.obs import (
     STAGE_DB_APPEND,
     STAGE_DB_READ,
     STAGE_VALIDATE,
+    TraceBuffer,
 )
 from repro.server.database import SignatureDatabase
 from repro.server.ratelimit import DailyQuota
@@ -97,6 +98,9 @@ class ServerConfig:
     #: connection is held busy this long per response, throttling a
     #: closed-loop flooder to ~1/tarpit requests per second.
     guard_tarpit_s: float = 0.025
+    #: How many of the slowest completed traces the in-memory ring keeps
+    #: for the admin plane's ``/traces`` endpoint (``--trace-buffer``).
+    trace_buffer_size: int = 64
 
 
 @dataclass
@@ -221,6 +225,11 @@ class CommunixServer:
             metrics=metrics, guard=self.guard,
         )
         self._counters = _StatsCounters()
+        #: Ring of the N slowest completed traces, fed by the transport
+        #: (and the replication hub for forwarded ADDs), served by the
+        #: admin plane's ``/traces``.  Always present — it only fills
+        #: when traces are being minted.
+        self.traces = TraceBuffer(self.config.trace_buffer_size)
         # Pre-resolved stage histograms: the hot path must not pay a
         # registry lookup per request.  _obs_on gates even the
         # perf_counter() reads when the null registry is installed.
@@ -302,6 +311,7 @@ class CommunixServer:
         timings always go to the registry histograms when metrics are on.
         """
         timed = self._obs_on or trace is not None
+        exemplar = trace.hex_id() if trace is not None else None
         if len(blob) > self.config.max_signature_bytes:
             return self._rejected("oversized")
         try:
@@ -313,7 +323,7 @@ class CommunixServer:
             verdict, uid = self.validator.check_add(signature, token, trace)
             if timed:
                 elapsed = perf_counter() - started
-                self._h_validate.record(elapsed)
+                self._h_validate.record(elapsed, exemplar)
                 if trace is not None:
                     trace.stamp(STAGE_VALIDATE, elapsed)
             if not self.config.adjacency_check and verdict is ServerVerdict.ADJACENT:
@@ -337,7 +347,7 @@ class CommunixServer:
             return self._rejected("store_error")
         if timed:
             elapsed = perf_counter() - started
-            self._h_db_append.record(elapsed)
+            self._h_db_append.record(elapsed, exemplar)
             if trace is not None:
                 trace.stamp(STAGE_DB_APPEND, elapsed)
         self._counters.adds_accepted.add()
@@ -358,6 +368,7 @@ class CommunixServer:
         double-book every forwarded request in the merged totals.
         """
         timed = self._obs_on or trace is not None
+        exemplar = trace.hex_id() if trace is not None else None
         if len(blob) > self.config.max_signature_bytes:
             return AddOutcome(accepted=False, verdict="oversized")
         try:
@@ -366,10 +377,10 @@ class CommunixServer:
             return AddOutcome(accepted=False, verdict="malformed")
         if self.config.require_token:
             started = perf_counter() if timed else 0.0
-            verdict = self.validator.check_add_uid(signature, uid)
+            verdict = self.validator.check_add_uid(signature, uid, trace)
             if timed:
                 elapsed = perf_counter() - started
-                self._h_validate.record(elapsed)
+                self._h_validate.record(elapsed, exemplar)
                 if trace is not None:
                     trace.stamp(STAGE_VALIDATE, elapsed)
             if (not self.config.adjacency_check
@@ -388,7 +399,7 @@ class CommunixServer:
             return AddOutcome(accepted=False, verdict="store_error")
         if timed:
             elapsed = perf_counter() - started
-            self._h_db_append.record(elapsed)
+            self._h_db_append.record(elapsed, exemplar)
             if trace is not None:
                 trace.stamp(STAGE_DB_APPEND, elapsed)
         return AddOutcome(accepted=True, verdict="ok", index=index)
@@ -445,7 +456,9 @@ class CommunixServer:
         )
         if timed:
             elapsed = perf_counter() - started
-            self._h_db_read.record(elapsed)
+            self._h_db_read.record(
+                elapsed, trace.hex_id() if trace is not None else None
+            )
             if trace is not None:
                 trace.stamp(STAGE_DB_READ, elapsed)
         self._counters.gets_served.add()

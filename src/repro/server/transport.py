@@ -59,12 +59,18 @@ from __future__ import annotations
 
 import collections
 import errno
+import os
 import selectors
 import socket
 import struct
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-Unix
+    resource = None
 
 from time import perf_counter
 
@@ -119,6 +125,12 @@ _ADMIN_MAX_REQUEST = 8 * 1024
 #: How long accept stays paused after EMFILE/ENFILE before retrying.
 _ACCEPT_COOLDOWN = 0.2
 _FD_EXHAUSTED = {errno.EMFILE, errno.ENFILE}
+#: Event-loop health tick: the loop schedules a timer every tick and
+#: records how late it actually fires (``loop.timer_drift``) — scheduled
+#: vs. actual drift is the classic event-loop stall detector.
+_HEALTH_TICK_S = 0.25
+#: A tick later than this counts as a stall (``loop.stalls``).
+_STALL_THRESHOLD_S = 0.1
 
 
 _HTTP_STATUS = {200: "OK", 404: "Not Found", 405: "Method Not Allowed",
@@ -169,7 +181,9 @@ class _OutputQueue:
         #: catches up to it.
         self.pushed = 0
         self.written = 0
-        self.marks: collections.deque[tuple[int, float]] = collections.deque()
+        self.marks: collections.deque[
+            tuple[int, float, str | None]
+        ] = collections.deque()
 
     def push(self, buffers) -> None:
         for buffer in buffers:
@@ -178,19 +192,22 @@ class _OutputQueue:
                 self.size += len(buffer)
                 self.pushed += len(buffer)
 
-    def mark(self, timestamp: float) -> None:
+    def mark(self, timestamp: float, exemplar: str | None = None) -> None:
         """Mark the current enqueue position (a response boundary) so the
-        flush stage can measure enqueue -> last-byte-written."""
-        self.marks.append((self.pushed, timestamp))
+        flush stage can measure enqueue -> last-byte-written.  ``exemplar``
+        is the request's trace id, carried through so the flush histogram
+        can attribute its buckets."""
+        self.marks.append((self.pushed, timestamp, exemplar))
 
-    def take_flushed(self) -> list[float]:
-        """Pop the start timestamps of every mark the writes so far have
-        fully covered."""
+    def take_flushed(self) -> list[tuple[float, str | None]]:
+        """Pop the ``(start timestamp, exemplar)`` of every mark the
+        writes so far have fully covered."""
         done = []
         marks = self.marks
         written = self.written
         while marks and marks[0][0] <= written:
-            done.append(marks.popleft()[1])
+            _, timestamp, exemplar = marks.popleft()
+            done.append((timestamp, exemplar))
         return done
 
     def head(self) -> list[memoryview]:
@@ -308,7 +325,7 @@ class ServerTransport:
         self._stop = threading.Event()
         self._conns: dict[int, _Connection] = {}
         self._completions: collections.deque[
-            tuple[_Connection, list[bytes]]
+            tuple[_Connection, list[bytes], str | None]
         ] = collections.deque()
         self._last_sweep = 0.0
         self._accept_paused_until = 0.0
@@ -333,7 +350,18 @@ class ServerTransport:
         #: loop.lag: time spent *outside* select() per iteration — how
         #: long a newly-ready event can wait for the loop's attention.
         self._h_loop_lag = metrics.histogram("loop.lag")
+        #: loop.timer_drift: how late the loop's scheduled health tick
+        #: actually fired — the cross-check on loop.lag that catches
+        #: stalls even when no socket event wakes the loop.
+        self._h_timer_drift = metrics.histogram("loop.timer_drift")
+        self._c_stalls = metrics.counter("loop.stalls")
         self._c_iterations = metrics.counter("loop.iterations")
+        #: workers.queue_time: most recent queue-wait observed by any
+        #: worker — a cheap "is the pool backed up right now" gauge next
+        #: to the full stage.queue_wait histogram.
+        self._g_queue_time = metrics.gauge("workers.queue_time")
+        #: The server's ring of slowest completed traces (``/traces``).
+        self._traces = getattr(server, "traces", None)
         self._c_accepts = metrics.counter("net.accepts")
         self._c_slow = metrics.counter("net.slow_requests")
         self._c_pauses = metrics.counter("net.backpressure_pauses")
@@ -463,6 +491,16 @@ class ServerTransport:
                                lambda: self._recv_pool.allocated)
         metrics.register_gauge("bufpool.free",
                                lambda: self._recv_pool.free_count)
+        # FD budget: open count vs. the soft RLIMIT_NOFILE cap the accept
+        # backoff fights against.  /proc is Linux-only; a raising callable
+        # is skipped by snapshot(), so these degrade to absent elsewhere.
+        metrics.register_gauge("proc.fd_open",
+                               lambda: len(os.listdir("/proc/self/fd")))
+        if resource is not None:
+            metrics.register_gauge(
+                "proc.fd_limit",
+                lambda: resource.getrlimit(resource.RLIMIT_NOFILE)[0],
+            )
 
     def _worker_queue_depth(self) -> int:
         executor = self._executor
@@ -521,6 +559,11 @@ class ServerTransport:
     def _run_loop(self) -> None:
         selector = self._selector
         obs_on = self._obs_on
+        # Health tick: schedule a timer every _HEALTH_TICK_S and measure
+        # how late it fires.  Unlike loop.lag (work time per iteration),
+        # the drift survives iterations that block in a slow handler or a
+        # long write — the scheduled-vs-actual gap IS the stall.
+        next_tick = (time.monotonic() + _HEALTH_TICK_S) if obs_on else 0.0
         try:
             while not self._stop.is_set():
                 timeout = 0.2
@@ -530,9 +573,23 @@ class ServerTransport:
                     timeout = max(0.0, min(
                         timeout, self._tarpit[0][0] - time.monotonic()
                     ))
+                if obs_on:
+                    timeout = max(0.0, min(
+                        timeout, next_tick - time.monotonic()
+                    ))
                 before_select = perf_counter() if obs_on else 0.0
                 events = selector.select(timeout=timeout)
                 work_started = perf_counter() if obs_on else 0.0
+                if obs_on:
+                    now = time.monotonic()
+                    if now >= next_tick:
+                        drift = now - next_tick
+                        self._h_timer_drift.record(drift)
+                        if drift > _STALL_THRESHOLD_S:
+                            self._c_stalls.add()
+                        # Re-anchor on now: a long stall is one stall,
+                        # not a burst of catch-up ticks.
+                        next_tick = now + _HEALTH_TICK_S
                 for key, mask in events:
                     if key.data is _LISTENER:
                         self._on_accept(key.fileobj)
@@ -751,11 +808,16 @@ class ServerTransport:
         """
         obs_on = self._obs_on
         slow_on = self._slow_log_on
-        trace = RequestTrace() if slow_on else None
+        # The trace doubles as the source of histogram exemplars, so it is
+        # minted whenever metrics are on (not just when the slow log is
+        # armed); --no-metrics still pays zero allocations here.
+        trace = RequestTrace() if (obs_on or slow_on) else None
+        exemplar = trace.hex_id() if trace is not None else None
         started = perf_counter() if (obs_on or slow_on) else 0.0
         if enqueued_at and (obs_on or slow_on):
             queue_wait = started - enqueued_at
-            self._h_queue_wait.record(queue_wait)
+            self._h_queue_wait.record(queue_wait, exemplar)
+            self._g_queue_time.set(queue_wait)
             if trace is not None:
                 trace.stamp(STAGE_QUEUE_WAIT, queue_wait)
         try:
@@ -769,14 +831,19 @@ class ServerTransport:
             )
         if obs_on or slow_on:
             handler_time = perf_counter() - started
-            self._h_handler.record(handler_time)
+            self._h_handler.record(handler_time, exemplar)
             if trace is not None:
                 trace.stamp(STAGE_HANDLER, handler_time)
-                if trace.total() >= self._slow_threshold:
+                if self._traces is not None:
+                    self._traces.note(trace)
+                if slow_on and trace.total() >= self._slow_threshold:
                     self._c_slow.add()
-                    log.warning("slow request op=%s from %s: total=%.2fms %s",
-                                trace.op, conn.peer,
-                                trace.total() * 1000.0, trace.breakdown())
+                    log.warning(
+                        "slow request op=%s trace=%s from %s: "
+                        "total=%.2fms %s",
+                        trace.op, exemplar, conn.peer,
+                        trace.total() * 1000.0, trace.breakdown(),
+                    )
         if isinstance(response, bytes):
             response = [response]
         length = sum(len(part) for part in response)
@@ -786,7 +853,7 @@ class ServerTransport:
             )]
             length = len(response[0])
         response.insert(0, struct.pack(">I", length))
-        self._completions.append((conn, response))
+        self._completions.append((conn, response, exemplar))
         self._wake()
 
     def _drain_wakeup(self) -> None:
@@ -813,7 +880,7 @@ class ServerTransport:
         obs_on = self._obs_on
         while completions:
             try:
-                conn, response_parts = completions.popleft()
+                conn, response_parts, exemplar = completions.popleft()
             except IndexError:  # pragma: no cover - single consumer
                 break
             conn.busy = False
@@ -823,7 +890,7 @@ class ServerTransport:
             if obs_on:
                 # Flush stage starts the moment the response is queued;
                 # it completes when the socket write covers the mark.
-                conn.out.mark(perf_counter())
+                conn.out.mark(perf_counter(), exemplar)
             conn.last_activity = now
             dirty[conn.fd] = conn
         for fd, conn in dirty.items():
@@ -855,8 +922,8 @@ class ServerTransport:
             conn.last_activity = time.monotonic()
         if out.marks:
             ended = perf_counter()
-            for queued_at in out.take_flushed():
-                self._h_flush.record(ended - queued_at)
+            for queued_at, exemplar in out.take_flushed():
+                self._h_flush.record(ended - queued_at, exemplar)
         if conn.close_after_flush and not out.size:
             self._close_conn(conn)
             return
@@ -1059,7 +1126,9 @@ class ServerTransport:
         if len(parts) < 2 or parts[0] != b"GET":
             return _http_response(405, b"only GET is supported\n",
                                   "text/plain; charset=utf-8")
-        path = parts[1].split(b"?", 1)[0]
+        target = parts[1].split(b"?", 1)
+        path = target[0]
+        query = target[1] if len(target) > 1 else b""
         if path == b"/metrics":
             body = render_prometheus(self._metrics.snapshot()).encode("utf-8")
             return _http_response(
@@ -1068,8 +1137,38 @@ class ServerTransport:
         if path == b"/stats":
             body = canonical_json(self._server.stats_payload(version=2))
             return _http_response(200, body + b"\n", "application/json")
+        if path == b"/traces":
+            return self._traces_response(query)
         if path in (b"/healthz", b"/"):
             return _http_response(200, b"ok\n",
                                   "text/plain; charset=utf-8")
         return _http_response(404, b"not found\n",
                               "text/plain; charset=utf-8")
+
+    def _traces_response(self, query: bytes) -> bytes:
+        """``GET /traces``: the retained slowest traces (slowest first)
+        plus the per-histogram bucket exemplars, so "show me the trace
+        behind the p99 bucket" is one scrape.  ``?id=<hex>`` looks up one
+        retained trace (404 when it has been evicted)."""
+        buffer = self._traces
+        wanted = None
+        for param in query.split(b"&"):
+            if param.startswith(b"id="):
+                wanted = param[3:].decode("ascii", "replace")
+        if wanted is not None:
+            found = buffer.find(wanted) if buffer is not None else None
+            if found is None:
+                return _http_response(404, b"trace not found\n",
+                                      "text/plain; charset=utf-8")
+            return _http_response(200, canonical_json({"trace": found}) + b"\n",
+                                  "application/json")
+        exemplars: dict[str, dict] = {}
+        for name, wire in self._metrics.snapshot()["histograms"].items():
+            if wire.get("exemplars"):
+                exemplars[name] = wire["exemplars"]
+        payload = {
+            "traces": buffer.snapshot() if buffer is not None else [],
+            "exemplars": exemplars,
+        }
+        return _http_response(200, canonical_json(payload) + b"\n",
+                              "application/json")

@@ -37,7 +37,7 @@ import threading
 from dataclasses import dataclass
 from time import perf_counter
 
-from repro.obs import STAGE_WAL_FSYNC
+from repro.obs import STAGE_GROUP_COMMIT, STAGE_WAL_FSYNC
 from repro.store.records import LogRecord, pack_record, scan_records
 from repro.util.logging import get_logger
 
@@ -171,6 +171,7 @@ class SegmentedLog:
         self._flusher: threading.Thread | None = None
         self._flusher_stop = threading.Event()
         self._h_fsync = None  # stage.wal_fsync histogram (set_metrics)
+        self._h_group = None  # stage.group_commit histogram (set_metrics)
         os.makedirs(data_dir, exist_ok=True)
         self._recovered = self._recover()
         self._durable = self._count  # everything recovered is on disk
@@ -441,6 +442,16 @@ class SegmentedLog:
         timed = histogram is not None or trace is not None
         started = perf_counter() if timed else 0.0
         with self._commit_lock:
+            # Lock-acquisition wait = riding someone else's batch: that
+            # wait *is* the group commit, so it gets its own stage next
+            # to the whole-commit wal_fsync stamp below.
+            if timed:
+                acquired = perf_counter()
+                lock_wait = acquired - started
+                if self._h_group is not None:
+                    self._h_group.record(lock_wait)
+                if trace is not None:
+                    trace.stamp(STAGE_GROUP_COMMIT, lock_wait)
             if self._durable < target:
                 self._fsync_batch_commit_locked(target, pos)
         if timed:
@@ -503,9 +514,14 @@ class SegmentedLog:
 
     def set_metrics(self, metrics) -> None:
         """Record fsync waits into the registry's ``stage.wal_fsync``
-        histogram (no-op overhead when the null registry is attached)."""
-        self._h_fsync = (metrics.histogram(f"stage.{STAGE_WAL_FSYNC}")
-                         if metrics.enabled else None)
+        histogram (and commit-leader waits into ``stage.group_commit``);
+        no-op overhead when the null registry is attached."""
+        if metrics.enabled:
+            self._h_fsync = metrics.histogram(f"stage.{STAGE_WAL_FSYNC}")
+            self._h_group = metrics.histogram(f"stage.{STAGE_GROUP_COMMIT}")
+        else:
+            self._h_fsync = None
+            self._h_group = None
 
     def _rollback(self, pos: int) -> None:
         """Undo a failed append: drop any buffered bytes and cut the tail

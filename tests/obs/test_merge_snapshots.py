@@ -78,3 +78,63 @@ class TestMergeRegistrySnapshots:
         assert hist["count"] == 1
         assert hist["min"] == 0.5
         assert hist["max"] == 0.5
+
+    def test_all_empty_inputs_yield_empty_sections(self):
+        merged = merge_registry_snapshots([None, {}, {}])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert "sketches" not in merged
+
+    def test_min_max_pool_across_partial_histograms(self):
+        # The global min arrives in the *last* partial and the global max
+        # in the middle one — pooling must not depend on arrival order.
+        values = [[0.2, 0.3], [0.9], [0.001, 0.4]]
+        workers = []
+        for samples in values:
+            registry = MetricsRegistry()
+            for sample in samples:
+                registry.histogram("stage.handler").record(sample)
+            workers.append(registry.snapshot())
+        merged = merge_registry_snapshots(workers)
+        hist = merged["histograms"]["stage.handler"]
+        assert hist["count"] == 5
+        assert hist["min"] == 0.001
+        assert hist["max"] == 0.9
+
+    def test_sketch_geometry_mismatch_keeps_first(self):
+        from repro.guard.sketch import CountMinSketch
+
+        wide, narrow = CountMinSketch(64, 4), CountMinSketch(32, 4)
+        wide.update("uid-1", 3)
+        narrow.update("uid-1", 5)
+        merged = merge_registry_snapshots([
+            {"sketches": {"guard.uid": wide.to_wire()}},
+            {"sketches": {"guard.uid": narrow.to_wire()}},
+        ])
+        # Mismatched geometry cannot be merged; the first wire survives
+        # untouched rather than poisoning the whole snapshot merge.
+        assert merged["sketches"]["guard.uid"] == wide.to_wire()
+
+    def test_sketch_matching_geometry_merges_totals(self):
+        from repro.guard.sketch import CountMinSketch
+
+        a, b = CountMinSketch(64, 4), CountMinSketch(64, 4)
+        a.update("uid-1", 3)
+        b.update("uid-1", 5)
+        merged = merge_registry_snapshots([
+            {"sketches": {"guard.uid": a.to_wire()}},
+            {"sketches": {"guard.uid": b.to_wire()}},
+        ])
+        assert merged["sketches"]["guard.uid"]["total"] == 8
+
+    def test_exemplars_pool_with_later_snapshot_winning(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.histogram("stage.handler").record(0.5, exemplar="aaaa")
+        left.histogram("stage.handler").record(0.001, exemplar="early")
+        right.histogram("stage.handler").record(0.5, exemplar="bbbb")
+        merged = merge_registry_snapshots([left.snapshot(), right.snapshot()])
+        exemplars = merged["histograms"]["stage.handler"]["exemplars"]
+        # Same bucket in both partials: the later snapshot's trace wins;
+        # buckets only one partial touched survive the merge.
+        assert "bbbb" in exemplars.values()
+        assert "aaaa" not in exemplars.values()
+        assert "early" in exemplars.values()

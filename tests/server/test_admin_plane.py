@@ -133,6 +133,46 @@ class TestAdminEndpoints:
         assert headers.get("connection") == "close"
 
 
+class TestTracesEndpoint:
+    def test_traces_lists_slowest_and_exemplars(self, plane):
+        _, _, host, port = plane
+        status, headers, body = http_get(host, port, "/traces")
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        payload = json.loads(body)
+        traces = payload["traces"]
+        assert traces, "the fixture's ADD must be retained"
+        assert traces == sorted(traces, key=lambda t: t["total_ms"],
+                                reverse=True)
+        entry = traces[0]
+        assert len(entry["trace_id"]) == 16
+        assert entry["total_ms"] > 0.0
+        assert "handler" in entry["stages_ms"]
+        # The exemplar section maps histogram -> bucket -> trace id.
+        exemplars = payload["exemplars"]
+        assert "stage.handler" in exemplars
+
+    def test_exemplar_trace_id_resolves(self, plane):
+        # The acceptance loop for CI: take the slowest handler bucket's
+        # exemplar, look it up by id, and get the full stage breakdown.
+        _, _, host, port = plane
+        _, _, body = http_get(host, port, "/traces")
+        payload = json.loads(body)
+        buckets = payload["exemplars"]["stage.handler"]
+        trace_id = buckets[max(buckets, key=int)]
+        status, _, body = http_get(host, port, f"/traces?id={trace_id}")
+        assert status == 200
+        found = json.loads(body)["trace"]
+        assert found["trace_id"] == trace_id
+        assert found["stages_ms"]
+
+    def test_unknown_trace_id_404(self, plane):
+        _, _, host, port = plane
+        status, _, body = http_get(host, port, "/traces?id=" + "0" * 16)
+        assert status == 404
+        assert body == b"trace not found\n"
+
+
 class TestAdminIsolation:
     def test_no_admin_endpoints_by_default(self):
         server = CommunixServer(authority=UserIdAuthority(rng=random.Random(1)))

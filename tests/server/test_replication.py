@@ -13,6 +13,14 @@ import uuid
 import pytest
 
 from repro.loadgen.signatures import adjacent_spam_blobs, random_signature_blobs
+from repro.obs import (
+    RequestTrace,
+    STAGE_DB_APPEND,
+    STAGE_OWNER_QUEUE,
+    STAGE_REPL_FORWARD,
+    STAGE_VALIDATE,
+    STAGE_WAL_FSYNC,
+)
 from repro.server.replication import (
     FederatedWorkerServer,
     ForwardError,
@@ -293,6 +301,75 @@ class TestOwnerLoss:
                 client.forward_issue()
         finally:
             fed.close()
+
+
+class TestCrossTierTracing:
+    """A forwarded ADD is one logical request across two servers; its
+    trace must show both sides' stages stamped on one trace id."""
+
+    def test_forwarded_add_folds_owner_stages_into_one_trace(
+            self, federation):
+        token = federation.replica.issue_user_token()
+        blob = random_signature_blobs(1, seed=51)[0]
+        trace = RequestTrace(op="ADD")
+        outcome = federation.replica.process_add(blob, token, trace=trace)
+        assert outcome.accepted
+        # Replica-side stages: the forward hop and the derived
+        # owner-queue share of it.
+        assert trace.stages[STAGE_REPL_FORWARD] > 0.0
+        assert STAGE_OWNER_QUEUE in trace.stages
+        assert (trace.stages[STAGE_OWNER_QUEUE]
+                <= trace.stages[STAGE_REPL_FORWARD])
+        # Owner-side stages crossed the wire back and were folded in —
+        # fsync=always, so the WAL stamps rode along too.
+        assert trace.stages[STAGE_VALIDATE] > 0.0
+        assert trace.stages[STAGE_DB_APPEND] > 0.0
+        assert STAGE_WAL_FSYNC in trace.stages
+        # The owner noted its half under the *same* id the replica
+        # minted: one trace id, visible from both tiers' /traces.
+        owner_entry = federation.owner.traces.find(trace.hex_id())
+        assert owner_entry is not None
+        assert owner_entry["trace_id"] == trace.hex_id()
+        assert "validate" in owner_entry["stages_ms"]
+        assert "db_append" in owner_entry["stages_ms"]
+
+    def test_forward_without_trace_sends_zero_id(self, federation):
+        token = federation.replica.issue_user_token()
+        blob = random_signature_blobs(1, seed=52)[0]
+        before = len(federation.owner.traces)
+        assert federation.replica.process_add(blob, token).accepted
+        # No trace handed in -> trace id 0 on the wire -> the owner
+        # stamps nothing and notes nothing.
+        assert len(federation.owner.traces) == before
+
+    def test_forward_client_returns_owner_stage_dict(self, federation):
+        client = LogForwardClient(federation.addr)
+        try:
+            token = client.forward_issue()
+            uid = federation.owner.validator.resolve_uid(token)
+            blob = random_signature_blobs(1, seed=53)[0]
+            outcome, stages = client.forward_add(uid, blob, trace_id=0x42)
+            assert outcome.accepted
+            assert stages[STAGE_VALIDATE] > 0.0
+            assert stages[STAGE_DB_APPEND] > 0.0
+        finally:
+            client.close()
+
+    def test_replication_lag_gauge_and_apply_lag_exported(self, federation):
+        token = federation.replica.issue_user_token()
+        blobs = random_signature_blobs(4, seed=54)
+        for blob in blobs:
+            assert federation.replica.process_add(blob, token).accepted
+        replica_db = federation.replica.database
+        assert _wait_until(lambda: len(replica_db) == len(blobs))
+        snap = federation.replica.metrics.snapshot()
+        # Caught up: published minus applied is zero.
+        assert snap["gauges"].get("replication.lag") == 0
+        assert snap["histograms"]["stage.apply_lag"]["count"] >= len(blobs)
+        # Owner-side hub instruments.
+        owner_snap = federation.owner.metrics.snapshot()
+        assert owner_snap["counters"]["replication.forwarded_adds"] == 4
+        assert owner_snap["gauges"]["replication.subscribers"] == 1
 
 
 class TestUidAllocation:

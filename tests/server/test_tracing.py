@@ -2,6 +2,7 @@
 
 import logging
 import random
+import re
 import time
 
 import pytest
@@ -132,6 +133,14 @@ class TestSlowRequestLog:
         assert "validate=" in add_lines[0]
         assert "total=" in add_lines[0]
         assert server.metrics.snapshot()["counters"]["net.slow_requests"] >= 1
+        # Every slow line carries the request's trace id, and that id
+        # resolves in the server's slow-trace ring (the /traces source).
+        match = re.search(r"trace=([0-9a-f]{16})", add_lines[0])
+        assert match, add_lines[0]
+        found = server.traces.find(match.group(1))
+        assert found is not None
+        assert found["op"] == "ADD"
+        assert "validate" in found["stages_ms"]
 
     def test_threshold_zero_never_logs(self, shared_factory, caplog):
         server = CommunixServer(
@@ -182,5 +191,61 @@ class TestLoopProbes:
         assert snap["counters"]["net.accepts"] == 1
         gauges = snap["gauges"]
         for name in ("net.connections", "workers.queue_depth",
-                     "bufpool.allocated", "db.size"):
+                     "workers.queue_time", "bufpool.allocated", "db.size"):
             assert name in gauges
+        # FD budget gauges come from /proc + RLIMIT_NOFILE; both must be
+        # live values, not placeholders.
+        assert gauges["proc.fd_open"] > 0
+        assert gauges["proc.fd_limit"] > 0
+
+    def test_event_loop_health_tick_records_drift(self, shared_factory):
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(13)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        transport = ServerTransport(server)
+        host, port = transport.start()
+        endpoint = SocketEndpoint((host, port))
+        try:
+            endpoint.stats()
+            # The health tick fires every 0.25 s of loop wall time;
+            # wait out one tick and poke the loop again.
+            deadline = time.monotonic() + 5.0
+            drift = None
+            while time.monotonic() < deadline:
+                time.sleep(0.1)
+                endpoint.stats()
+                snap = server.metrics.snapshot()
+                drift = snap["histograms"].get("loop.timer_drift")
+                if drift is not None and drift["count"] > 0:
+                    break
+            assert drift is not None and drift["count"] > 0
+            # An idle loop never drifts by the 100 ms stall threshold.
+            assert snap["counters"].get("loop.stalls", 0) == 0
+        finally:
+            endpoint.close()
+            transport.stop()
+
+    def test_stage_histograms_carry_trace_exemplars(self, shared_factory):
+        server = CommunixServer(
+            authority=UserIdAuthority(rng=random.Random(13)),
+            clock=ManualClock(start=1_000_000.0),
+        )
+        transport = ServerTransport(server)
+        host, port = transport.start()
+        endpoint = SocketEndpoint((host, port))
+        try:
+            token = endpoint.issue_token()
+            assert endpoint.add(shared_factory.make_valid().to_bytes(), token)
+            snap = server.metrics.snapshot()
+        finally:
+            endpoint.close()
+            transport.stop()
+        wire = snap["histograms"]["stage.handler"]
+        exemplars = wire.get("exemplars", {})
+        assert exemplars, "handler histogram must keep a trace per bucket"
+        # The exemplar is the trace id of a request that landed in that
+        # bucket; it resolves in the server's slow-trace ring.
+        trace_id = next(iter(exemplars.values()))
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+        assert server.traces.find(trace_id) is not None
